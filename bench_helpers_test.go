@@ -1,0 +1,24 @@
+package cnetverifier_test
+
+import (
+	"cnetverifier/internal/radio"
+	"cnetverifier/internal/types"
+)
+
+// Event constructors shared by the emulator benchmarks.
+
+func powerOn() types.Message { return types.Message{Kind: types.MsgPowerOn} }
+
+func switchCmd() types.Message { return types.Message{Kind: types.MsgInterSystemSwitchCommand} }
+
+func deactPDP() types.Message {
+	return types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: types.CauseRegularDeactivation}
+}
+
+func reselect() types.Message { return types.Message{Kind: types.MsgInterSystemCellReselect} }
+
+// radioDropper returns a seeded loss closure for the ablation benches.
+func radioDropper(rate float64, seed int64) func() bool {
+	d := radio.NewDropper(rate, seed)
+	return d.Drop
+}

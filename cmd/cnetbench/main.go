@@ -1,0 +1,155 @@
+// Command cnetbench regenerates every table and figure of the paper's
+// evaluation from this repository's mechanisms and prints them in the
+// paper's layout.
+//
+// Usage:
+//
+//	cnetbench [-exp all|table1|table3|table4|table5|table6|fig4|fig7|fig8|fig9|fig10|fig12|fig13|sec93]
+//	          [-runs N] [-seed N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/experiments"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/validate"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate)")
+		runs = flag.Int("runs", 100, "runs per distribution-style experiment")
+		seed = flag.Int64("seed", 1, "base RNG seed")
+		out  = flag.String("o", "", "write the report to FILE instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	want := strings.ToLower(*exp)
+	all := want == "all"
+	ran := false
+	section := func(name string, f func() (string, error)) {
+		if !all && want != name {
+			return
+		}
+		ran = true
+		s, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cnetbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, s)
+	}
+
+	section("table1", experiments.Table1)
+	section("table3", func() (string, error) {
+		return experiments.RenderTable3(experiments.Table3(*seed)), nil
+	})
+	section("table4", func() (string, error) {
+		return experiments.RenderTable4(experiments.Table4(*seed)), nil
+	})
+	section("table5", func() (string, error) {
+		return "Table 5: user study\n" + experiments.Table5(*seed).Table(), nil
+	})
+	section("table6", func() (string, error) {
+		return experiments.RenderTable6(experiments.Table6StuckIn3G(*runs, *seed)), nil
+	})
+	section("fig4", func() (string, error) {
+		return experiments.RenderFigure4(experiments.Figure4RecoveryTime(*runs, *seed)), nil
+	})
+	section("fig7", func() (string, error) {
+		return experiments.RenderFigure7(experiments.Figure7CallSetup(netemu.OPI(), 60, *seed)), nil
+	})
+	section("fig8", func() (string, error) {
+		return experiments.RenderFigure8(experiments.Figure8CDFs(*runs*4, *seed)), nil
+	})
+	section("fig9", func() (string, error) {
+		var b strings.Builder
+		for _, p := range netemu.Operators() {
+			for _, uplink := range []bool{false, true} {
+				b.WriteString(experiments.RenderFigure9(p, uplink,
+					experiments.Figure9Rates(p, uplink, *runs, *seed)))
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	})
+	section("fig10", func() (string, error) {
+		return experiments.RenderFigure10(experiments.Figure10Trace(*seed)), nil
+	})
+	section("fig12", func() (string, error) {
+		rates := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10}
+		without := experiments.Figure12DetachVsDrop(rates, *runs, false, *seed)
+		with := experiments.Figure12DetachVsDrop(rates, *runs, true, *seed)
+		var b strings.Builder
+		b.WriteString(experiments.RenderFigure12Left(without, with))
+		b.WriteByte('\n')
+		times := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second,
+			4 * time.Second, 5 * time.Second, 6 * time.Second}
+		b.WriteString(experiments.RenderFigure12Right(
+			experiments.Figure12CallDelay(times, false),
+			experiments.Figure12CallDelay(times, true)))
+		return b.String(), nil
+	})
+	section("fig13", func() (string, error) {
+		return experiments.RenderFigure13(experiments.Figure13Rates()), nil
+	})
+	section("sec93", func() (string, error) {
+		return experiments.RenderSection93(experiments.Section93CrossSystem(*runs, *seed)), nil
+	})
+	section("s5vol", func() (string, error) {
+		return experiments.S5AffectedVolumes(113, 7).String(), nil
+	})
+	section("coverage", func() (string, error) {
+		var b strings.Builder
+		for _, sc := range core.ScopedModels() {
+			r, err := core.Screen(sc, check.Options{})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(core.CoverageSummary(sc, r))
+		}
+		return b.String(), nil
+	})
+	section("validate", func() (string, error) {
+		outcomes, err := validate.Campaign(validate.Config{})
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString("Two-phase validation campaign (§3.1):\n")
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, "  %s\n", o)
+		}
+		return b.String(), nil
+	})
+	section("inflation", func() (string, error) {
+		rates := []float64{1, 5, 10, 30, 60}
+		return experiments.RenderInflation(
+			experiments.InflationSweep(rates, 24*time.Hour, false, *seed),
+			experiments.InflationSweep(rates, 24*time.Hour, true, *seed)), nil
+	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "cnetbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

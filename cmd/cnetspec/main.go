@@ -1,0 +1,102 @@
+// Command cnetspec inspects the protocol state machines of Table 2:
+// it lists them, renders any of them as a Graphviz digraph or a
+// markdown transition table, and reports structural diagnostics
+// (unreachable states, dead ends).
+//
+// Usage:
+//
+//	cnetspec -list
+//	cnetspec -spec emm-ue [-fixed] -format dot|md|check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/protocols/cm"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/protocols/esm"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/mm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/rrc4g"
+	"cnetverifier/internal/protocols/sm"
+)
+
+func specs(fixed bool) map[string]*fsm.Spec {
+	return map[string]*fsm.Spec{
+		"emm-ue":   emm.DeviceSpec(emm.DeviceOptions{FixReactivateBearer: fixed}),
+		"emm-mme":  emm.MMESpec(emm.MMEOptions{FixReactivateBearer: fixed, FixLUFailureRecovery: fixed, PropagateLUFailure: !fixed}),
+		"esm-ue":   esm.DeviceSpec(esm.DeviceOptions{}),
+		"esm-mme":  esm.MMESpec(esm.MMEOptions{}),
+		"gmm-ue":   gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: fixed}),
+		"gmm-sgsn": gmm.SGSNSpec(gmm.SGSNOptions{}),
+		"sm-ue":    sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: fixed, FixKeepContext: fixed}),
+		"sm-sgsn":  sm.SGSNSpec(sm.SGSNOptions{FixKeepContext: fixed}),
+		"mm-ue":    mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: fixed}),
+		"mm-msc":   mm.MSCSpec(mm.MSCOptions{}),
+		"cm-ue":    cm.DeviceSpec(cm.DeviceOptions{}),
+		"cm-msc":   cm.MSCSpec(cm.MSCOptions{}),
+		"rrc3g-ue": rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: fixed, FixDecoupleChannels: fixed}),
+		"rrc4g-ue": rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
+	}
+}
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available specs")
+		spec   = flag.String("spec", "", "spec to inspect (see -list)")
+		fixed  = flag.Bool("fixed", false, "render the §8-fixed variant")
+		format = flag.String("format", "md", "output format: dot, md, check")
+	)
+	flag.Parse()
+
+	all := specs(*fixed)
+	if *list {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := all[n]
+			fmt.Printf("%-10s %-10s %s (%d states, %d transitions)\n",
+				n, s.Proto, s.Name, len(s.States()), len(s.Transitions))
+		}
+		return
+	}
+
+	s, ok := all[*spec]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cnetspec: unknown spec %q (try -list)\n", *spec)
+		os.Exit(1)
+	}
+	switch *format {
+	case "dot":
+		fmt.Print(s.DOT())
+	case "md":
+		fmt.Print(s.Describe())
+	case "check":
+		if err := s.Validate(); err != nil {
+			fmt.Println("validate:", err)
+			os.Exit(2)
+		}
+		fmt.Println("validate: ok")
+		if u := s.UnreachableStates(); len(u) > 0 {
+			fmt.Println("unreachable states:", u)
+			os.Exit(2)
+		}
+		fmt.Println("unreachable states: none")
+		if d := s.DeadEndStates(); len(d) > 0 {
+			fmt.Println("dead-end states:", d)
+			os.Exit(2)
+		}
+		fmt.Println("dead-end states: none")
+	default:
+		fmt.Fprintf(os.Stderr, "cnetspec: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

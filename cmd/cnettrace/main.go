@@ -1,0 +1,89 @@
+// Command cnettrace parses and analyzes §3.3-format protocol traces
+// (as produced by the emulator's trace collector): it filters records
+// and can measure the latency between two matching events, the
+// primitive behind the validation-phase measurements.
+//
+// Usage:
+//
+//	cnettrace [-f FILE] [-module MM] [-system 3G|4G] [-type STATE|SIGNAL|CONFIG|ERROR|INFO]
+//	          [-contains TEXT] [-span-start TEXT -span-end TEXT] [-count]
+//
+// Without -f the trace is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cnetverifier/internal/trace"
+	"cnetverifier/internal/types"
+)
+
+func main() {
+	var (
+		file      = flag.String("f", "", "trace file (default stdin)")
+		module    = flag.String("module", "", "filter by module")
+		system    = flag.String("system", "", "filter by system (3G or 4G)")
+		typ       = flag.String("type", "", "filter by trace type")
+		contains  = flag.String("contains", "", "filter by description substring")
+		spanStart = flag.String("span-start", "", "measure: description substring of the start event")
+		spanEnd   = flag.String("span-end", "", "measure: description substring of the end event")
+		count     = flag.Bool("count", false, "print only the number of matching records")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnettrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := trace.Read(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnettrace:", err)
+		os.Exit(1)
+	}
+
+	filter := trace.Filter{
+		Module:   *module,
+		Contains: *contains,
+		Type:     trace.Type(*typ),
+	}
+	switch *system {
+	case "3G":
+		filter.System = types.Sys3G
+	case "4G":
+		filter.System = types.Sys4G
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "cnettrace: unknown system %q\n", *system)
+		os.Exit(1)
+	}
+	matched := filter.Apply(recs)
+
+	if *spanStart != "" || *spanEnd != "" {
+		d, ok := trace.Span(recs,
+			trace.Filter{Contains: *spanStart},
+			trace.Filter{Contains: *spanEnd})
+		if !ok {
+			fmt.Fprintln(os.Stderr, "cnettrace: span events not found")
+			os.Exit(2)
+		}
+		fmt.Printf("span %q -> %q: %v\n", *spanStart, *spanEnd, d)
+		return
+	}
+
+	if *count {
+		fmt.Println(len(matched))
+		return
+	}
+	for _, rec := range matched {
+		fmt.Println(rec.String())
+	}
+}

@@ -1,0 +1,128 @@
+// Command cnetverify runs CNetVerifier's screening phase (§3.2): it
+// model-checks the scoped protocol worlds for the paper's findings and
+// prints property violations with their counterexamples.
+//
+// Usage:
+//
+//	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6] [-fixed] [-strategy dfs|bfs|walk]
+//	           [-depth N] [-states N] [-verbose]
+//
+// Exit status is 2 when a property violation is found in a fixed world
+// (the §8 solutions must be clean), 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/validate"
+)
+
+func main() {
+	var (
+		world    = flag.String("world", "all", "scoped world: all, s1, s2, s3, s4cs, s4ps, s6")
+		fixed    = flag.Bool("fixed", false, "enable the §8 fixes")
+		strategy = flag.String("strategy", "dfs", "exploration strategy: dfs, bfs, walk")
+		depth    = flag.Int("depth", 0, "max path depth (0 = world default)")
+		states   = flag.Int("states", 0, "max distinct states (0 = default)")
+		walks    = flag.Int("walks", 1000, "random walks (strategy=walk)")
+		seed     = flag.Int64("seed", 1, "random-walk seed")
+		verbose  = flag.Bool("verbose", false, "print full counterexamples")
+		doValid  = flag.Bool("validate", false, "run the phase-2 validation campaign (replay counterexamples on the emulator)")
+		coverage = flag.Bool("coverage", false, "print per-process transition coverage of each screening run")
+	)
+	flag.Parse()
+
+	if *doValid {
+		outcomes, err := validate.Campaign(validate.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			os.Exit(1)
+		}
+		for _, o := range outcomes {
+			fmt.Println(o)
+		}
+		return
+	}
+
+	scoped, err := selectWorlds(*world, *fixed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnetverify:", err)
+		os.Exit(1)
+	}
+
+	var results []core.ScreenResult
+	for _, s := range scoped {
+		opt := s.Options
+		switch strings.ToLower(*strategy) {
+		case "dfs":
+			opt.Strategy = check.DFS
+		case "bfs":
+			opt.Strategy = check.BFS
+		case "walk":
+			opt.Strategy = check.RandomWalk
+			opt.Walks = *walks
+			opt.Seed = *seed
+		default:
+			fmt.Fprintf(os.Stderr, "cnetverify: unknown strategy %q\n", *strategy)
+			os.Exit(1)
+		}
+		if *depth > 0 {
+			opt.MaxDepth = *depth
+		}
+		if *states > 0 {
+			opt.MaxStates = *states
+		}
+		r, err := core.Screen(s, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+
+	fmt.Print(core.Report(results, *verbose))
+	if *coverage {
+		for i, r := range results {
+			fmt.Print(core.CoverageSummary(scoped[i], r))
+		}
+	}
+
+	if *fixed {
+		for _, r := range results {
+			if r.Violated() {
+				fmt.Fprintln(os.Stderr, "cnetverify: fixed world still violates properties")
+				os.Exit(2)
+			}
+		}
+	}
+}
+
+func selectWorlds(name string, fixed bool) ([]core.Scoped, error) {
+	switch strings.ToLower(name) {
+	case "all":
+		if fixed {
+			return core.FixedModels(), nil
+		}
+		return core.ScopedModels(), nil
+	case "s1":
+		return []core.Scoped{core.S1World(fixed)}, nil
+	case "s2":
+		return []core.Scoped{core.S2World(fixed)}, nil
+	case "s3":
+		return []core.Scoped{core.S3World(fixed, names.SwitchReselect)}, nil
+	case "s4cs", "s4":
+		return []core.Scoped{core.S4CSWorld(fixed)}, nil
+	case "s4ps":
+		return []core.Scoped{core.S4PSWorld(fixed)}, nil
+	case "s6":
+		return []core.Scoped{core.S6World(fixed)}, nil
+	default:
+		return nil, fmt.Errorf("unknown world %q", name)
+	}
+}

@@ -1,0 +1,174 @@
+// Package cnetverifier is the public API of the CNetVerifier
+// reproduction — "Control-Plane Protocol Interactions in Cellular
+// Networks" (SIGCOMM 2014) rebuilt in Go.
+//
+// The library exposes the paper's workflow in three steps:
+//
+//  1. Screen: model-check the 3GPP control-plane protocol models
+//     against the user-visible properties (PacketService_OK,
+//     CallService_OK, MM_OK), producing counterexamples for the design
+//     findings S1–S4 and S6.
+//  2. Validate: replay the findings on the discrete-event network
+//     emulator under per-operator policy profiles (OP-I, OP-II),
+//     or on the §9 socket prototype.
+//  3. Fix: enable the §8 solutions and verify the same scenario spaces
+//     are clean.
+//
+// Quick use:
+//
+//	report, err := cnetverifier.Verify()        // screen everything
+//	findings := cnetverifier.Findings()          // Table 1 registry
+//	phone := cnetverifier.NewPhone(...)          // drive the emulator
+//
+// The full experiment drivers (one per table/figure of the paper) live
+// in internal/experiments and are reachable through the cnetbench
+// command; the lower-level engines are internal/check (model checker),
+// internal/netemu (emulator) and internal/emu (socket prototype).
+package cnetverifier
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/device"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/types"
+	"cnetverifier/internal/validate"
+)
+
+// Finding is one Table 1 entry (re-exported from the core registry).
+type Finding = core.Finding
+
+// FindingID identifies a finding (S1–S6).
+type FindingID = core.FindingID
+
+// The six findings.
+const (
+	S1 = core.S1
+	S2 = core.S2
+	S3 = core.S3
+	S4 = core.S4
+	S5 = core.S5
+	S6 = core.S6
+)
+
+// Findings returns the Table 1 registry.
+func Findings() []Finding { return core.Findings() }
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Defective holds the screening results of the standard (broken)
+	// configurations; Fixed holds the §8-fixed ones.
+	Defective, Fixed []core.ScreenResult
+}
+
+// Discovered lists the finding IDs whose property was violated in the
+// defective configurations.
+func (r Report) Discovered() []FindingID {
+	var out []FindingID
+	seen := map[FindingID]bool{}
+	for _, res := range r.Defective {
+		if res.Violated() && !seen[res.Finding] {
+			seen[res.Finding] = true
+			out = append(out, res.Finding)
+		}
+	}
+	return out
+}
+
+// Clean reports whether every fixed configuration held its properties.
+func (r Report) Clean() bool {
+	for _, res := range r.Fixed {
+		if res.Violated() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return "defective configurations:\n" + core.Report(r.Defective, false) +
+		"\nfixed configurations:\n" + core.Report(r.Fixed, false)
+}
+
+// Verify runs the complete screening phase: every scoped world in its
+// defective configuration (expecting violations) and with the §8 fixes
+// (expecting none). It errors when a fix fails to hold.
+func Verify() (Report, error) {
+	defective, err := core.ScreenAll()
+	if err != nil {
+		return Report{}, err
+	}
+	fixed, err := core.VerifyFixes()
+	if err != nil {
+		return Report{Defective: defective, Fixed: fixed}, err
+	}
+	return Report{Defective: defective, Fixed: fixed}, nil
+}
+
+// VerifyFinding screens a single finding's scoped world. The fixed
+// argument selects the §8-repaired configuration.
+func VerifyFinding(id FindingID, fixed bool) (core.ScreenResult, error) {
+	var s core.Scoped
+	switch id {
+	case S1:
+		s = core.S1World(fixed)
+	case S2:
+		s = core.S2World(fixed)
+	case S3:
+		s = core.S3World(fixed, names.SwitchReselect)
+	case S4:
+		s = core.S4CSWorld(fixed)
+	case S6:
+		s = core.S6World(fixed)
+	default:
+		return core.ScreenResult{}, fmt.Errorf("cnetverifier: finding %s has no screening world (S5 is validated on the emulator)", id)
+	}
+	return core.Screen(s, check.Options{})
+}
+
+// ValidationOutcome is one phase-2 replay result.
+type ValidationOutcome = validate.Outcome
+
+// ValidateAll runs the complete two-phase pipeline: screen every
+// finding (phase 1), then replay each counterexample on the emulator
+// (phase 2) and report which symptoms reproduced.
+func ValidateAll() ([]ValidationOutcome, error) {
+	return validate.Campaign(validate.Config{})
+}
+
+// Operator profiles (§3.3's two anonymized US carriers).
+var (
+	OPI  = netemu.OPI
+	OPII = netemu.OPII
+)
+
+// Fixes selects the §8 solution modules for emulation.
+type Fixes = netemu.FixSet
+
+// AllFixes enables every §8 module.
+func AllFixes() Fixes { return netemu.AllFixes() }
+
+// Phone is the emulated handset (validation phase).
+type Phone = device.Phone
+
+// PhoneModel is a handset model with its quirks.
+type PhoneModel = device.Model
+
+// PhoneModels returns the paper's five tested handsets.
+func PhoneModels() []PhoneModel { return device.Models() }
+
+// NewPhone builds an emulated phone of the given model on the operator
+// profile with the fix set.
+func NewPhone(model PhoneModel, profile netemu.OperatorProfile, fixes Fixes, seed int64) *Phone {
+	return device.New(model, profile, fixes, seed)
+}
+
+// Systems, re-exported for Phone.PowerOn.
+const (
+	Sys3G = types.Sys3G
+	Sys4G = types.Sys4G
+)

@@ -1,0 +1,85 @@
+package cnetverifier_test
+
+import (
+	"strings"
+	"testing"
+
+	cnv "cnetverifier"
+)
+
+func TestVerifyEndToEnd(t *testing.T) {
+	report, err := cnv.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	discovered := report.Discovered()
+	want := map[cnv.FindingID]bool{cnv.S1: true, cnv.S2: true, cnv.S3: true, cnv.S4: true, cnv.S6: true}
+	for _, id := range discovered {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Fatalf("findings not discovered: %v (got %v)", want, discovered)
+	}
+	if !report.Clean() {
+		t.Fatal("fixed configurations are not clean")
+	}
+	out := report.String()
+	if !strings.Contains(out, "defective configurations") || !strings.Contains(out, "no violation") {
+		t.Fatalf("report rendering:\n%s", out)
+	}
+}
+
+func TestVerifyFinding(t *testing.T) {
+	r, err := cnv.VerifyFinding(cnv.S3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violated() {
+		t.Fatal("S3 not discovered")
+	}
+	r, err = cnv.VerifyFinding(cnv.S3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violated() {
+		t.Fatal("fixed S3 still violated")
+	}
+	if _, err := cnv.VerifyFinding(cnv.S5, false); err == nil {
+		t.Fatal("S5 has no screening world; expected an error")
+	}
+}
+
+func TestFindingsRegistry(t *testing.T) {
+	fs := cnv.Findings()
+	if len(fs) != 6 {
+		t.Fatalf("findings = %d", len(fs))
+	}
+}
+
+func TestPhoneFacade(t *testing.T) {
+	models := cnv.PhoneModels()
+	if len(models) != 5 {
+		t.Fatalf("models = %d", len(models))
+	}
+	p := cnv.NewPhone(models[2], cnv.OPII(), cnv.Fixes{}, 1)
+	p.PowerOn(cnv.Sys4G)
+	p.DataOn()
+	p.Dial()
+	st := p.Status()
+	if !st.InCall || st.System != cnv.Sys3G {
+		t.Fatalf("CSFB via facade failed: %s", st)
+	}
+	p.HangUp()
+	if st := p.Status(); !st.StuckReturnPending {
+		t.Fatalf("OP-II should strand the phone: %s", st)
+	}
+
+	fixedPhone := cnv.NewPhone(models[2], cnv.OPII(), cnv.AllFixes(), 1)
+	fixedPhone.PowerOn(cnv.Sys4G)
+	fixedPhone.DataOn()
+	fixedPhone.Dial()
+	fixedPhone.HangUp()
+	if st := fixedPhone.Status(); st.System != cnv.Sys4G {
+		t.Fatalf("fixed phone not returned to 4G: %s", st)
+	}
+}

@@ -1,0 +1,58 @@
+// CSFB stuck-in-3G (S3, §5.3): a 4G user with a high-rate data session
+// makes a CSFB call. Under OP-I's "RRC connection release with
+// redirect" the device returns to 4G when the call ends; under OP-II's
+// "inter-system cell reselection" it is stuck in 3G until the data
+// session finishes (Table 6). The §8 domain-decoupling fix (CSFB tag)
+// repairs OP-II.
+//
+// The example drives the full emulated stack (all eight protocols)
+// under each configuration and prints what the device experienced.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/types"
+)
+
+func main() {
+	fmt.Println("CSFB call with a concurrent high-rate data session:")
+	fmt.Println()
+	run("OP-I  (release w/ redirect)", netemu.OPI(), netemu.FixSet{})
+	run("OP-II (cell reselection)   ", netemu.OPII(), netemu.FixSet{})
+	run("OP-II + domain decoupling  ", netemu.OPII(), netemu.FixSet{DomainDecoupling: true})
+}
+
+func run(label string, p netemu.OperatorProfile, fs netemu.FixSet) {
+	w := netemu.NewWorld(1)
+	netemu.StandardStack(w, p, fs)
+	w.SetGlobal(names.GSys, int(types.Sys4G))
+	w.SetGlobal(names.GReg4G, 1)
+
+	// High-rate data in 4G, then dial (CSFB), then hang up at t=30s.
+	w.InjectAt(0, names.UERRC4G, types.Message{Kind: types.MsgUserDataOn})
+	w.InjectAt(time.Second, names.UECM, types.Message{Kind: types.MsgUserDialCall})
+	w.RunUntil(30 * time.Second)
+	w.Inject(names.UECM, types.Message{Kind: types.MsgUserHangUp})
+	w.Run()
+
+	sys := types.System(w.Global(names.GSys))
+	stuck := w.Global(names.GWantReturn4G) == 1
+	fmt.Printf("%s -> after call: camped on %s", label, sys)
+	if stuck {
+		fmt.Printf("  [STUCK: return to 4G pending, RRC state %s]", w.Machine(names.UERRC3G).State())
+	}
+	fmt.Println()
+
+	if stuck {
+		// The deadlock breaks only when the data session ends.
+		w.Inject(names.UERRC3G, types.Message{Kind: types.MsgUserDataOff})
+		w.Inject(names.UERRC3G, types.Message{Kind: types.MsgInterSystemCellReselect})
+		w.Run()
+		fmt.Printf("%s    after data session ends: camped on %s\n",
+			label, types.System(w.Global(names.GSys)))
+	}
+}

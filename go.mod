@@ -1,0 +1,3 @@
+module cnetverifier
+
+go 1.22

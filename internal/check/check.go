@@ -1,0 +1,419 @@
+// Package check implements the screening phase of CNetVerifier (§3.2):
+// an explicit-state model checker over internal/model worlds.
+//
+// The checker interleaves all enabled steps of the protocol processes
+// (message deliveries, lossy drops, out-of-order deliveries) with
+// environment events offered by a Scenario (user demands and operator
+// responses, §3.2.1), checks the cellular-oriented properties after
+// every step (§3.2.2), and reports each violation with the transition
+// path that reached it — the counterexample handed to the validation
+// phase (§3.2.3).
+//
+// Three exploration strategies are provided:
+//
+//   - DFS: bounded-depth depth-first search with visited-state
+//     deduplication (the default; mirrors Spin's search).
+//   - BFS: breadth-first search, producing shortest counterexamples.
+//   - RandomWalk: seeded random schedule sampling, the paper's approach
+//     for scenario spaces too large to enumerate.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnetverifier/internal/model"
+)
+
+// Property is a cellular-oriented correctness property (§3.2.2)
+// evaluated as a monitor over world states.
+type Property interface {
+	// Name identifies the property (e.g. "PacketService_OK").
+	Name() string
+	// Check inspects the world after last was applied. It returns a
+	// non-empty description when the state violates the property.
+	Check(w *model.World, last model.Step) string
+}
+
+// Scenario offers candidate environment events for a world (§3.2.1
+// usage-scenario modeling). Implementations must be deterministic
+// functions of the world state so DFS/BFS remain sound; RandomWalk may
+// be paired with stochastic scenarios.
+type Scenario interface {
+	Events(w *model.World) []model.EnvEvent
+}
+
+// ScenarioFunc adapts a function to the Scenario interface.
+type ScenarioFunc func(w *model.World) []model.EnvEvent
+
+// Events implements Scenario.
+func (f ScenarioFunc) Events(w *model.World) []model.EnvEvent { return f(w) }
+
+// Strategy selects the exploration order.
+type Strategy uint8
+
+const (
+	// DFS explores depth-first (default).
+	DFS Strategy = iota
+	// BFS explores breadth-first, yielding shortest counterexamples.
+	BFS
+	// RandomWalk samples random maximal schedules.
+	RandomWalk
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case RandomWalk:
+		return "random-walk"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Options bounds and configures a checking run.
+type Options struct {
+	// Strategy selects DFS (default), BFS or RandomWalk.
+	Strategy Strategy
+	// MaxDepth bounds the length of explored paths (default 64).
+	MaxDepth int
+	// MaxStates bounds the number of distinct states visited
+	// (default 1 << 20).
+	MaxStates int
+	// StopAtFirst stops the entire run at the first violation.
+	StopAtFirst bool
+	// Paranoid stores full state encodings and fails on any hash
+	// collision instead of silently merging states. Slower; used by
+	// tests to validate the hashing scheme.
+	Paranoid bool
+	// Walks and Seed configure RandomWalk: number of schedules sampled
+	// and the RNG seed (defaults 1000 and 1).
+	Walks int
+	Seed  int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 20
+	}
+	if o.Walks == 0 {
+		o.Walks = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Violation is one property violation with its counterexample.
+type Violation struct {
+	// Property names the violated property.
+	Property string
+	// Desc describes the violating state.
+	Desc string
+	// Path is the step sequence from the initial state to the
+	// violation (the counterexample, §3.2.3).
+	Path []model.Step
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated after %d steps: %s", v.Property, len(v.Path), v.Desc)
+}
+
+// Result summarizes a checking run.
+type Result struct {
+	// States counts distinct states visited (by hash).
+	States int
+	// Transitions counts steps applied.
+	Transitions int
+	// MaxDepth is the deepest path length reached.
+	MaxDepth int
+	// Truncated reports whether a bound (depth/state cap) cut the
+	// exploration short.
+	Truncated bool
+	// Violations holds one entry per distinct (property, description)
+	// pair, each with the first counterexample found.
+	Violations []Violation
+	// Covered counts, per "proc/transition-label", how often each
+	// protocol transition fired during exploration — the model-side
+	// coverage metric (a transition never exercised means the scenario
+	// space misses part of the spec).
+	Covered map[string]int
+}
+
+// Violated reports whether the named property was violated.
+func (r *Result) Violated(property string) bool {
+	for _, v := range r.Violations {
+		if v.Property == property {
+			return true
+		}
+	}
+	return false
+}
+
+// ViolationsOf returns all violations of the named property.
+func (r *Result) ViolationsOf(property string) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Property == property {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type node struct {
+	w     *model.World
+	path  []model.Step
+	depth int
+}
+
+// Run explores the world from its current state under the scenario and
+// returns the checking result. The input world is not mutated.
+func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if sc == nil {
+		sc = ScenarioFunc(func(*model.World) []model.EnvEvent { return nil })
+	}
+	switch opt.Strategy {
+	case DFS, BFS:
+		return runSearch(w, props, sc, opt)
+	case RandomWalk:
+		return runRandomWalk(w, props, sc, opt)
+	default:
+		return nil, fmt.Errorf("check: unknown strategy %v", opt.Strategy)
+	}
+}
+
+func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	res := &Result{Covered: make(map[string]int)}
+	visited := make(map[uint64]struct{})
+	var paranoid map[uint64][]byte
+	if opt.Paranoid {
+		paranoid = make(map[uint64][]byte)
+	}
+	seenViol := make(map[string]struct{})
+
+	root := &node{w: w0.Clone()}
+	if err := markVisited(root.w, visited, paranoid); err != nil {
+		return nil, err
+	}
+	res.States = 1
+
+	// frontier is used as a LIFO stack for DFS and FIFO queue for BFS.
+	frontier := []*node{root}
+	for len(frontier) > 0 {
+		var n *node
+		if opt.Strategy == BFS {
+			n = frontier[0]
+			frontier = frontier[1:]
+		} else {
+			n = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+		if n.depth > res.MaxDepth {
+			res.MaxDepth = n.depth
+		}
+		if n.depth >= opt.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		steps := n.w.Steps(sc.Events(n.w))
+		for _, s := range steps {
+			child := n.w.Clone()
+			applied, err := child.Apply(s)
+			if err != nil {
+				return nil, fmt.Errorf("check: apply %v: %w", s, err)
+			}
+			res.Transitions++
+			if applied.Label != "" {
+				res.Covered[applied.Proc+"/"+applied.Label]++
+			}
+			path := appendPath(n.path, applied)
+			if violated := checkProps(child, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
+				return res, nil
+			}
+			if res.States >= opt.MaxStates {
+				res.Truncated = true
+				continue
+			}
+			h := child.Hash()
+			if _, ok := visited[h]; ok {
+				if paranoid != nil {
+					if err := verifyNoCollision(child, h, paranoid); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			visited[h] = struct{}{}
+			if paranoid != nil {
+				paranoid[h] = child.Encode(nil)
+			}
+			res.States++
+			frontier = append(frontier, &node{w: child, path: path, depth: n.depth + 1})
+		}
+	}
+	return res, nil
+}
+
+func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	res := &Result{Covered: make(map[string]int)}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	seenViol := make(map[string]struct{})
+	visited := make(map[uint64]struct{})
+	visited[w0.Hash()] = struct{}{}
+	res.States = 1
+
+	for walk := 0; walk < opt.Walks; walk++ {
+		w := w0.Clone()
+		var path []model.Step
+		for depth := 0; depth < opt.MaxDepth; depth++ {
+			steps := w.Steps(sc.Events(w))
+			if len(steps) == 0 {
+				break
+			}
+			s := steps[rng.Intn(len(steps))]
+			applied, err := w.Apply(s)
+			if err != nil {
+				return nil, fmt.Errorf("check: walk %d apply %v: %w", walk, s, err)
+			}
+			res.Transitions++
+			if applied.Label != "" {
+				res.Covered[applied.Proc+"/"+applied.Label]++
+			}
+			if depth+1 > res.MaxDepth {
+				res.MaxDepth = depth + 1
+			}
+			path = appendPath(path, applied)
+			h := w.Hash()
+			if _, ok := visited[h]; !ok {
+				visited[h] = struct{}{}
+				res.States++
+			}
+			if violated := checkProps(w, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// appendPath copies-on-append so sibling branches never share backing
+// arrays.
+func appendPath(path []model.Step, s model.Step) []model.Step {
+	out := make([]model.Step, len(path)+1)
+	copy(out, path)
+	out[len(path)] = s
+	return out
+}
+
+func checkProps(w *model.World, last model.Step, path []model.Step, props []Property, seen map[string]struct{}, res *Result) bool {
+	violated := false
+	for _, p := range props {
+		desc := p.Check(w, last)
+		if desc == "" {
+			continue
+		}
+		violated = true
+		key := p.Name() + "\x00" + desc
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		res.Violations = append(res.Violations, Violation{
+			Property: p.Name(),
+			Desc:     desc,
+			Path:     path,
+		})
+	}
+	return violated
+}
+
+func markVisited(w *model.World, visited map[uint64]struct{}, paranoid map[uint64][]byte) error {
+	h := w.Hash()
+	visited[h] = struct{}{}
+	if paranoid != nil {
+		paranoid[h] = w.Encode(nil)
+	}
+	return nil
+}
+
+func verifyNoCollision(w *model.World, h uint64, paranoid map[uint64][]byte) error {
+	enc := w.Encode(nil)
+	prev := paranoid[h]
+	if string(prev) != string(enc) {
+		return fmt.Errorf("check: hash collision at %#x: %d-byte vs %d-byte states", h, len(prev), len(enc))
+	}
+	return nil
+}
+
+// Replay applies a counterexample path to a fresh world, returning the
+// resulting world. It is the bridge to the validation phase: the same
+// step sequence can then be reproduced on the emulator.
+func Replay(w *model.World, path []model.Step) (*model.World, error) {
+	r := w.Clone()
+	for i, s := range path {
+		if _, err := r.Apply(s); err != nil {
+			return nil, fmt.Errorf("check: replay step %d (%v): %w", i, s, err)
+		}
+	}
+	return r, nil
+}
+
+// FormatCounterexample renders a violation's path as a numbered,
+// human-readable trace.
+func FormatCounterexample(v Violation) string {
+	s := fmt.Sprintf("counterexample for %s (%s):\n", v.Property, v.Desc)
+	for i, st := range v.Path {
+		s += fmt.Sprintf("  %2d. %s\n", i+1, st)
+		for _, note := range st.Notes {
+			s += fmt.Sprintf("      | %s\n", note)
+		}
+	}
+	return s
+}
+
+// SpecCoverage reports, per process, the fraction of its spec's
+// transitions that fired at least once during the run, with the list of
+// transitions never exercised. It is the verification-coverage view of
+// a screening run: unexercised defect transitions mean the scenario
+// space cannot reach them.
+func SpecCoverage(w *model.World, res *Result) map[string]CoverageReport {
+	out := make(map[string]CoverageReport, len(w.Procs))
+	for _, p := range w.Procs {
+		spec := p.M.Spec()
+		rep := CoverageReport{Total: len(spec.Transitions)}
+		for _, t := range spec.Transitions {
+			if res.Covered[p.Name+"/"+t.Name] > 0 {
+				rep.Fired++
+			} else {
+				rep.Missed = append(rep.Missed, t.Name)
+			}
+		}
+		out[p.Name] = rep
+	}
+	return out
+}
+
+// CoverageReport summarizes one process's transition coverage.
+type CoverageReport struct {
+	// Fired and Total count spec transitions exercised vs declared.
+	Fired, Total int
+	// Missed lists the transition labels never exercised.
+	Missed []string
+}
+
+// Fraction returns Fired/Total (1 for an empty spec).
+func (c CoverageReport) Fraction() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Fired) / float64(c.Total)
+}

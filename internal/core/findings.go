@@ -1,0 +1,138 @@
+// Package core is the CNetVerifier facade: it assembles the protocol
+// models into checkable worlds (one scoped world per finding, plus a
+// combined world), runs the two-phase diagnosis of §3 — screening via
+// the model checker, validation via the emulator — and carries the
+// registry of the six findings of Table 1.
+package core
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/types"
+)
+
+// FindingID identifies one of the paper's six problematic-interaction
+// instances.
+type FindingID string
+
+// The six findings of Table 1.
+const (
+	S1 FindingID = "S1"
+	S2 FindingID = "S2"
+	S3 FindingID = "S3"
+	S4 FindingID = "S4"
+	S5 FindingID = "S5"
+	S6 FindingID = "S6"
+)
+
+// Finding is one row of Table 1.
+type Finding struct {
+	ID       FindingID
+	Category string
+	Problem  string
+	Type     types.IssueType
+	// Protocols involved in the interaction.
+	Protocols []types.Protocol
+	// Dimensions of the interaction (S3 spans two).
+	Dimensions []types.Dimension
+	RootCause  string
+	// Property is the §3.2.2 property the screening phase sees
+	// violated; empty for the two operational findings discovered
+	// during validation.
+	Property string
+	// Section is the paper section analyzing the finding.
+	Section string
+	// Fix summarizes the §8 remedy.
+	Fix string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s (%s, %s): %s", f.ID, f.Type, f.Dimensions[0], f.Problem)
+}
+
+// Findings returns the Table 1 registry in order.
+func Findings() []Finding {
+	return []Finding{
+		{
+			ID:         S1,
+			Category:   "necessary but problematic cooperation",
+			Problem:    `user device is temporarily "out-of-service" during 3G→4G switching`,
+			Type:       types.DesignIssue,
+			Protocols:  []types.Protocol{types.ProtoSM, types.ProtoESM, types.ProtoGMM, types.ProtoEMM},
+			Dimensions: []types.Dimension{types.CrossSystem},
+			RootCause:  "session states are shared but unprotected between 3G and 4G; the PDP context may be deleted in 3G while 4G requires an EPS bearer context (§5.1)",
+			Property:   "PacketService_OK",
+			Section:    "§5.1",
+			Fix:        "cross-system coordination: reactivate the EPS bearer after the 3G→4G switch instead of detaching; avoid avoidable PDP deactivations",
+		},
+		{
+			ID:         S2,
+			Category:   "necessary but problematic cooperation",
+			Problem:    `user device is temporarily "out-of-service" during the attach procedure`,
+			Type:       types.DesignIssue,
+			Protocols:  []types.Protocol{types.ProtoEMM, types.ProtoRRC4G},
+			Dimensions: []types.Dimension{types.CrossLayer},
+			RootCause:  "MME assumes reliable, in-sequence signal transfer by RRC; RRC cannot ensure it, so lost/duplicate signals trigger an implicit detach (§5.2)",
+			Property:   "PacketService_OK",
+			Section:    "§5.2",
+			Fix:        "layer extension: a slim reliable-transfer layer between EMM and RRC (sequencing, ack, retransmission, duplicate suppression)",
+		},
+		{
+			ID:         S3,
+			Category:   "necessary but problematic cooperation",
+			Problem:    "user device gets stuck in 3G after a CSFB call",
+			Type:       types.DesignIssue,
+			Protocols:  []types.Protocol{types.ProtoRRC3G, types.ProtoCM, types.ProtoSM},
+			Dimensions: []types.Dimension{types.CrossDomain, types.CrossSystem},
+			RootCause:  "the RRC state is shared by CS and PS; inter-system cell reselection requires IDLE, which an ongoing data session prevents (§5.3)",
+			Property:   "MM_OK",
+			Section:    "§5.3",
+			Fix:        "domain decoupling: a CSFB tag lets the base station force a switch-capable RRC state when the call ends",
+		},
+		{
+			ID:         S4,
+			Category:   "independent but coupled operation",
+			Problem:    "outgoing call / Internet access is delayed",
+			Type:       types.DesignIssue,
+			Protocols:  []types.Protocol{types.ProtoCM, types.ProtoMM, types.ProtoSM, types.ProtoGMM},
+			Dimensions: []types.Dimension{types.CrossLayer},
+			RootCause:  "location updates are served with higher priority than outgoing call/data requests although serving the request would implicitly update the location (§6.1)",
+			Property:   "CallService_OK",
+			Section:    "§6.1",
+			Fix:        "layer extension: parallel threads for location update and service requests, with the service request first",
+		},
+		{
+			ID:         S5,
+			Category:   "independent but coupled operation",
+			Problem:    "PS rate declines (51%–96% drop) during an ongoing CS call",
+			Type:       types.OperationIssue,
+			Protocols:  []types.Protocol{types.ProtoRRC3G, types.ProtoCM, types.ProtoSM},
+			Dimensions: []types.Dimension{types.CrossDomain},
+			RootCause:  "3G RRC configures the shared channel with a single modulation scheme for both voice and data; the CS call forces 16QAM (§6.2)",
+			Section:    "§6.2",
+			Fix:        "domain decoupling: separate channels (and modulation schemes) for CS and PS traffic",
+		},
+		{
+			ID:         S6,
+			Category:   "independent but coupled operation",
+			Problem:    `user device is temporarily "out-of-service" after a 3G→4G switch`,
+			Type:       types.OperationIssue,
+			Protocols:  []types.Protocol{types.ProtoMM, types.ProtoEMM},
+			Dimensions: []types.Dimension{types.CrossSystem},
+			RootCause:  "a 3G location-update failure is exposed to 4G, whose MME detaches the device instead of recovering inside the infrastructure (§6.3)",
+			Property:   "PacketService_OK",
+			Section:    "§6.3",
+			Fix:        "cross-system coordination: the MME recovers the location update with the MSC on behalf of the device and never forwards the failure",
+		},
+	}
+}
+
+// FindingByID returns the registry entry for id.
+func FindingByID(id FindingID) (Finding, bool) {
+	for _, f := range Findings() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}

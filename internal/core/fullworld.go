@@ -1,0 +1,96 @@
+package core
+
+import (
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/props"
+	"cnetverifier/internal/protocols/cm"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/protocols/esm"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/mm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/rrc4g"
+	"cnetverifier/internal/protocols/sm"
+	"cnetverifier/internal/scenario"
+)
+
+// FullConfig configures the combined model.
+type FullConfig struct {
+	// Fixed enables every §8 fix.
+	Fixed bool
+	// SwitchOpt is the carrier's inter-system switching option
+	// (names.SwitchRedirect/SwitchHandover/SwitchReselect).
+	SwitchOpt int
+	// LossyAir marks the device↔network inboxes lossy (and the MME's
+	// reordering), exposing the S2 class.
+	LossyAir bool
+	// SampleSeed and SamplePerStep configure the scenario sampler used
+	// for random walks (§3.2.1's random sampling). PerStep <= 0
+	// offers the whole space deterministically (for bounded DFS/BFS).
+	SampleSeed    int64
+	SamplePerStep int
+}
+
+// FullWorld assembles the complete dual-system model of Figure 1 — all
+// eight protocols, device and network side — under the full §3.2.1
+// usage-scenario space and all §3.2.2 properties. It is intended for
+// random-walk screening (the combinatorial space is far beyond
+// exhaustive search, which is exactly why the paper samples scenarios
+// randomly).
+func FullWorld(cfg FullConfig) Scoped {
+	fixed := cfg.Fixed
+	g := baseGlobals()
+	g[names.GSwitchOpt] = cfg.SwitchOpt
+
+	lossy := cfg.LossyAir
+	w := mustWorld(model.Config{
+		Globals: g,
+		Procs: []model.ProcConfig{
+			// Device side.
+			{Name: names.UEEMM, Spec: emm.DeviceSpec(emm.DeviceOptions{FixReactivateBearer: fixed}),
+				OutputTo: []string{names.UEESM}, Lossy: lossy},
+			{Name: names.UEESM, Spec: esm.DeviceSpec(esm.DeviceOptions{}), Lossy: lossy},
+			{Name: names.UEGMM, Spec: gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: fixed}), Lossy: lossy},
+			{Name: names.UESM, Spec: sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: fixed, FixKeepContext: fixed}), Lossy: lossy},
+			{Name: names.UEMM, Spec: mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: fixed}),
+				OutputTo: []string{names.UECM}, Lossy: lossy},
+			{Name: names.UECM, Spec: cm.DeviceSpec(cm.DeviceOptions{}),
+				OutputTo: []string{names.UEMM, names.UERRC3G, names.UERRC4G}},
+			{Name: names.UERRC3G, Spec: rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: fixed, FixDecoupleChannels: fixed}),
+				OutputTo: []string{names.UECM}},
+			{Name: names.UERRC4G, Spec: rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
+				OutputTo: []string{names.UERRC3G, names.UEMM, names.UEGMM}},
+
+			// Network side.
+			{Name: names.MMEEMM, Spec: emm.MMESpec(emm.MMEOptions{
+				FixReactivateBearer:  fixed,
+				FixLUFailureRecovery: fixed,
+				PropagateLUFailure:   !fixed,
+			}), OutputTo: []string{names.MMEESM}, Lossy: lossy, Reorder: lossy},
+			{Name: names.MMEESM, Spec: esm.MMESpec(esm.MMEOptions{})},
+			{Name: names.SGSNGMM, Spec: gmm.SGSNSpec(gmm.SGSNOptions{})},
+			{Name: names.SGSNSM, Spec: sm.SGSNSpec(sm.SGSNOptions{FixKeepContext: fixed})},
+			{Name: names.MSCMM, Spec: mm.MSCSpec(mm.MSCOptions{})},
+			{Name: names.MSCCM, Spec: cm.MSCSpec(cm.MSCOptions{})},
+		},
+	})
+
+	var sc check.Scenario
+	if cfg.SamplePerStep > 0 {
+		sc = scenario.NewSampler(scenario.FullSpace(), cfg.SamplePerStep, cfg.SampleSeed)
+	} else {
+		space := scenario.FullSpace()
+		sc = check.ScenarioFunc(space.EnvEvents)
+	}
+
+	return Scoped{
+		Finding:  "full",
+		Fixed:    fixed,
+		World:    w,
+		Scenario: sc,
+		Props:    props.All(),
+		Options:  check.Options{Strategy: check.RandomWalk, MaxDepth: 40, Walks: 400, Seed: cfg.SampleSeed},
+	}
+}

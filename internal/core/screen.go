@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/check"
+)
+
+// ScreenResult is the screening outcome for one scoped world.
+type ScreenResult struct {
+	Finding FindingID
+	Fixed   bool
+	Result  *check.Result
+}
+
+// Violated reports whether any property was violated.
+func (r ScreenResult) Violated() bool { return len(r.Result.Violations) > 0 }
+
+// Screen runs the model checker over one scoped world with its
+// suggested bounds (callers may override via opt; zero-value opt uses
+// the world's own Options).
+func Screen(s Scoped, opt check.Options) (ScreenResult, error) {
+	if opt == (check.Options{}) {
+		opt = s.Options
+	}
+	res, err := check.Run(s.World, s.Props, s.Scenario, opt)
+	if err != nil {
+		return ScreenResult{}, fmt.Errorf("core: screening %s: %w", s.Finding, err)
+	}
+	return ScreenResult{Finding: s.Finding, Fixed: s.Fixed, Result: res}, nil
+}
+
+// ScreenAll runs the screening phase over every scoped defective world
+// (the CNetVerifier phase-1 of Figure 2) and returns the per-finding
+// results in order.
+func ScreenAll() ([]ScreenResult, error) {
+	var out []ScreenResult
+	for _, s := range ScopedModels() {
+		r, err := Screen(s, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VerifyFixes runs the checker over every fixed world and returns an
+// error naming any finding whose fix does not eliminate all violations
+// within the world's bounds.
+func VerifyFixes() ([]ScreenResult, error) {
+	var out []ScreenResult
+	var broken []string
+	for _, s := range FixedModels() {
+		r, err := Screen(s, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if r.Violated() {
+			broken = append(broken, string(s.Finding))
+		}
+	}
+	if len(broken) > 0 {
+		return out, fmt.Errorf("core: fixes did not eliminate violations for %s", strings.Join(broken, ", "))
+	}
+	return out, nil
+}
+
+// Report renders screening results as a human-readable table with one
+// counterexample per violated property.
+func Report(results []ScreenResult, verbose bool) string {
+	var b strings.Builder
+	for _, r := range results {
+		f, _ := FindingByID(r.Finding)
+		status := "no violation"
+		if r.Violated() {
+			names := map[string]bool{}
+			for _, v := range r.Result.Violations {
+				names[v.Property] = true
+			}
+			var list []string
+			for n := range names {
+				list = append(list, n)
+			}
+			sort.Strings(list)
+			status = "VIOLATED: " + strings.Join(list, ", ")
+		}
+		mode := "defective"
+		if r.Fixed {
+			mode = "fixed"
+		}
+		fmt.Fprintf(&b, "%-3s %-10s %-32s states=%-7d transitions=%-8d %s\n",
+			r.Finding, mode, firstDim(f), r.Result.States, r.Result.Transitions, status)
+		if verbose {
+			for _, v := range r.Result.Violations {
+				b.WriteString(check.FormatCounterexample(v))
+			}
+		}
+	}
+	return b.String()
+}
+
+func firstDim(f Finding) string {
+	if len(f.Dimensions) == 0 {
+		return ""
+	}
+	parts := make([]string, len(f.Dimensions))
+	for i, d := range f.Dimensions {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// CoverageSummary renders the per-process transition coverage of a
+// screening run over its scoped world: how much of each protocol spec
+// the scenario space exercised, and which transitions were never
+// reached (unexercised defect transitions mean the scenario space
+// cannot reach them — the checker's analogue of test coverage).
+func CoverageSummary(s Scoped, r ScreenResult) string {
+	reports := check.SpecCoverage(s.World, r.Result)
+	procs := make([]string, 0, len(reports))
+	for name := range reports {
+		procs = append(procs, name)
+	}
+	sort.Strings(procs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "transition coverage for %s (%s):\n", s.Finding, mode(s))
+	for _, name := range procs {
+		rep := reports[name]
+		fmt.Fprintf(&b, "  %-12s %3d/%3d (%.0f%%)", name, rep.Fired, rep.Total, rep.Fraction()*100)
+		if len(rep.Missed) > 0 {
+			fmt.Fprintf(&b, "  missed: %s", strings.Join(rep.Missed, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func mode(s Scoped) string {
+	if s.Fixed {
+		return "fixed"
+	}
+	return "defective"
+}

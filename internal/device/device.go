@@ -1,0 +1,238 @@
+// Package device provides the user-level phone abstraction of the
+// validation experiments (§3.3): a Phone wraps the emulated dual-mode
+// protocol stack behind the actions a tester performs — power cycling,
+// dialing and hanging up, toggling mobile data, moving, and switching
+// to WiFi — and exposes the observable status (serving system,
+// registration, service availability).
+//
+// The five handset models used in the paper (HTC One, LG Optimus G,
+// Samsung Galaxy S4, Galaxy Note 2, iPhone 5S) are modeled through
+// their observed behavioral quirks: some deactivate all PDP contexts
+// when WiFi takes over (§5.1.3), and the tested phones re-attempt an
+// attach before detaching when no context survives the 4G return,
+// prolonging the out-of-service window (the Figure 4 implementation
+// observation).
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/trace"
+	"cnetverifier/internal/types"
+)
+
+// Model identifies a handset model with its quirks.
+type Model struct {
+	Name string
+	// DeactivatePDPOnWiFi reproduces §5.1.3: "While staying in 3G,
+	// some (here, HTC One and LG Optimus G) deactivate all PDP
+	// contexts" when a WiFi network becomes available.
+	DeactivatePDPOnWiFi bool
+	// ReattachExtraDelay is the model-specific additional recovery
+	// latency on the S1 re-attach (Figure 4: "Similar results are
+	// observed at other phones (median gap < 0.5s)").
+	ReattachExtraDelay time.Duration
+}
+
+// Models returns the paper's five tested handsets.
+func Models() []Model {
+	return []Model{
+		{Name: "HTC One", DeactivatePDPOnWiFi: true, ReattachExtraDelay: 200 * time.Millisecond},
+		{Name: "LG Optimus G", DeactivatePDPOnWiFi: true, ReattachExtraDelay: 300 * time.Millisecond},
+		{Name: "Samsung Galaxy S4", ReattachExtraDelay: 0},
+		{Name: "Samsung Galaxy Note 2", ReattachExtraDelay: 400 * time.Millisecond},
+		{Name: "Apple iPhone 5S", ReattachExtraDelay: 250 * time.Millisecond},
+	}
+}
+
+// ModelByName looks a model up.
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Status is the phone's user-visible state.
+type Status struct {
+	// System is the serving RAT (none/3G/4G).
+	System types.System
+	// Registered4G / Registered3GCS / Registered3GPS are the
+	// registration states.
+	Registered4G, Registered3GCS, Registered3GPS bool
+	// DataContext reports whether a session context (PDP or EPS
+	// bearer) is alive.
+	DataContext bool
+	// InCall reports an active voice call.
+	InCall bool
+	// OutOfService is the S1/S2/S6 symptom: detached by the network
+	// while service was wanted.
+	OutOfService bool
+	// StuckReturnPending is the S3 symptom: a return to 4G is owed but
+	// unserved.
+	StuckReturnPending bool
+}
+
+func (s Status) String() string {
+	return fmt.Sprintf("sys=%s reg4g=%v reg3gcs=%v reg3gps=%v ctx=%v call=%v oos=%v stuck=%v",
+		s.System, s.Registered4G, s.Registered3GCS, s.Registered3GPS,
+		s.DataContext, s.InCall, s.OutOfService, s.StuckReturnPending)
+}
+
+// Phone is a tester-facing handset bound to an emulated world.
+type Phone struct {
+	Model   Model
+	Profile netemu.OperatorProfile
+	w       *netemu.World
+}
+
+// New builds a phone of the given model on the operator with the fix
+// set, backed by a fresh emulated world.
+func New(model Model, profile netemu.OperatorProfile, fixes netemu.FixSet, seed int64) *Phone {
+	w := netemu.NewWorld(seed)
+	netemu.StandardStack(w, profile, fixes)
+	return &Phone{Model: model, Profile: profile, w: w}
+}
+
+// World exposes the underlying emulated world (tests, trace analysis).
+func (p *Phone) World() *netemu.World { return p.w }
+
+// Trace returns the phone-side trace records collected so far (§3.3).
+func (p *Phone) Trace() []trace.Record { return p.w.Collector.Records() }
+
+// run lets all pending signaling drain.
+func (p *Phone) run() { p.w.Run() }
+
+// PowerOn attaches to the given system (4G phones attach to 4G; 3G-only
+// testing uses Sys3G, which performs the combined CS+PS 3G attach).
+func (p *Phone) PowerOn(sys types.System) {
+	switch sys {
+	case types.Sys4G:
+		p.w.Inject(names.UEEMM, types.Message{Kind: types.MsgPowerOn})
+	case types.Sys3G:
+		p.w.SetGlobal(names.GSys, int(types.Sys3G))
+		p.w.Inject(names.UEMM, types.Message{Kind: types.MsgPowerOn})
+		p.w.Inject(names.UEGMM, types.Message{Kind: types.MsgPowerOn})
+	}
+	p.run()
+}
+
+// PowerOff detaches everywhere.
+func (p *Phone) PowerOff() {
+	for _, proc := range []string{names.UEEMM, names.UEGMM, names.UEMM, names.UESM, names.UEESM, names.UECM, names.UERRC3G, names.UERRC4G} {
+		p.w.Inject(proc, types.Message{Kind: types.MsgPowerOff})
+	}
+	p.run()
+}
+
+// DataOn enables mobile data (activating the session context in the
+// serving system).
+func (p *Phone) DataOn() {
+	p.w.SetGlobal(names.GDataOn, 1)
+	switch types.System(p.w.Global(names.GSys)) {
+	case types.Sys4G:
+		p.w.Inject(names.UERRC4G, types.Message{Kind: types.MsgUserDataOn})
+	case types.Sys3G:
+		p.w.Inject(names.UERRC3G, types.Message{Kind: types.MsgUserDataOn})
+		p.w.Inject(names.UESM, types.Message{Kind: types.MsgUserDataOn})
+	}
+	p.run()
+}
+
+// DataOff disables mobile data.
+func (p *Phone) DataOff() {
+	p.w.SetGlobal(names.GDataOn, 0)
+	p.w.Inject(names.UERRC3G, types.Message{Kind: types.MsgUserDataOff})
+	p.w.Inject(names.UERRC4G, types.Message{Kind: types.MsgUserDataOff})
+	p.run()
+}
+
+// Dial starts an outgoing call (CSFB when camped on 4G).
+func (p *Phone) Dial() {
+	p.w.Inject(names.UECM, types.Message{Kind: types.MsgUserDialCall})
+	p.run()
+}
+
+// HangUp ends the call; after a CSFB call this raises the return-to-4G
+// obligation (S3).
+func (p *Phone) HangUp() {
+	p.w.Inject(names.UECM, types.Message{Kind: types.MsgUserHangUp})
+	p.run()
+}
+
+// Move crosses a location/routing/tracking area boundary.
+func (p *Phone) Move() {
+	for _, proc := range []string{names.UEMM, names.UEGMM, names.UEEMM} {
+		p.w.Inject(proc, types.Message{Kind: types.MsgUserMove})
+	}
+	p.run()
+}
+
+// SwitchToWiFi models a WiFi network taking over data: quirky models
+// deactivate all PDP contexts (§5.1.3).
+func (p *Phone) SwitchToWiFi() {
+	if p.Model.DeactivatePDPOnWiFi {
+		p.w.Inject(names.UESM, types.Message{Kind: types.MsgWiFiAvailable})
+	}
+	p.run()
+}
+
+// SwitchTo3G performs a network-side 4G→3G migration (mobility or
+// carrier-initiated).
+func (p *Phone) SwitchTo3G() {
+	p.w.Inject(names.UEGMM, types.Message{Kind: types.MsgInterSystemSwitchCommand})
+	p.run()
+}
+
+// ReturnTo4G attempts the 3G→4G switch (cell reselection + TAU).
+func (p *Phone) ReturnTo4G() {
+	p.w.Inject(names.UEEMM, types.Message{Kind: types.MsgInterSystemCellReselect})
+	p.run()
+}
+
+// Reattach runs the Figure 4 recovery: the operator-side processing
+// delay plus the model quirk, then the re-attach; it returns the total
+// recovery time observed.
+func (p *Phone) Reattach() time.Duration {
+	start := p.w.Sim.Now()
+	delay := p.Profile.Reattach.Sample(p.w.Sim.Rand()) + p.Model.ReattachExtraDelay
+	p.w.InjectAt(start+delay, names.UEEMM, types.Message{Kind: types.MsgPeriodicTimer})
+	p.run()
+	return p.w.Sim.Now() - start
+}
+
+// Status reads the user-visible state.
+func (p *Phone) Status() Status {
+	g := p.w.Global
+	return Status{
+		System:             types.System(g(names.GSys)),
+		Registered4G:       g(names.GReg4G) == 1,
+		Registered3GCS:     g(names.GReg3GCS) == 1,
+		Registered3GPS:     g(names.GReg3GPS) == 1,
+		DataContext:        g(names.GPDP) == 1 || g(names.GEPS) == 1,
+		InCall:             g(names.GCallActive) == 1,
+		OutOfService:       g(names.GDetachedByNet) == 1,
+		StuckReturnPending: g(names.GWantReturn4G) == 1,
+	}
+}
+
+// RingIncoming delivers a mobile-terminated call: the MSC pages the
+// device; on 4G the page triggers an MT-CSFB fallback and the phone
+// auto-answers in 3G (§3.3's answer tool).
+func (p *Phone) RingIncoming() {
+	p.w.Inject(names.MSCCM, types.Message{Kind: types.MsgPagingRequest})
+	p.run()
+}
+
+// NewVoLTE builds a phone whose voice runs over LTE (§2) instead of
+// CSFB — the deployment that sidesteps S3 and S6 entirely.
+func NewVoLTE(model Model, profile netemu.OperatorProfile, fixes netemu.FixSet, seed int64) *Phone {
+	w := netemu.NewWorld(seed)
+	netemu.VoLTEStack(w, profile, fixes)
+	return &Phone{Model: model, Profile: profile, w: w}
+}

@@ -1,0 +1,231 @@
+package device
+
+import (
+	"testing"
+
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/trace"
+	"cnetverifier/internal/types"
+)
+
+func s4() Model {
+	m, ok := ModelByName("Samsung Galaxy S4")
+	if !ok {
+		panic("model missing")
+	}
+	return m
+}
+
+func TestModels(t *testing.T) {
+	ms := Models()
+	if len(ms) != 5 {
+		t.Fatalf("models = %d, want the paper's 5", len(ms))
+	}
+	quirky := 0
+	for _, m := range ms {
+		if m.Name == "" {
+			t.Fatal("unnamed model")
+		}
+		if m.DeactivatePDPOnWiFi {
+			quirky++
+		}
+	}
+	// §5.1.3: HTC One and LG Optimus G.
+	if quirky != 2 {
+		t.Fatalf("WiFi-quirk models = %d, want 2", quirky)
+	}
+	if _, ok := ModelByName("Nokia 3310"); ok {
+		t.Fatal("unknown model found")
+	}
+}
+
+func TestPowerOn4G(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys4G)
+	st := p.Status()
+	if st.System != types.Sys4G || !st.Registered4G || !st.DataContext {
+		t.Fatalf("status = %s", st)
+	}
+	if len(p.Trace()) == 0 {
+		t.Fatal("no trace records")
+	}
+}
+
+func TestPowerOn3G(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys3G)
+	st := p.Status()
+	if st.System != types.Sys3G || !st.Registered3GCS || !st.Registered3GPS {
+		t.Fatalf("status = %s", st)
+	}
+}
+
+func TestCallLifecycle3G(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys3G)
+	p.Dial()
+	if st := p.Status(); !st.InCall {
+		t.Fatalf("not in call: %s", st)
+	}
+	p.HangUp()
+	if st := p.Status(); st.InCall {
+		t.Fatalf("still in call: %s", st)
+	}
+}
+
+// Full S1 via the phone API: attach in 4G → migrate to 3G → lose the
+// PDP context → return → out of service; recovery via Reattach.
+func TestS1EndToEndPerModel(t *testing.T) {
+	for _, m := range Models() {
+		p := New(m, netemu.OPII(), netemu.FixSet{}, 7)
+		p.PowerOn(types.Sys4G)
+		p.SwitchTo3G()
+		if st := p.Status(); !st.DataContext {
+			t.Fatalf("%s: context lost during migration: %s", m.Name, st)
+		}
+		// Deactivate the PDP context (unavoidable cause).
+		p.World().Inject("ue.sm", types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: types.CauseInsufficientResources})
+		p.World().Run()
+		p.ReturnTo4G()
+		if st := p.Status(); !st.OutOfService {
+			t.Fatalf("%s: S1 not reproduced: %s", m.Name, st)
+		}
+		rec := p.Reattach()
+		if st := p.Status(); st.OutOfService || !st.Registered4G {
+			t.Fatalf("%s: recovery failed: %s", m.Name, st)
+		}
+		if rec < m.ReattachExtraDelay {
+			t.Fatalf("%s: recovery %v below model delay", m.Name, rec)
+		}
+	}
+}
+
+// §5.1.3's WiFi quirk: quirky models lose their PDP context on WiFi
+// offload and strand themselves after the 4G return; quirk-free models
+// are safe.
+func TestWiFiQuirkStrandsQuirkyModels(t *testing.T) {
+	for _, m := range Models() {
+		p := New(m, netemu.OPII(), netemu.FixSet{}, 3)
+		p.PowerOn(types.Sys4G)
+		p.SwitchTo3G()
+		p.SwitchToWiFi()
+		p.ReturnTo4G()
+		st := p.Status()
+		if m.DeactivatePDPOnWiFi && !st.OutOfService {
+			t.Errorf("%s: WiFi quirk did not strand the device: %s", m.Name, st)
+		}
+		if !m.DeactivatePDPOnWiFi && st.OutOfService {
+			t.Errorf("%s: quirk-free model stranded: %s", m.Name, st)
+		}
+	}
+}
+
+// S3 via the phone API, per operator policy.
+func TestCSFBReturnPolicy(t *testing.T) {
+	run := func(profile netemu.OperatorProfile, fixes netemu.FixSet) Status {
+		p := New(s4(), profile, fixes, 5)
+		p.PowerOn(types.Sys4G)
+		p.DataOn()
+		p.Dial()
+		if st := p.Status(); !st.InCall || st.System != types.Sys3G {
+			t.Fatalf("CSFB call not established in 3G: %s", st)
+		}
+		p.HangUp()
+		return p.Status()
+	}
+	if st := run(netemu.OPI(), netemu.FixSet{}); st.System != types.Sys4G {
+		t.Fatalf("OP-I redirect should return to 4G: %s", st)
+	}
+	if st := run(netemu.OPII(), netemu.FixSet{}); st.System != types.Sys3G || !st.StuckReturnPending {
+		t.Fatalf("OP-II reselection should strand the device: %s", st)
+	}
+	if st := run(netemu.OPII(), netemu.AllFixes()); st.System != types.Sys4G {
+		t.Fatalf("CSFB tag fix should return the device: %s", st)
+	}
+}
+
+// The fixes make the S1 flow clean through the phone API.
+func TestS1FixedViaPhone(t *testing.T) {
+	p := New(s4(), netemu.OPII(), netemu.AllFixes(), 7)
+	p.PowerOn(types.Sys4G)
+	p.SwitchTo3G()
+	p.World().Inject("ue.sm", types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: types.CauseInsufficientResources})
+	p.World().Run()
+	p.ReturnTo4G()
+	st := p.Status()
+	if st.OutOfService || !st.DataContext {
+		t.Fatalf("fixed phone stranded: %s", st)
+	}
+}
+
+func TestMoveTriggersUpdates(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys3G)
+	before := len(trace.Filter{Contains: types.MsgLocationUpdateRequest.String()}.Apply(p.Trace()))
+	p.Move()
+	after := len(trace.Filter{Contains: types.MsgLocationUpdateRequest.String()}.Apply(p.Trace()))
+	if after <= before {
+		t.Fatal("move did not trigger a location update")
+	}
+}
+
+func TestPowerOffClearsState(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys4G)
+	p.DataOn()
+	p.PowerOff()
+	st := p.Status()
+	if st.Registered4G || st.DataContext || st.InCall {
+		t.Fatalf("power off left state: %s", st)
+	}
+}
+
+func TestDataToggle(t *testing.T) {
+	p := New(s4(), netemu.OPI(), netemu.FixSet{}, 1)
+	p.PowerOn(types.Sys3G)
+	p.DataOn()
+	if st := p.Status(); !st.DataContext {
+		t.Fatalf("data on failed: %s", st)
+	}
+	p.DataOff()
+	// DataOff releases the radio; the PDP context remains unless
+	// deactivated — the S3 distinction between radio state and
+	// session context.
+	if got := p.World().Machine("ue.rrc3g").State(); got != "RRC-IDLE" {
+		t.Fatalf("RRC state after data off = %s", got)
+	}
+}
+
+// MT-CSFB via the phone API: a page in 4G falls back, answers in 3G,
+// and the hang-up is subject to the same S3 policy hazard.
+func TestMTCSFBViaPhone(t *testing.T) {
+	p := New(s4(), netemu.OPII(), netemu.FixSet{}, 9)
+	p.PowerOn(types.Sys4G)
+	p.DataOn()
+	p.RingIncoming()
+	st := p.Status()
+	if !st.InCall || st.System != types.Sys3G {
+		t.Fatalf("MT CSFB failed: %s", st)
+	}
+	p.HangUp()
+	if st := p.Status(); !st.StuckReturnPending {
+		t.Fatalf("MT CSFB hang-up should raise the S3 hazard on OP-II: %s", st)
+	}
+}
+
+// The VoLTE what-if: the exact scenario that strands a CSFB phone on
+// OP-II is harmless on a VoLTE phone.
+func TestVoLTEPhoneAvoidsS3(t *testing.T) {
+	p := NewVoLTE(s4(), netemu.OPII(), netemu.FixSet{}, 5)
+	p.PowerOn(types.Sys4G)
+	p.DataOn()
+	p.Dial()
+	st := p.Status()
+	if !st.InCall || st.System != types.Sys4G {
+		t.Fatalf("VoLTE call not in 4G: %s", st)
+	}
+	p.HangUp()
+	if st := p.Status(); st.StuckReturnPending || st.System != types.Sys4G {
+		t.Fatalf("VoLTE phone stranded: %s", st)
+	}
+}

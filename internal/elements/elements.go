@@ -1,0 +1,221 @@
+// Package elements models the core-network elements' subscriber-facing
+// state (Figure 1): the HSS — the home subscriber server both systems
+// share — with per-subscriber subscription and location records, and
+// the paging function the MSC/MME use to reach a device for
+// mobile-terminated services.
+//
+// The protocol machines (internal/protocols) own the signaling; this
+// package owns the bookkeeping those machines imply: who is attached
+// where, whether a subscription is barred (Table 3's "operator
+// determined barring"), and whether an incoming call can reach the
+// user — the concrete damage of a stale or lost registration ("Without
+// it, the network cannot route incoming calls to the user", §6.1; "The
+// user may miss incoming calls", §6.3).
+package elements
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/types"
+)
+
+// IMSI identifies a subscriber.
+type IMSI string
+
+// Subscription is the HSS's per-subscriber policy record.
+type Subscription struct {
+	// Allowed4G/Allowed3G gate the systems the subscription covers.
+	Allowed4G, Allowed3G bool
+	// Barred is operator-determined barring (Table 3).
+	Barred bool
+}
+
+// Location is a subscriber's last registered position.
+type Location struct {
+	System types.System
+	// Area is the location/routing/tracking area code.
+	Area int
+}
+
+// Registration is the HSS's view of one subscriber.
+type Registration struct {
+	Sub      Subscription
+	Attached bool
+	Loc      Location
+}
+
+// HSS is the home subscriber server (present in both the 3G and 4G
+// cores, Figure 1).
+type HSS struct {
+	mu   sync.Mutex
+	subs map[IMSI]*Registration
+}
+
+// NewHSS returns an empty subscriber database.
+func NewHSS() *HSS {
+	return &HSS{subs: make(map[IMSI]*Registration)}
+}
+
+// Provision creates or replaces a subscription.
+func (h *HSS) Provision(imsi IMSI, sub Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[imsi] = &Registration{Sub: sub}
+}
+
+// Subscribers lists provisioned IMSIs in sorted order.
+func (h *HSS) Subscribers() []IMSI {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]IMSI, 0, len(h.subs))
+	for imsi := range h.subs {
+		out = append(out, imsi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Attach registers the subscriber on a system, enforcing subscription
+// policy. It returns the reject cause for denied attaches.
+func (h *HSS) Attach(imsi IMSI, sys types.System, area int) (types.Cause, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.subs[imsi]
+	if !ok {
+		return types.CausePLMNNotAllowed, fmt.Errorf("elements: unknown subscriber %s", imsi)
+	}
+	if r.Sub.Barred {
+		return types.CauseOperatorDeterminedBarring, fmt.Errorf("elements: subscriber %s barred", imsi)
+	}
+	switch sys {
+	case types.Sys4G:
+		if !r.Sub.Allowed4G {
+			return types.CausePLMNNotAllowed, fmt.Errorf("elements: %s not allowed on 4G", imsi)
+		}
+	case types.Sys3G:
+		if !r.Sub.Allowed3G {
+			return types.CausePLMNNotAllowed, fmt.Errorf("elements: %s not allowed on 3G", imsi)
+		}
+	default:
+		return types.CauseNetworkFailure, fmt.Errorf("elements: bad system %v", sys)
+	}
+	r.Attached = true
+	r.Loc = Location{System: sys, Area: area}
+	return types.CauseNone, nil
+}
+
+// Detach deregisters the subscriber.
+func (h *HSS) Detach(imsi IMSI) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if r, ok := h.subs[imsi]; ok {
+		r.Attached = false
+	}
+}
+
+// UpdateLocation records a location/routing/tracking area update.
+func (h *HSS) UpdateLocation(imsi IMSI, sys types.System, area int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.subs[imsi]
+	if !ok || !r.Attached {
+		return fmt.Errorf("elements: update for unregistered subscriber %s", imsi)
+	}
+	r.Loc = Location{System: sys, Area: area}
+	return nil
+}
+
+// Locate returns the last registered location.
+func (h *HSS) Locate(imsi IMSI) (Location, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.subs[imsi]
+	if !ok || !r.Attached {
+		return Location{}, false
+	}
+	return r.Loc, true
+}
+
+// PageResult classifies a mobile-terminated reachability attempt.
+type PageResult uint8
+
+// Page outcomes.
+const (
+	// PageAnswered: the device was reachable and responded.
+	PageAnswered PageResult = iota + 1
+	// PageNoResponse: the device was registered but did not respond
+	// (stale location — the §6.1 hazard of unserved updates).
+	PageNoResponse
+	// PageUnknown: the subscriber is not registered (the §6.3 hazard
+	// of an out-of-service device: the call is missed).
+	PageUnknown
+)
+
+func (p PageResult) String() string {
+	switch p {
+	case PageAnswered:
+		return "answered"
+	case PageNoResponse:
+		return "no response"
+	case PageUnknown:
+		return "unknown subscriber"
+	default:
+		return fmt.Sprintf("PageResult(%d)", uint8(p))
+	}
+}
+
+// Pager routes mobile-terminated pages via the HSS location registry.
+type Pager struct {
+	HSS *HSS
+	// Reach checks whether the device actually listens at the
+	// registered location (area mismatch = stale registration).
+	Reach func(imsi IMSI, loc Location) bool
+}
+
+// Page attempts to reach the subscriber for an incoming service.
+func (p *Pager) Page(imsi IMSI) PageResult {
+	loc, ok := p.HSS.Locate(imsi)
+	if !ok {
+		return PageUnknown
+	}
+	if p.Reach != nil && !p.Reach(imsi, loc) {
+		return PageNoResponse
+	}
+	return PageAnswered
+}
+
+// WorldTracker mirrors an emulated device's registration into the HSS,
+// bridging the protocol machines' shared context to the subscriber
+// registry. Call Sync after the world settles.
+type WorldTracker struct {
+	HSS  *HSS
+	IMSI IMSI
+	W    *netemu.World
+	// Area is the area code reported on updates.
+	Area int
+}
+
+// Sync reads the world's registration globals into the HSS. The
+// subscriber is located on the *serving* system (GSys): a device camped
+// on 3G keeps its 4G EMM registration (§5.1.1), but pages must be
+// routed through 3G.
+func (t *WorldTracker) Sync() {
+	sys := types.System(t.W.Global(names.GSys))
+	reg4g := t.W.Global(names.GReg4G) == 1
+	reg3g := t.W.Global(names.GReg3GCS) == 1 || t.W.Global(names.GReg3GPS) == 1
+	detached := t.W.Global(names.GDetachedByNet) == 1
+	switch {
+	case detached:
+		t.HSS.Detach(t.IMSI)
+	case sys == types.Sys4G && reg4g:
+		_, _ = t.HSS.Attach(t.IMSI, types.Sys4G, t.Area)
+	case sys == types.Sys3G && (reg3g || reg4g):
+		_, _ = t.HSS.Attach(t.IMSI, types.Sys3G, t.Area)
+	default:
+		t.HSS.Detach(t.IMSI)
+	}
+}

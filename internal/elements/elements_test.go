@@ -1,0 +1,159 @@
+package elements
+
+import (
+	"testing"
+	"time"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/types"
+)
+
+func fullSub() Subscription {
+	return Subscription{Allowed4G: true, Allowed3G: true}
+}
+
+func TestProvisionAndAttach(t *testing.T) {
+	h := NewHSS()
+	h.Provision("001", fullSub())
+	cause, err := h.Attach("001", types.Sys4G, 10)
+	if err != nil || cause != types.CauseNone {
+		t.Fatalf("attach: %v / %v", cause, err)
+	}
+	loc, ok := h.Locate("001")
+	if !ok || loc.System != types.Sys4G || loc.Area != 10 {
+		t.Fatalf("locate = %+v / %v", loc, ok)
+	}
+	if got := h.Subscribers(); len(got) != 1 || got[0] != "001" {
+		t.Fatalf("subscribers = %v", got)
+	}
+}
+
+func TestAttachPolicy(t *testing.T) {
+	h := NewHSS()
+	h.Provision("barred", Subscription{Allowed4G: true, Allowed3G: true, Barred: true})
+	h.Provision("3gonly", Subscription{Allowed3G: true})
+
+	if cause, err := h.Attach("unknown", types.Sys4G, 1); err == nil || cause != types.CausePLMNNotAllowed {
+		t.Fatal("unknown subscriber attached")
+	}
+	if cause, err := h.Attach("barred", types.Sys4G, 1); err == nil || cause != types.CauseOperatorDeterminedBarring {
+		t.Fatal("barred subscriber attached")
+	}
+	if cause, err := h.Attach("3gonly", types.Sys4G, 1); err == nil || cause != types.CausePLMNNotAllowed {
+		t.Fatal("3G-only subscription attached on 4G")
+	}
+	if _, err := h.Attach("3gonly", types.Sys3G, 1); err != nil {
+		t.Fatalf("3G attach failed: %v", err)
+	}
+	if _, err := h.Attach("3gonly", types.System(9), 1); err == nil {
+		t.Fatal("bad system accepted")
+	}
+}
+
+func TestDetachAndUpdate(t *testing.T) {
+	h := NewHSS()
+	h.Provision("001", fullSub())
+	if err := h.UpdateLocation("001", types.Sys4G, 5); err == nil {
+		t.Fatal("update before attach accepted")
+	}
+	h.Attach("001", types.Sys4G, 1)
+	if err := h.UpdateLocation("001", types.Sys3G, 7); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := h.Locate("001")
+	if loc.System != types.Sys3G || loc.Area != 7 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	h.Detach("001")
+	if _, ok := h.Locate("001"); ok {
+		t.Fatal("located after detach")
+	}
+}
+
+func TestPager(t *testing.T) {
+	h := NewHSS()
+	h.Provision("001", fullSub())
+	p := &Pager{HSS: h}
+
+	if got := p.Page("001"); got != PageUnknown {
+		t.Fatalf("unattached page = %v", got)
+	}
+	h.Attach("001", types.Sys3G, 3)
+	if got := p.Page("001"); got != PageAnswered {
+		t.Fatalf("attached page = %v", got)
+	}
+	// Stale location: the device moved to area 4 but never updated
+	// (the §6.1 hazard).
+	p.Reach = func(imsi IMSI, loc Location) bool { return loc.Area == 4 }
+	if got := p.Page("001"); got != PageNoResponse {
+		t.Fatalf("stale-location page = %v", got)
+	}
+	for _, r := range []PageResult{PageAnswered, PageNoResponse, PageUnknown, PageResult(9)} {
+		if r.String() == "" {
+			t.Fatal("empty PageResult string")
+		}
+	}
+}
+
+// The §6.3 consequence end-to-end: after the S6 detach the subscriber
+// is unreachable — incoming calls are missed; with the fix the page
+// succeeds.
+func TestS6MakesSubscriberUnreachable(t *testing.T) {
+	run := func(fixes netemu.FixSet) PageResult {
+		w := netemu.NewWorld(1)
+		netemu.StandardStack(w, netemu.OPI(), fixes)
+		h := NewHSS()
+		h.Provision("001", fullSub())
+		tr := &WorldTracker{HSS: h, IMSI: "001", W: w, Area: 1}
+
+		w.InjectAt(0, names.UEEMM, types.Message{Kind: types.MsgPowerOn})
+		w.InjectAt(time.Second, names.MSCMM, types.Message{Kind: types.MsgLUFailureSignal})
+		w.InjectAt(2*time.Second, names.UERRC4G, types.Message{Kind: types.MsgNetSwitchOrder})
+		w.InjectAt(10*time.Second, names.UEEMM, types.Message{Kind: types.MsgInterSystemCellReselect})
+		w.Run()
+		tr.Sync()
+
+		p := &Pager{HSS: h}
+		return p.Page("001")
+	}
+
+	if got := run(netemu.FixSet{}); got != PageUnknown {
+		t.Fatalf("defective stack: page = %v, want unknown (missed call)", got)
+	}
+	if got := run(netemu.AllFixes()); got != PageAnswered {
+		t.Fatalf("fixed stack: page = %v, want answered", got)
+	}
+}
+
+func TestWorldTrackerStates(t *testing.T) {
+	w := netemu.NewWorld(1)
+	netemu.StandardStack(w, netemu.OPI(), netemu.FixSet{})
+	h := NewHSS()
+	h.Provision("001", fullSub())
+	tr := &WorldTracker{HSS: h, IMSI: "001", W: w, Area: 2}
+
+	// Not registered anywhere.
+	tr.Sync()
+	if _, ok := h.Locate("001"); ok {
+		t.Fatal("located while unregistered")
+	}
+
+	// 4G registration.
+	w.Inject(names.UEEMM, types.Message{Kind: types.MsgPowerOn})
+	w.Run()
+	tr.Sync()
+	loc, ok := h.Locate("001")
+	if !ok || loc.System != types.Sys4G {
+		t.Fatalf("loc = %+v / %v", loc, ok)
+	}
+
+	// Migrate to 3G.
+	w.Inject(names.UEGMM, types.Message{Kind: types.MsgInterSystemSwitchCommand})
+	w.Run()
+	tr.Sync()
+	loc, ok = h.Locate("001")
+	if !ok || loc.System != types.Sys3G {
+		t.Fatalf("after switch: loc = %+v / %v", loc, ok)
+	}
+}

@@ -1,0 +1,334 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/types"
+)
+
+// testbed starts core, BS and device on loopback.
+func testbed(t *testing.T, dropRate float64, useShim bool, seed int64) (*Core, *BS, *Device) {
+	t.Helper()
+	core, err := NewCore("127.0.0.1:0", useShim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewBS("127.0.0.1:0", core.Addr(), dropRate, seed)
+	if err != nil {
+		core.Close()
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(bs.Addr(), useShim)
+	if err != nil {
+		bs.Close()
+		core.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		dev.Close()
+		bs.Close()
+		core.Close()
+	})
+	return core, bs, dev
+}
+
+// The happy path: a 4G attach over real UDP/TCP.
+func TestAttachOverSockets(t *testing.T) {
+	core, bs, dev := testbed(t, 0, false, 1)
+	dev.PowerOn()
+	if !dev.WaitRegistered(3*time.Second, 50*time.Millisecond) {
+		t.Fatal("device never registered")
+	}
+	// The MME agrees once its complete arrives.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if core.Stack().State(names.MMEEMM) == emm.MMERegistered {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := core.Stack().State(names.MMEEMM); got != emm.MMERegistered {
+		t.Fatalf("MME state = %s", got)
+	}
+	if bs.Relayed() == 0 {
+		t.Fatal("BS relayed nothing")
+	}
+}
+
+// S2 over real sockets: with 100% air loss the attach cannot complete.
+func TestTotalLossBlocksAttach(t *testing.T) {
+	_, bs, dev := testbed(t, 1.0, false, 2)
+	dev.PowerOn()
+	if dev.WaitRegistered(500*time.Millisecond, 50*time.Millisecond) {
+		t.Fatal("registered over a fully lossy link?")
+	}
+	if bs.Dropped() == 0 {
+		t.Fatal("BS dropped nothing")
+	}
+}
+
+// The §8 shim carries the attach through heavy loss (§9.1's result:
+// with the solution there is no detach as the drop rate increases).
+func TestShimSurvivesLoss(t *testing.T) {
+	core, _, dev := testbed(t, 0.3, true, 3)
+	dev.PowerOn()
+	if !dev.WaitRegistered(5*time.Second, 50*time.Millisecond) {
+		t.Fatal("device never registered through 30% loss with the shim")
+	}
+	if dev.Detached() {
+		t.Fatal("device detached despite the shim")
+	}
+	// End-to-end agreement.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if core.Stack().State(names.MMEEMM) == emm.MMERegistered {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("MME state = %s", core.Stack().State(names.MMEEMM))
+}
+
+// A TAU after attach succeeds over sockets and the device stays
+// registered.
+func TestTAUOverSockets(t *testing.T) {
+	_, _, dev := testbed(t, 0, false, 4)
+	dev.PowerOn()
+	if !dev.WaitRegistered(3*time.Second, 50*time.Millisecond) {
+		t.Fatal("attach failed")
+	}
+	dev.TAU()
+	time.Sleep(200 * time.Millisecond)
+	if !dev.Registered() || dev.Detached() {
+		t.Fatal("TAU broke registration")
+	}
+}
+
+// Without the shim, a lost Attach Complete followed by a TAU reproduces
+// the S2 implicit detach over real sockets. The deterministic dropper
+// seed is chosen so exactly the third uplink frame (the complete) is
+// lost.
+func TestS2OverSockets(t *testing.T) {
+	// Find a seed whose dropper at 20% keeps frames 1,2 (attach
+	// request passes, accept passes) and drops frame 3.
+	seed := int64(-1)
+	for s := int64(1); s < 200; s++ {
+		d := newProbe(0.2, s)
+		// Uplink frame order at the BS: attach request (keep), attach
+		// accept (downlink, keep), attach complete (drop), TAU request
+		// (keep), TAU reject (downlink, keep).
+		if !d[0] && !d[1] && d[2] && !d[3] && !d[4] {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Skip("no suitable dropper seed found")
+	}
+	_, _, dev := testbed(t, 0.2, false, seed)
+	dev.PowerOn()
+	// The device believes it registered (accept arrived).
+	if !dev.WaitRegistered(2*time.Second, 100*time.Millisecond) {
+		t.Skip("loss pattern diverged (attach blocked)")
+	}
+	// TAU → MME in WAIT-COMPLETE → implicit detach.
+	dev.TAU()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if dev.Detached() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Skip("loss pattern diverged (no detach observed)")
+}
+
+// newProbe samples the first five drop decisions of a dropper
+// configuration.
+func newProbe(rate float64, seed int64) [5]bool {
+	d := probeDropper(rate, seed)
+	var out [5]bool
+	for i := range out {
+		out[i] = d()
+	}
+	return out
+}
+
+func TestDeviceDoubleClose(t *testing.T) {
+	core, err := NewCore("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	bs, err := NewBS("127.0.0.1:0", core.Addr(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	dev, err := NewDevice(bs.Addr(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestInjectEnvEvent(t *testing.T) {
+	_, _, dev := testbed(t, 0, false, 5)
+	dev.Inject(names.UEESM, types.Message{Kind: types.MsgActivateBearerRequest})
+	time.Sleep(100 * time.Millisecond)
+	// The request should have traveled to the MME ESM and come back
+	// accepted.
+	if dev.Stack().Global(names.GEPS) != 1 {
+		t.Fatal("bearer activation over sockets failed")
+	}
+}
+
+// §9.1's second experiment over real sockets: the MSC's location-update
+// processing takes ~300 ms; a call dialed during the update is delayed
+// by roughly that much on the standard device and connects immediately
+// on a device with the parallel-update fix.
+func TestS4CallDelayOverSockets(t *testing.T) {
+	run := func(parallel bool) time.Duration {
+		core, err := NewCore("127.0.0.1:0", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer core.Close()
+		core.SetInboundDelay(types.MsgLocationUpdateRequest, 300*time.Millisecond)
+		bs, err := NewBS("127.0.0.1:0", core.Addr(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bs.Close()
+		var dev *Device
+		if parallel {
+			dev, err = NewDeviceParallelMM(bs.Addr(), false)
+		} else {
+			dev, err = NewDevice(bs.Addr(), false)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+
+		// CS attach (itself a location update, so it pays the delay).
+		dev.AttachCS()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) && !dev.RegisteredCS() {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !dev.RegisteredCS() {
+			t.Fatal("CS attach failed")
+		}
+
+		// Start an update, dial immediately, measure the connect time.
+		dev.StartLocationUpdate()
+		time.Sleep(20 * time.Millisecond)
+		dev.Dial()
+		d, ok := dev.WaitInCall(5 * time.Second)
+		if !ok {
+			t.Fatal("call never connected")
+		}
+		return d
+	}
+
+	serial := run(false)
+	parallel := run(true)
+	// Serial: the call waits out the ~300 ms update. Parallel: only
+	// socket RTTs.
+	if serial < 200*time.Millisecond {
+		t.Fatalf("serial delay = %v, want ≥ the update processing time", serial)
+	}
+	if parallel >= serial/2 {
+		t.Fatalf("parallel delay %v not clearly below serial %v", parallel, serial)
+	}
+}
+
+// The full S1 story over real sockets: attach in 4G, fall to 3G (the
+// device's EPS bearer becomes a PDP context), deactivate the PDP
+// context, return to 4G — the MME rejects the TAU and the device is
+// out of service, end to end over UDP/TCP.
+func TestS1OverSockets(t *testing.T) {
+	_, _, dev := testbed(t, 0, false, 11)
+
+	dev.PowerOn()
+	if !dev.WaitRegistered(3*time.Second, 50*time.Millisecond) {
+		t.Fatal("4G attach failed")
+	}
+
+	dev.SwitchTo3G()
+	if !dev.WaitCondition(3*time.Second, dev.HasPDP) {
+		t.Fatal("context migration to PDP did not happen on the device")
+	}
+
+	dev.DeactivatePDP(types.CauseInsufficientResources)
+	if !dev.WaitCondition(3*time.Second, func() bool { return !dev.HasPDP() }) {
+		t.Fatal("PDP deactivation did not complete")
+	}
+
+	dev.ReturnTo4G()
+	if !dev.WaitCondition(3*time.Second, dev.Detached) {
+		t.Fatal("S1 not reproduced over sockets: device still in service")
+	}
+}
+
+// The S3 story over real sockets: a CSFB call with concurrent data
+// under the reselection policy strands the device in 3G; under the
+// redirect policy it returns.
+func TestS3OverSockets(t *testing.T) {
+	run := func(switchOpt int) *Device {
+		core, err := NewCore("127.0.0.1:0", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { core.Close() })
+		bs, err := NewBS("127.0.0.1:0", core.Addr(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { bs.Close() })
+		dev, err := NewDevice(bs.Addr(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dev.Close() })
+
+		dev.SetSwitchOption(switchOpt)
+		dev.PowerOn()
+		if !dev.WaitRegistered(3*time.Second, 50*time.Millisecond) {
+			t.Fatal("4G attach failed")
+		}
+		dev.DataOn()
+		dev.DialCall()
+		if !dev.WaitCondition(5*time.Second, dev.InCall) {
+			t.Fatal("CSFB call never connected")
+		}
+		if dev.ServingSystem() != 1 {
+			t.Fatalf("call not in 3G (sys=%d)", dev.ServingSystem())
+		}
+		dev.HangUp()
+		dev.WaitCondition(2*time.Second, func() bool { return !dev.InCall() })
+		return dev
+	}
+
+	// names.SwitchReselect = 2: stuck in 3G with data ongoing.
+	stuck := run(2)
+	if stuck.ServingSystem() != 1 || !stuck.StuckReturnPending() {
+		t.Fatalf("reselection policy: sys=%d stuck=%v, want stuck in 3G",
+			stuck.ServingSystem(), stuck.StuckReturnPending())
+	}
+
+	// names.SwitchRedirect = 0: returns to 4G right away.
+	back := run(0)
+	if !back.WaitCondition(2*time.Second, func() bool { return back.ServingSystem() == 2 }) {
+		t.Fatalf("redirect policy: sys=%d, want back in 4G", back.ServingSystem())
+	}
+}

@@ -1,0 +1,615 @@
+package emu
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cnetverifier/internal/fixes"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/nas"
+	"cnetverifier/internal/protocols/cm"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/protocols/esm"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/mm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/rrc4g"
+	"cnetverifier/internal/protocols/sm"
+	"cnetverifier/internal/radio"
+	"cnetverifier/internal/trace"
+	"cnetverifier/internal/types"
+)
+
+// lockedShim makes a fixes.ReliableEndpoint safe for concurrent use by
+// socket readers and retransmission timers. It doubles as the shim's
+// fixes.Scheduler so retransmission callbacks also run under the lock.
+type lockedShim struct {
+	mu sync.Mutex
+	e  *fixes.ReliableEndpoint
+}
+
+func (l *lockedShim) Send(m types.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.e.Send(m)
+}
+
+func (l *lockedShim) OnReceive(m types.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.e.OnReceive(m)
+}
+
+// After implements fixes.Scheduler with wall-clock timers whose
+// callbacks hold the shim lock.
+func (l *lockedShim) After(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		fn()
+	})
+}
+
+// Core is the core-network endpoint (MME) listening for the BS's TCP
+// relay connection.
+type Core struct {
+	ln    net.Listener
+	stack *liveStack
+	shim  *lockedShim
+	// deliveries decouples shim-up deliveries from the shim lock so the
+	// stack lock and shim lock are only ever taken in one order
+	// (stack → shim).
+	deliveries chan types.Message
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	// inboundDelay emulates per-procedure server-side processing time:
+	// matched inbound frames are delivered to the stack after the
+	// configured delay (the §9.1 S4 experiment configures the MSC's
+	// location-update processing this way).
+	inboundDelay map[types.MsgKind]time.Duration
+	// wgReaders tracks socket loops; wgDispatch tracks the delivery
+	// dispatcher. Close drains readers before closing deliveries.
+	wgReaders  sync.WaitGroup
+	wgDispatch sync.WaitGroup
+}
+
+// NewCore starts a core network on addr ("127.0.0.1:0" for tests).
+// With useShim the §8 reliable layer terminates here.
+func NewCore(addr string, useShim bool) (*Core, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{ln: ln, inboundDelay: make(map[types.MsgKind]time.Duration)}
+	c.stack = newLiveStack(func(m types.Message) { c.transmit(m) })
+	c.stack.add(names.MMEEMM, emm.MMESpec(emm.MMEOptions{}), names.MMEESM)
+	c.stack.add(names.MMEESM, esm.MMESpec(esm.MMEOptions{}))
+	c.stack.add(names.MSCMM, mm.MSCSpec(mm.MSCOptions{}))
+	c.stack.add(names.MSCCM, cm.MSCSpec(cm.MSCOptions{}))
+	c.stack.add(names.SGSNGMM, gmm.SGSNSpec(gmm.SGSNOptions{}))
+	c.stack.add(names.SGSNSM, sm.SGSNSpec(sm.SGSNOptions{}))
+	if useShim {
+		c.deliveries = make(chan types.Message, 1024)
+		c.shim = &lockedShim{}
+		c.shim.e = fixes.NewReliableEndpoint("core", c.shim, fixes.ReliableConfig{RTO: 100 * time.Millisecond},
+			func(m types.Message) { c.writeFrame(m) },
+			func(m types.Message) { c.deliveries <- m })
+		c.wgDispatch.Add(1)
+		go func() {
+			defer c.wgDispatch.Done()
+			for m := range c.deliveries {
+				c.dispatch(m)
+			}
+		}()
+	}
+	c.wgReaders.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the core's TCP address.
+func (c *Core) Addr() string { return c.ln.Addr().String() }
+
+// SetInboundDelay configures the server-side processing time for
+// inbound frames of the kind (0 clears it). Safe before traffic starts.
+func (c *Core) SetInboundDelay(kind types.MsgKind, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d == 0 {
+		delete(c.inboundDelay, kind)
+		return
+	}
+	c.inboundDelay[kind] = d
+}
+
+// dispatch delivers an inbound frame to the stack, honoring any
+// configured processing delay.
+func (c *Core) dispatch(m types.Message) {
+	c.mu.Lock()
+	d := c.inboundDelay[m.Kind]
+	c.mu.Unlock()
+	if d > 0 {
+		time.AfterFunc(d, func() { c.stack.Deliver(m.To, m) })
+		return
+	}
+	c.stack.Deliver(m.To, m)
+}
+
+// Stack exposes the core's protocol stack (tests).
+func (c *Core) Stack() *liveStack { return c.stack }
+
+// transmit sends an upper-layer message toward the device.
+func (c *Core) transmit(m types.Message) {
+	if c.shim != nil {
+		c.shim.Send(m)
+		return
+	}
+	c.writeFrame(m)
+}
+
+func (c *Core) writeFrame(m types.Message) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = nas.WriteFrame(conn, m)
+}
+
+func (c *Core) acceptLoop() {
+	defer c.wgReaders.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.conn = conn
+		c.mu.Unlock()
+		c.wgReaders.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+func (c *Core) readLoop(conn net.Conn) {
+	defer c.wgReaders.Done()
+	for {
+		m, err := nas.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.stack.collector.Addf(time.Since(c.stack.started), trace.TypeError, types.Sys4G, "core", "read: %v", err)
+			}
+			return
+		}
+		if c.shim != nil {
+			c.shim.OnReceive(m)
+			continue
+		}
+		c.dispatch(m)
+	}
+}
+
+// Close shuts the core down.
+func (c *Core) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errClosed
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	err := c.ln.Close()
+	if conn != nil {
+		conn.Close()
+	}
+	c.wgReaders.Wait()
+	if c.deliveries != nil {
+		close(c.deliveries)
+	}
+	c.wgDispatch.Wait()
+	return err
+}
+
+// BS is the base-station relay: UDP toward the device (the emulated,
+// unreliable RRC air interface), TCP toward the core. It drops UDP
+// frames at the configured rate in both directions (§9.1's EMM-signal
+// dropping lives here: "the RRC at the base station drops the message
+// according to a given drop rate").
+type BS struct {
+	udp  *net.UDPConn
+	tcp  net.Conn
+	drop *radio.Dropper
+
+	mu         sync.Mutex
+	deviceAddr *net.UDPAddr
+	wg         sync.WaitGroup
+	relayed    int
+	dropped    int
+}
+
+// NewBS starts a base station listening on udpAddr and relaying to the
+// core at coreAddr, dropping the given fraction of air-interface frames
+// (seeded).
+func NewBS(udpAddr, coreAddr string, dropRate float64, seed int64) (*BS, error) {
+	ua, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	udp, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	tcp, err := net.Dial("tcp", coreAddr)
+	if err != nil {
+		udp.Close()
+		return nil, err
+	}
+	b := &BS{udp: udp, tcp: tcp, drop: radio.NewDropper(dropRate, seed)}
+	b.wg.Add(2)
+	go b.uplinkLoop()
+	go b.downlinkLoop()
+	return b, nil
+}
+
+// Addr returns the BS's UDP address the device should dial.
+func (b *BS) Addr() string { return b.udp.LocalAddr().String() }
+
+// Relayed returns the count of frames relayed through the air leg.
+func (b *BS) Relayed() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.relayed
+}
+
+// Dropped returns the count of frames lost on the air leg.
+func (b *BS) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// uplinkLoop relays device→core.
+func (b *BS) uplinkLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := b.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		b.deviceAddr = addr
+		drop := b.drop.Drop()
+		if drop {
+			b.dropped++
+		} else {
+			b.relayed++
+		}
+		b.mu.Unlock()
+		if drop {
+			continue
+		}
+		m, err := nas.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		_ = nas.WriteFrame(b.tcp, m)
+	}
+}
+
+// downlinkLoop relays core→device.
+func (b *BS) downlinkLoop() {
+	defer b.wg.Done()
+	for {
+		m, err := nas.ReadFrame(b.tcp)
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		addr := b.deviceAddr
+		drop := b.drop.Drop()
+		if drop {
+			b.dropped++
+		} else {
+			b.relayed++
+		}
+		b.mu.Unlock()
+		if drop || addr == nil {
+			continue
+		}
+		frame, err := nas.Marshal(m)
+		if err != nil {
+			continue
+		}
+		_, _ = b.udp.WriteToUDP(frame, addr)
+	}
+}
+
+// Close shuts the relay down.
+func (b *BS) Close() error {
+	err1 := b.udp.Close()
+	err2 := b.tcp.Close()
+	b.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Device is the programmable phone endpoint speaking NAS over UDP
+// toward the BS.
+type Device struct {
+	conn       *net.UDPConn
+	stack      *liveStack
+	shim       *lockedShim
+	deliveries chan types.Message
+
+	mu         sync.Mutex
+	closed     bool
+	wgReaders  sync.WaitGroup
+	wgDispatch sync.WaitGroup
+}
+
+// NewDevice starts a device connected to the BS at bsAddr. With
+// useShim the §8 reliable layer terminates here.
+func NewDevice(bsAddr string, useShim bool) (*Device, error) {
+	return newDevice(bsAddr, useShim, false)
+}
+
+// NewDeviceParallelMM is NewDevice with the §8 parallel-update fix in
+// the device MM (the S4 solution under test in §9.1).
+func NewDeviceParallelMM(bsAddr string, useShim bool) (*Device, error) {
+	return newDevice(bsAddr, useShim, true)
+}
+
+func newDevice(bsAddr string, useShim, parallelMM bool) (*Device, error) {
+	ra, err := net.ResolveUDPAddr("udp", bsAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ra)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{conn: conn}
+	d.stack = newLiveStack(func(m types.Message) { d.transmit(m) })
+	d.stack.add(names.UEEMM, emm.DeviceSpec(emm.DeviceOptions{}), names.UEESM)
+	d.stack.add(names.UEESM, esm.DeviceSpec(esm.DeviceOptions{}))
+	d.stack.add(names.UEMM, mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: parallelMM}), names.UECM)
+	d.stack.add(names.UECM, cm.DeviceSpec(cm.DeviceOptions{}), names.UEMM, names.UERRC3G, names.UERRC4G)
+	d.stack.add(names.UEGMM, gmm.DeviceSpec(gmm.DeviceOptions{}))
+	d.stack.add(names.UESM, sm.DeviceSpec(sm.DeviceOptions{}))
+	d.stack.add(names.UERRC3G, rrc3g.DeviceSpec(rrc3g.DeviceOptions{}), names.UECM)
+	d.stack.add(names.UERRC4G, rrc4g.DeviceSpec(rrc4g.DeviceOptions{}), names.UERRC3G, names.UEMM, names.UEGMM)
+	d.stack.SetGlobal("g.modulation", rrc3g.Mod64QAM)
+	if useShim {
+		d.deliveries = make(chan types.Message, 1024)
+		d.shim = &lockedShim{}
+		d.shim.e = fixes.NewReliableEndpoint("device", d.shim, fixes.ReliableConfig{RTO: 100 * time.Millisecond},
+			func(m types.Message) { d.writeFrame(m) },
+			func(m types.Message) { d.deliveries <- m })
+		d.wgDispatch.Add(1)
+		go func() {
+			defer d.wgDispatch.Done()
+			for m := range d.deliveries {
+				d.stack.Deliver(m.To, m)
+			}
+		}()
+	}
+	d.wgReaders.Add(1)
+	go d.readLoop()
+	return d, nil
+}
+
+// Stack exposes the device's protocol stack (tests and tools).
+func (d *Device) Stack() *liveStack { return d.stack }
+
+func (d *Device) transmit(m types.Message) {
+	if d.shim != nil {
+		d.shim.Send(m)
+		return
+	}
+	d.writeFrame(m)
+}
+
+func (d *Device) writeFrame(m types.Message) {
+	frame, err := nas.Marshal(m)
+	if err != nil {
+		return
+	}
+	_, _ = d.conn.Write(frame)
+}
+
+func (d *Device) readLoop() {
+	defer d.wgReaders.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := d.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		m, err := nas.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if d.shim != nil {
+			d.shim.OnReceive(m)
+			continue
+		}
+		d.stack.Deliver(m.To, m)
+	}
+}
+
+// Inject delivers a local environment event to a device process.
+func (d *Device) Inject(proc string, m types.Message) {
+	d.stack.Deliver(proc, m)
+}
+
+// PowerOn starts the 4G attach.
+func (d *Device) PowerOn() {
+	d.Inject(names.UEEMM, types.Message{Kind: types.MsgPowerOn})
+}
+
+// TAU triggers a tracking-area update (periodic timer).
+func (d *Device) TAU() {
+	d.Inject(names.UEEMM, types.Message{Kind: types.MsgPeriodicTimer})
+}
+
+// Registered reports whether the device-side EMM is registered.
+func (d *Device) Registered() bool {
+	return d.stack.State(names.UEEMM) == emm.UERegistered
+}
+
+// Detached reports the out-of-service symptom (network detach).
+func (d *Device) Detached() bool {
+	return d.stack.Global(names.GDetachedByNet) == 1
+}
+
+// WaitRegistered polls until the device registers or the timeout
+// elapses, retransmitting NAS requests on the poll interval (the §5.2.2
+// observation: "the user device keeps retransmitting the attach
+// requests").
+func (d *Device) WaitRegistered(timeout, retransmitEvery time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.Registered() {
+			return true
+		}
+		time.Sleep(retransmitEvery)
+		if !d.Registered() && d.shim == nil {
+			// NAS-level retransmission (only without the shim, which
+			// retransmits at its own layer).
+			d.TAU()
+		}
+	}
+	return d.Registered()
+}
+
+// Close shuts the device down.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errClosed
+	}
+	d.closed = true
+	d.mu.Unlock()
+	err := d.conn.Close()
+	d.wgReaders.Wait()
+	if d.deliveries != nil {
+		close(d.deliveries)
+	}
+	d.wgDispatch.Wait()
+	return err
+}
+
+// AttachCS performs the 3G CS attach (MM location update).
+func (d *Device) AttachCS() {
+	d.stack.SetGlobal("g.sys", 1) // types.Sys3G
+	d.Inject(names.UEMM, types.Message{Kind: types.MsgPowerOn})
+}
+
+// RegisteredCS reports whether the device-side MM is registered.
+func (d *Device) RegisteredCS() bool {
+	return d.stack.State(names.UEMM) == mm.UERegistered
+}
+
+// StartLocationUpdate triggers an MM location-area update.
+func (d *Device) StartLocationUpdate() {
+	d.Inject(names.UEMM, types.Message{Kind: types.MsgUserMove})
+}
+
+// Dial starts an outgoing 3G call through CM→MM→MSC.
+func (d *Device) Dial() {
+	d.Inject(names.UECM, types.Message{Kind: types.MsgUserDialCall})
+}
+
+// InCall reports whether a call is active.
+func (d *Device) InCall() bool {
+	return d.stack.Global("g.callActive") == 1
+}
+
+// WaitInCall polls until the call connects or the timeout elapses,
+// returning the time it took.
+func (d *Device) WaitInCall(timeout time.Duration) (time.Duration, bool) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.InCall() {
+			return time.Since(start), true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return time.Since(start), d.InCall()
+}
+
+// SwitchTo3G performs the PS side of a 4G→3G migration: GMM registers
+// via a routing-area update and the session context migrates.
+func (d *Device) SwitchTo3G() {
+	d.Inject(names.UEGMM, types.Message{Kind: types.MsgInterSystemSwitchCommand})
+}
+
+// DeactivatePDP deactivates the device's PDP context with a cause.
+func (d *Device) DeactivatePDP(cause types.Cause) {
+	d.Inject(names.UESM, types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: cause})
+}
+
+// ReturnTo4G reselects back to 4G (EMM runs the tracking-area update).
+func (d *Device) ReturnTo4G() {
+	d.Inject(names.UEEMM, types.Message{Kind: types.MsgInterSystemCellReselect})
+}
+
+// HasPDP reports the device-side PDP context state.
+func (d *Device) HasPDP() bool { return d.stack.Global("g.pdp") == 1 }
+
+// WaitCondition polls until cond holds or the timeout elapses.
+func (d *Device) WaitCondition(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+// SetSwitchOption installs the carrier's inter-system switching option
+// on the device (names.SwitchRedirect / SwitchReselect).
+func (d *Device) SetSwitchOption(opt int) {
+	d.stack.SetGlobal("g.switchOpt", opt)
+}
+
+// DataOn starts a high-rate data session on the serving system.
+func (d *Device) DataOn() {
+	if d.stack.Global("g.sys") == 2 {
+		d.Inject(names.UERRC4G, types.Message{Kind: types.MsgUserDataOn})
+		return
+	}
+	d.Inject(names.UERRC3G, types.Message{Kind: types.MsgUserDataOn})
+}
+
+// DialCall places an outgoing call (CSFB when camped on 4G).
+func (d *Device) DialCall() {
+	d.Inject(names.UECM, types.Message{Kind: types.MsgUserDialCall})
+}
+
+// HangUp ends the active call.
+func (d *Device) HangUp() {
+	d.Inject(names.UECM, types.Message{Kind: types.MsgUserHangUp})
+}
+
+// ServingSystem returns the current RAT (1 = 3G, 2 = 4G).
+func (d *Device) ServingSystem() int { return d.stack.Global("g.sys") }
+
+// StuckReturnPending reports the S3 symptom.
+func (d *Device) StuckReturnPending() bool {
+	return d.stack.Global("g.wantReturn4g") == 1
+}

@@ -1,0 +1,11 @@
+package emu
+
+import "cnetverifier/internal/radio"
+
+// probeDropper returns a closure replaying the drop decisions a BS
+// dropper with this configuration would make, letting tests pick seeds
+// with a known loss pattern.
+func probeDropper(rate float64, seed int64) func() bool {
+	d := radio.NewDropper(rate, seed)
+	return d.Drop
+}

@@ -1,0 +1,165 @@
+// Package emu is the §9 prototype of the control plane over real
+// sockets: the user device, base station and core network run as
+// separate endpoints, with the unreliable RRC air interface emulated
+// over UDP and the reliable BS↔core relay over TCP ("Since the
+// transmission at the RRC layer is not reliable, we use UDP to emulate
+// it. We use TCP to forward (relay) RRC payloads between the base
+// station and the core network."). All functions are implemented in the
+// application layer, as in the paper's prototype.
+//
+// The §8 reliable-transfer shim (internal/fixes) can be enabled
+// end-to-end between the device and the core, running on wall-clock
+// retransmission timers.
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/trace"
+	"cnetverifier/internal/types"
+)
+
+// liveStack hosts protocol machines behind one mutex, bridging them to
+// a socket transport. It is the wall-clock, concurrent counterpart of
+// netemu.World's nodes.
+type liveStack struct {
+	mu        sync.Mutex
+	machines  map[string]*fsm.Machine
+	outputTo  map[string][]string
+	globals   map[string]int
+	send      func(m types.Message) // toward the remote side
+	collector *trace.Collector
+	started   time.Time
+	// queue and draining implement run-to-completion FIFO delivery of
+	// local (cross-layer) messages, matching the model checker's and
+	// virtual-time emulator's ordering semantics: a machine's outputs
+	// are processed after all messages already pending, not recursively.
+	queue    []pendingDelivery
+	draining bool
+}
+
+type pendingDelivery struct {
+	proc string
+	msg  types.Message
+}
+
+func newLiveStack(send func(types.Message)) *liveStack {
+	return &liveStack{
+		machines:  make(map[string]*fsm.Machine),
+		outputTo:  make(map[string][]string),
+		globals:   make(map[string]int),
+		send:      send,
+		collector: trace.NewCollector(),
+		started:   time.Now(),
+	}
+}
+
+func (s *liveStack) add(proc string, spec *fsm.Spec, outputTo ...string) {
+	s.machines[proc] = fsm.New(spec)
+	s.outputTo[proc] = outputTo
+}
+
+// Deliver steps the destination machine under the stack lock.
+func (s *liveStack) Deliver(proc string, m types.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deliverLocked(proc, m)
+}
+
+// deliverLocked enqueues the message and, unless a drain is already in
+// progress higher up the stack, drains the queue FIFO.
+func (s *liveStack) deliverLocked(proc string, m types.Message) {
+	s.queue = append(s.queue, pendingDelivery{proc: proc, msg: m})
+	if s.draining {
+		return
+	}
+	s.draining = true
+	defer func() { s.draining = false }()
+	for len(s.queue) > 0 {
+		d := s.queue[0]
+		s.queue = s.queue[1:]
+		s.stepLocked(d.proc, d.msg)
+	}
+}
+
+func (s *liveStack) stepLocked(proc string, m types.Message) {
+	mach, ok := s.machines[proc]
+	if !ok {
+		return
+	}
+	ctx := &liveCtx{s: s, proc: proc}
+	tr, fired := mach.Step(ctx, fsm.EvMsg(m))
+	at := time.Since(s.started)
+	sys := types.System(s.globals["g.sys"])
+	if fired {
+		s.collector.Addf(at, trace.TypeSignal, sys, mach.Spec().Name, "%s -> %s [%s]", m, mach.State(), tr.Name)
+	} else {
+		s.collector.Addf(at, trace.TypeInfo, sys, mach.Spec().Name, "%s discarded in %s", m, mach.State())
+	}
+}
+
+// State returns a machine's control state.
+func (s *liveStack) State(proc string) fsm.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.machines[proc]; ok {
+		return m.State()
+	}
+	return ""
+}
+
+// Global reads a shared variable.
+func (s *liveStack) Global(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.globals[name]
+}
+
+// SetGlobal writes a shared variable.
+func (s *liveStack) SetGlobal(name string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.globals[name] = v
+}
+
+// liveCtx implements fsm.Ctx under the stack lock.
+type liveCtx struct {
+	s    *liveStack
+	proc string
+}
+
+func (c *liveCtx) Get(name string) int    { return c.s.globals[name] }
+func (c *liveCtx) Set(name string, v int) { c.s.globals[name] = v }
+
+func (c *liveCtx) Send(to string, m types.Message) {
+	m.From = c.proc
+	m.To = to
+	if _, local := c.s.machines[to]; local {
+		c.s.deliverLocked(to, m)
+		return
+	}
+	// Remote: hand to the transport outside the protocol layer. The
+	// send callback must not re-enter the stack.
+	c.s.send(m)
+}
+
+func (c *liveCtx) Output(m types.Message) {
+	m.From = c.proc
+	for _, dst := range c.s.outputTo[c.proc] {
+		mm := m
+		mm.To = dst
+		c.s.deliverLocked(dst, mm)
+	}
+}
+
+func (c *liveCtx) Trace(format string, args ...any) {
+	sys := types.System(c.s.globals["g.sys"])
+	mach := c.s.machines[c.proc]
+	c.s.collector.Addf(time.Since(c.s.started), trace.TypeInfo, sys, mach.Spec().Name, format, args...)
+}
+
+// errClosed is returned by endpoints used after Close.
+var errClosed = fmt.Errorf("emu: endpoint closed")

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/trace"
+)
+
+func TestTable1(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"S1", "S2", "S3", "S4", "S5", "S6", "VIOLATED", "PacketService_OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+	// The fixed section must contain no violations. It follows the
+	// second header.
+	fixedPart := out[strings.Index(out, "fixes enabled"):]
+	if strings.Contains(fixedPart, "VIOLATED") {
+		t.Fatalf("fixed worlds still violate:\n%s", fixedPart)
+	}
+}
+
+// Every Table 3 deactivation cause must reproduce S1 on the defective
+// stack, and the fixes must prevent it.
+func TestTable3AllCausesReproduceS1(t *testing.T) {
+	rows := Table3(1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ReproducesS1 {
+			t.Errorf("cause %q did not reproduce S1", r.Cause)
+		}
+		if !r.FixPrevents {
+			t.Errorf("cause %q not prevented by fixes", r.Cause)
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "QoS not accepted") {
+		t.Fatalf("render missing cause:\n%s", out)
+	}
+}
+
+func TestTable4AllTriggersFire(t *testing.T) {
+	rows := Table4(1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Triggered {
+			t.Errorf("scenario %d (%s) did not trigger its update", r.No, r.Scenario)
+		}
+	}
+	if out := RenderTable4(rows); !strings.Contains(out, "Periodic location update") {
+		t.Fatalf("render missing scenario:\n%s", out)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows := Table6StuckIn3G(60, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var opi, opii Table6Row
+	for _, r := range rows {
+		switch r.Operator {
+		case "OP-I":
+			opi = r
+		case "OP-II":
+			opii = r
+		}
+	}
+	// Table 6 shape: OP-II users are stuck much longer than OP-I's.
+	if opii.Summary.Median <= opi.Summary.Median*3 {
+		t.Fatalf("OP-II median (%.1f) should dwarf OP-I (%.1f)", opii.Summary.Median, opi.Summary.Median)
+	}
+	// OP-I returns within seconds (paper median 2.3 s).
+	if opi.Summary.Median > 10 {
+		t.Fatalf("OP-I median = %.1fs, want a few seconds", opi.Summary.Median)
+	}
+	// OP-II is stuck for tens of seconds (paper median 24.3 s).
+	if opii.Summary.Median < 14 || opii.Summary.Median > 60 {
+		t.Fatalf("OP-II median = %.1fs, want ≈24s", opii.Summary.Median)
+	}
+	if out := RenderTable6(rows); !strings.Contains(out, "OP-II") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows := Figure4RecoveryTime(50, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.N < 45 {
+			t.Fatalf("%s: only %d samples", r.Operator, r.Summary.N)
+		}
+		// Figure 4's range: 2.4–24.7 s overall.
+		if r.Summary.Min < 2.0 || r.Summary.Max > 30 {
+			t.Fatalf("%s: range [%.1f, %.1f] outside Figure 4's", r.Operator, r.Summary.Min, r.Summary.Max)
+		}
+	}
+	if out := RenderFigure4(rows); !strings.Contains(out, "recovery") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts := Figure7CallSetup(netemu.OPI(), 60, 3)
+	if len(pts) < 10 {
+		t.Fatalf("only %d calls on the route", len(pts))
+	}
+	var base, blocked []float64
+	for _, p := range pts {
+		// RSSI stays in the paper's good-signal range.
+		if p.RSSI < -95 || p.RSSI > -40 {
+			t.Fatalf("RSSI %.1f out of range at mile %.1f", p.RSSI, p.Milepost)
+		}
+		if p.DuringUpdate {
+			blocked = append(blocked, p.SetupSec)
+		} else {
+			base = append(base, p.SetupSec)
+		}
+	}
+	if len(blocked) == 0 {
+		t.Fatal("no call hit a location update — Figure 7's spike missing")
+	}
+	meanBase, meanBlocked := mean(base), mean(blocked)
+	// ≈11.4 s average; ≈19.7 s during updates.
+	if meanBase < 10 || meanBase > 13 {
+		t.Fatalf("base setup = %.1fs, want ≈11.4", meanBase)
+	}
+	if meanBlocked <= meanBase+2 {
+		t.Fatalf("blocked setup = %.1fs vs base %.1fs: spike too small", meanBlocked, meanBase)
+	}
+	if out := RenderFigure7(pts); !strings.Contains(out, "Route-1") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cdfs := Figure8CDFs(400, 1)
+	for _, key := range []string{"OP-I/LAU", "OP-II/LAU", "OP-I/RAU", "OP-II/RAU"} {
+		if cdfs[key] == nil || cdfs[key].N() != 400 {
+			t.Fatalf("missing CDF %s", key)
+		}
+	}
+	// Figure 8a: all OP-I LAUs exceed 2 s; OP-II's are faster.
+	if got := cdfs["OP-I/LAU"].At(2.0); got > 0.01 {
+		t.Fatalf("OP-I LAU At(2s) = %v, want ≈0", got)
+	}
+	if cdfs["OP-II/LAU"].Quantile(0.5) >= cdfs["OP-I/LAU"].Quantile(0.5) {
+		t.Fatal("OP-II LAUs should be faster than OP-I's")
+	}
+	// Figure 8b: ~75% of OP-I RAUs within 3.6 s; 90% of OP-II's within 4.1 s.
+	if got := cdfs["OP-I/RAU"].At(3.6); got < 0.65 || got > 0.85 {
+		t.Fatalf("OP-I RAU At(3.6) = %v, want ≈0.75", got)
+	}
+	if got := cdfs["OP-II/RAU"].At(4.1); got < 0.85 || got > 0.95 {
+		t.Fatalf("OP-II RAU At(4.1) = %v, want ≈0.9", got)
+	}
+	if out := RenderFigure8(cdfs); !strings.Contains(out, "OP-II/RAU") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Figure 9's headline drops per operator and direction.
+func TestFigure9Drops(t *testing.T) {
+	cases := []struct {
+		op       netemu.OperatorProfile
+		uplink   bool
+		want     float64
+		tolerant float64
+	}{
+		{netemu.OPI(), false, 0.739, 0.05},
+		{netemu.OPII(), false, 0.748, 0.05},
+		{netemu.OPI(), true, 0.511, 0.05},
+		{netemu.OPII(), true, 0.961, 0.03},
+	}
+	for _, c := range cases {
+		buckets := Figure9Rates(c.op, c.uplink, 40, 7)
+		if len(buckets) != 6 {
+			t.Fatalf("buckets = %d, want 6", len(buckets))
+		}
+		drop := Figure9Drop(buckets)
+		if drop < c.want-c.tolerant || drop > c.want+c.tolerant {
+			t.Errorf("%s uplink=%v: drop = %.3f, want %.3f ± %.3f",
+				c.op.Name, c.uplink, drop, c.want, c.tolerant)
+		}
+		// Rates with a call never exceed rates without.
+		for _, bkt := range buckets {
+			if bkt.WithCall.Max > bkt.NoCall.Max+1e-9 {
+				t.Errorf("bucket %s: with-call max exceeds no-call", bkt.Label)
+			}
+		}
+	}
+	out := RenderFigure9(netemu.OPI(), false, Figure9Rates(netemu.OPI(), false, 10, 1))
+	if !strings.Contains(out, "rate drop") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Figure 10: the trace shows the modulation downgrade and restoration.
+func TestFigure10Trace(t *testing.T) {
+	recs := Figure10Trace(1)
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	if _, ok := (trace.Filter{Contains: "64QAM disabled"}).FirstMatch(recs); !ok {
+		t.Fatalf("downgrade not in trace:\n%s", RenderFigure10(recs))
+	}
+	if out := RenderFigure10(recs); !strings.Contains(out, "Figure 10") {
+		t.Fatal("render header missing")
+	}
+}
+
+// Figure 12 left: linear growth without the fix, zero with it.
+func TestFigure12Left(t *testing.T) {
+	rates := []float64{0, 0.02, 0.05, 0.10}
+	const cycles = 60
+	without := Figure12DetachVsDrop(rates, cycles, false, 1)
+	with := Figure12DetachVsDrop(rates, cycles, true, 1)
+
+	if without[0].Detaches != 0 {
+		t.Fatalf("detaches at 0%% drop without fix = %d", without[0].Detaches)
+	}
+	if without[len(without)-1].Detaches == 0 {
+		t.Fatal("no detaches at 10% drop without fix")
+	}
+	// Roughly monotone growth.
+	if without[3].Detaches < without[1].Detaches {
+		t.Fatalf("detaches not growing: %v", without)
+	}
+	for _, p := range with {
+		if p.Detaches != 0 {
+			t.Fatalf("detaches with fix at %.0f%% = %d, want 0", p.DropRate*100, p.Detaches)
+		}
+	}
+	if out := RenderFigure12Left(without, with); !strings.Contains(out, "drop rate") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Figure 12 right: delay ≈ update time without the fix, 0 with it.
+func TestFigure12Right(t *testing.T) {
+	times := []time.Duration{0, time.Second, 3 * time.Second, 6 * time.Second}
+	without := Figure12CallDelay(times, false)
+	with := Figure12CallDelay(times, true)
+	for i, ut := range times {
+		if without[i].CallDelay != ut {
+			t.Fatalf("w/o fix at %v: delay = %v", ut, without[i].CallDelay)
+		}
+		if with[i].CallDelay != 0 {
+			t.Fatalf("w/ fix at %v: delay = %v", ut, with[i].CallDelay)
+		}
+	}
+	if out := RenderFigure12Right(without, with); !strings.Contains(out, "update time") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Figure 13: decoupling improves data ≈1.6× in both directions.
+func TestFigure13(t *testing.T) {
+	rows := Figure13Rates()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]Figure13Row{}
+	for _, r := range rows {
+		key := "dl"
+		if r.Uplink {
+			key = "ul"
+		}
+		if strings.Contains(r.Plan, "decoupled") {
+			key += "/dec"
+		} else {
+			key += "/coup"
+		}
+		byKey[key] = r
+	}
+	for _, dir := range []string{"dl", "ul"} {
+		gain := byKey[dir+"/dec"].Data / byKey[dir+"/coup"].Data
+		if gain < 1.3 || gain > 3.0 {
+			t.Fatalf("%s data gain = %.2f, want ≈1.6–2.4", dir, gain)
+		}
+		if byKey[dir+"/dec"].Voice <= 0 {
+			t.Fatalf("%s voice starved", dir)
+		}
+	}
+	if out := RenderFigure13(rows); !strings.Contains(out, "decoupled") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// §9.3: fixed switch is fast and detach-free; broken one is slower.
+func TestSection93(t *testing.T) {
+	r := Section93CrossSystem(20, 1)
+	if r.AnyFixedDetached {
+		t.Fatal("fixed runs detached")
+	}
+	if !r.LURecovered {
+		t.Fatal("LU failure not recovered")
+	}
+	// §9.3: remedy 0.1–0.4 s vs 0.3–1.3 s without.
+	if r.FixedSwitch.Median > 0.5 {
+		t.Fatalf("fixed median = %.2fs, want ≤0.4", r.FixedSwitch.Median)
+	}
+	if r.BrokenSwitch.Median <= r.FixedSwitch.Median {
+		t.Fatalf("broken median (%.2f) should exceed fixed (%.2f)",
+			r.BrokenSwitch.Median, r.FixedSwitch.Median)
+	}
+	if out := RenderSection93(r); !strings.Contains(out, "remedy") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	r := Table5(2)
+	if r.CSFBCalls == 0 {
+		t.Fatal("no CSFB calls simulated")
+	}
+}
+
+// §7's S5 accounting: ≈67 s average calls, ≈368 KB average affected
+// volume, most calls under 550 KB, a few over 4 MB.
+func TestS5AffectedVolumes(t *testing.T) {
+	s := S5AffectedVolumes(113, 7)
+	if s.Calls != 113 {
+		t.Fatalf("calls = %d", s.Calls)
+	}
+	if s.AvgCallSec < 50 || s.AvgCallSec > 85 {
+		t.Fatalf("avg call = %.0fs, want ≈67", s.AvgCallSec)
+	}
+	if s.AvgAffectedKB < 150 || s.AvgAffectedKB > 700 {
+		t.Fatalf("avg affected = %.0f KB, want ≈368", s.AvgAffectedKB)
+	}
+	if s.MaxMB > 18.6 {
+		t.Fatalf("max = %.1f MB, want ≤18.5", s.MaxMB)
+	}
+	frac := float64(s.Under550KB) / float64(s.Calls)
+	if frac < 0.90 {
+		t.Fatalf("under-550KB fraction = %.2f, want ≈0.96", frac)
+	}
+	if s.Over4MB < 1 || s.Over4MB > 12 {
+		t.Fatalf("over-4MB calls = %d, want a few", s.Over4MB)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+	// Zero calls: no division by zero.
+	if z := S5AffectedVolumes(0, 1); z.AvgCallSec != 0 {
+		t.Fatalf("zero-call stats = %+v", z)
+	}
+}
+
+// §7's inflation remark: degradation grows with the incoming CSFB call
+// rate on the defective stack and is eliminated by the fixes.
+func TestInflationSweep(t *testing.T) {
+	rates := []float64{1, 10, 60}
+	without := InflationSweep(rates, 24*time.Hour, false, 1)
+	with := InflationSweep(rates, 24*time.Hour, true, 1)
+	if len(without) != 3 || len(with) != 3 {
+		t.Fatal("sweep sizes wrong")
+	}
+	// Monotone growth without fixes.
+	for i := 1; i < len(without); i++ {
+		if without[i].DegradedFraction < without[i-1].DegradedFraction {
+			t.Fatalf("degradation not monotone: %+v", without)
+		}
+	}
+	// At one call/hour degradation is small; at 60/hour it is severe
+	// (OP-II median stuck ≈24 s per call → ~40% of each hour).
+	if without[0].DegradedFraction > 0.05 {
+		t.Fatalf("baseline degradation = %.3f, want small", without[0].DegradedFraction)
+	}
+	if without[2].DegradedFraction < 0.25 {
+		t.Fatalf("inflated degradation = %.3f, want severe", without[2].DegradedFraction)
+	}
+	for _, p := range with {
+		if p.DegradedFraction != 0 || p.OutOfServiceFraction != 0 {
+			t.Fatalf("fixed stack degraded: %+v", p)
+		}
+	}
+	out := RenderInflation(without, with)
+	if !strings.Contains(out, "calls/hour") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,87 @@
+package fixes
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/radio"
+)
+
+// ChannelPlan is the §8 domain-decoupling fix in runnable form: CS and
+// PS traffic are assigned separate radio channels, each configured with
+// its own modulation scheme (64QAM for PS, a robust 16QAM for CS),
+// instead of sharing one channel under a single voice-safe scheme
+// (§6.2, Figure 13).
+type ChannelPlan struct {
+	// Decoupled selects per-domain channels (the fix); false reproduces
+	// the carriers' coupled sharing.
+	Decoupled bool
+	// PSMod and CSMod are the per-domain modulations when decoupled.
+	PSMod, CSMod radio.Modulation
+}
+
+// NewChannelPlan returns the fix's default plan (64QAM PS / 16QAM CS).
+func NewChannelPlan(decoupled bool) ChannelPlan {
+	return ChannelPlan{Decoupled: decoupled, PSMod: radio.QAM64, CSMod: radio.QAM16}
+}
+
+// Rates reports the voice and data rates achievable during a
+// concurrent call under the plan and load factor. voiceOverhead is the
+// carrier's coupled-channel penalty (ignored when decoupled).
+func (p ChannelPlan) Rates(load, voiceOverhead float64, uplink bool) (voice, data radio.Mbps) {
+	peak := func(m radio.Modulation) radio.Mbps {
+		if uplink {
+			return m.PeakUL()
+		}
+		return m.PeakDL()
+	}
+	if p.Decoupled {
+		// Voice keeps its robust channel; data keeps its fast one.
+		// Voice needs only the codec rate but has the whole CS channel
+		// available; its throughput is bounded by small-packet
+		// overhead (§9.2 observes the voice stream carries less than
+		// the channel could).
+		voice = minRate(peak(p.CSMod)*load, voicePacketBound(peak(p.CSMod), load))
+		data = peak(p.PSMod) * load
+		return voice, data
+	}
+	// Coupled: both share the CS-safe modulation, and data additionally
+	// pays the carrier's voice-resilience overhead.
+	shared := peak(p.CSMod) * load
+	voice = minRate(shared, voicePacketBound(shared, load))
+	data = shared * (1 - clamp01f(voiceOverhead))
+	return voice, data
+}
+
+// voicePacketBound models the small-packet transmission overhead of
+// VoIP-like streams (§9.2: "the difference ... comes from the voice's
+// small packet size. It incurs more overhead on transmission"): the
+// voice flow achieves roughly 60% of the channel it occupies.
+func voicePacketBound(channel radio.Mbps, load float64) radio.Mbps {
+	_ = load
+	return channel * 0.6
+}
+
+func minRate(a, b radio.Mbps) radio.Mbps {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp01f(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String describes the plan.
+func (p ChannelPlan) String() string {
+	if p.Decoupled {
+		return fmt.Sprintf("decoupled (PS %s / CS %s)", p.PSMod, p.CSMod)
+	}
+	return fmt.Sprintf("coupled (shared %s)", p.CSMod)
+}

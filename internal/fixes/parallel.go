@@ -1,0 +1,59 @@
+package fixes
+
+import (
+	"time"
+
+	"cnetverifier/internal/netemu"
+)
+
+// ParallelScheduler is the §8 layer-extension fix for S4 in runnable
+// form: MM/GMM maintain two parallel threads, one for location updates
+// and one for the remaining functions including outgoing service
+// requests (§8 "Layer Extension"). With Parallel disabled it reproduces
+// the standard serial behavior — service requests queue behind the
+// update and behind the MM-WAIT-FOR-NET-CMD tail (§6.1).
+type ParallelScheduler struct {
+	sim *netemu.Sim
+	// Parallel selects the fixed (two-thread) behavior.
+	Parallel bool
+	// WaitNetCmdExtra is the §6.1 chain-effect tail appended to each
+	// update in serial mode.
+	WaitNetCmdExtra time.Duration
+
+	busyUntil time.Duration
+}
+
+// NewParallelScheduler returns a scheduler on the simulator.
+func NewParallelScheduler(sim *netemu.Sim, parallel bool, waitExtra time.Duration) *ParallelScheduler {
+	return &ParallelScheduler{sim: sim, Parallel: parallel, WaitNetCmdExtra: waitExtra}
+}
+
+// SubmitUpdate starts a location update taking d to process.
+func (s *ParallelScheduler) SubmitUpdate(d time.Duration) {
+	end := s.sim.Now() + d
+	if !s.Parallel {
+		end += s.WaitNetCmdExtra
+	}
+	if end > s.busyUntil {
+		s.busyUntil = end
+	}
+}
+
+// UpdateBusy reports whether an update currently occupies the serial
+// thread.
+func (s *ParallelScheduler) UpdateBusy() bool {
+	return !s.Parallel && s.sim.Now() < s.busyUntil
+}
+
+// SubmitService submits an outgoing service request and calls done with
+// the queueing delay it experienced once it is dispatched. In parallel
+// mode the delay is always zero; in serial mode the request waits for
+// the update thread to drain.
+func (s *ParallelScheduler) SubmitService(done func(delay time.Duration)) {
+	if s.Parallel || s.sim.Now() >= s.busyUntil {
+		done(0)
+		return
+	}
+	start := s.sim.Now()
+	s.sim.At(s.busyUntil, func() { done(s.sim.Now() - start) })
+}

@@ -1,0 +1,157 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/types"
+)
+
+// edge is one transition viewed structurally (guards ignored).
+type edge struct {
+	from, to State
+	on       types.MsgKind
+	name     string
+	guarded  bool
+}
+
+// edges expands the spec's transition table: wildcard sources are
+// expanded over all concrete states and Same targets resolve to the
+// source.
+func (s *Spec) edges() []edge {
+	states := s.States()
+	var out []edge
+	for _, t := range s.Transitions {
+		froms := []State{t.From}
+		if t.From == Any {
+			froms = states
+		}
+		for _, f := range froms {
+			to := t.To
+			if to == Same {
+				to = f
+			}
+			out = append(out, edge{from: f, to: to, on: t.On, name: t.Name, guarded: t.Guard != nil})
+		}
+	}
+	return out
+}
+
+// Reachable returns the states reachable from Init through the
+// transition structure, ignoring guards (an over-approximation: a
+// guarded edge is assumed traversable).
+func (s *Spec) Reachable() map[State]bool {
+	adj := make(map[State][]State)
+	for _, e := range s.edges() {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	seen := map[State]bool{s.Init: true}
+	stack := []State{s.Init}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range adj[st] {
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return seen
+}
+
+// UnreachableStates lists declared states the structure can never
+// enter — usually a spec bug.
+func (s *Spec) UnreachableStates() []State {
+	reach := s.Reachable()
+	var out []State
+	for _, st := range s.States() {
+		if !reach[st] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// DeadEndStates lists reachable states with no outgoing transitions at
+// all (not even wildcards) — a machine stuck forever once there.
+func (s *Spec) DeadEndStates() []State {
+	outdeg := make(map[State]int)
+	for _, e := range s.edges() {
+		outdeg[e.from]++
+	}
+	var out []State
+	for st, ok := range s.Reachable() {
+		if ok && outdeg[st] == 0 {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Events returns the sorted set of message kinds the spec reacts to.
+func (s *Spec) Events() []types.MsgKind {
+	set := map[types.MsgKind]bool{}
+	for _, t := range s.Transitions {
+		set[t.On] = true
+	}
+	out := make([]types.MsgKind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DOT renders the machine as a Graphviz digraph: states as nodes
+// (initial state doubled), transitions as labeled edges; guarded
+// transitions render dashed.
+func (s *Spec) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  %q [peripheries=2];\n", string(s.Init))
+	for _, e := range s.edges() {
+		style := ""
+		if e.guarded {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n",
+			string(e.from), string(e.to), fmt.Sprintf("%s\\n%s", e.on, e.name), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Describe renders a markdown summary of the spec: its states, the
+// events it reacts to, and the transition table.
+func (s *Spec) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s", s.Name)
+	if s.Proto != types.ProtoNone {
+		fmt.Fprintf(&b, " (%s, %s at %s)", s.Proto, s.Proto.Standard(), s.Proto.NetworkElement())
+	}
+	b.WriteString("\n\n")
+	states := s.States()
+	names := make([]string, len(states))
+	for i, st := range states {
+		names[i] = string(st)
+	}
+	fmt.Fprintf(&b, "States (%d, initial `%s`): `%s`\n\n", len(states), s.Init, strings.Join(names, "`, `"))
+	b.WriteString("| # | From | Event | To | Transition | Guarded |\n")
+	b.WriteString("|---|------|-------|----|------------|--------|\n")
+	for i, t := range s.Transitions {
+		to := t.To
+		if to == Same {
+			to = t.From
+		}
+		guarded := ""
+		if t.Guard != nil {
+			guarded = "yes"
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s | %s |\n", i+1, t.From, t.On, to, t.Name, guarded)
+	}
+	return b.String()
+}

@@ -1,0 +1,313 @@
+// Package fsm provides a small declarative finite-state-machine engine
+// shared by CNetVerifier's two backends: the explicit-state model
+// checker (internal/check) and the runtime protocol stacks
+// (internal/device, internal/elements).
+//
+// A protocol is written once as a Spec — a transition table with guards
+// and actions — and then instantiated as Machines. Machine state
+// (current control state plus integer-valued local variables) has a
+// canonical byte encoding so the model checker can hash and deduplicate
+// global states.
+package fsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cnetverifier/internal/types"
+)
+
+// State is a named control state of a machine.
+type State string
+
+// Event is an occurrence a machine can react to: the delivery of a
+// signaling message, a user action, or a timer.
+type Event struct {
+	Msg types.Message
+}
+
+// Kind returns the message kind carried by the event.
+func (e Event) Kind() types.MsgKind { return e.Msg.Kind }
+
+func (e Event) String() string { return e.Msg.String() }
+
+// Ev is shorthand for constructing an event from a message kind.
+func Ev(kind types.MsgKind) Event {
+	return Event{Msg: types.Message{Kind: kind}}
+}
+
+// EvMsg constructs an event from a full message.
+func EvMsg(m types.Message) Event { return Event{Msg: m} }
+
+// Ctx is the machine's view of the world during a transition. Both the
+// model checker's abstract world and the emulator's live stack
+// implement it.
+type Ctx interface {
+	// Get returns a variable. Names with the "g." prefix resolve to
+	// globals shared by all machines; other names are machine-local.
+	Get(name string) int
+	// Set assigns a variable, with the same scoping rule as Get.
+	Set(name string, v int)
+	// Send posts a message toward the named destination (another
+	// machine or element). Delivery semantics (reliable, lossy,
+	// delayed) are owned by the backend.
+	Send(to string, msg types.Message)
+	// Output emits a local event that other machines on the same node
+	// react to immediately (cross-layer interface, e.g. EMM→RRC).
+	Output(msg types.Message)
+	// Trace records a human-readable note for the trace collector.
+	Trace(format string, args ...any)
+}
+
+// Guard decides whether a transition is enabled. A nil guard is always
+// enabled.
+type Guard func(c Ctx, e Event) bool
+
+// Action runs the transition's side effects. A nil action does nothing.
+type Action func(c Ctx, e Event)
+
+// Transition is one row of a Spec's transition table.
+type Transition struct {
+	// Name labels the transition for traces and counterexamples.
+	Name string
+	// From is the source state. The special value Any matches every
+	// state (used for power-off style resets).
+	From State
+	// On is the triggering message kind.
+	On types.MsgKind
+	// Guard optionally restricts the transition.
+	Guard Guard
+	// Action optionally performs side effects.
+	Action Action
+	// To is the destination state. The special value Same keeps the
+	// current state (useful for self-loops that only run actions).
+	To State
+}
+
+const (
+	// Any is a wildcard source state.
+	Any State = "*"
+	// Same keeps the machine in its current state.
+	Same State = "="
+)
+
+// Spec is an immutable machine definition.
+type Spec struct {
+	// Name identifies the protocol/machine type (e.g. "EMM-UE").
+	Name string
+	// Proto is the 3GPP protocol this spec models, if any.
+	Proto types.Protocol
+	// Init is the initial control state.
+	Init State
+	// Vars lists the local variables and their initial values. Only
+	// variables declared here are encoded into checker state.
+	Vars map[string]int
+	// Transitions is the transition table. When several transitions are
+	// enabled for the same event the checker explores each branch; the
+	// runtime engine takes the first (table order is priority order).
+	Transitions []Transition
+}
+
+// Validate checks the spec for structural problems: an empty name,
+// a missing initial state, transitions from undeclared states (other
+// than wildcards), or duplicate variable declarations.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("fsm: spec has empty name")
+	}
+	if s.Init == "" {
+		return fmt.Errorf("fsm %s: empty initial state", s.Name)
+	}
+	states := s.States()
+	known := make(map[State]bool, len(states))
+	for _, st := range states {
+		known[st] = true
+	}
+	for i, t := range s.Transitions {
+		if t.From == "" || t.To == "" {
+			return fmt.Errorf("fsm %s: transition %d (%s) has empty state", s.Name, i, t.Name)
+		}
+		if t.On == types.MsgNone {
+			return fmt.Errorf("fsm %s: transition %d (%s) has no trigger", s.Name, i, t.Name)
+		}
+		if t.To != Same && t.To != Any && !known[t.To] {
+			// Unreachable: States() collects every To; defensive only.
+			return fmt.Errorf("fsm %s: transition %d (%s) targets unknown state %q", s.Name, i, t.Name, t.To)
+		}
+	}
+	return nil
+}
+
+// States returns the set of control states mentioned by the spec, in
+// sorted order, excluding wildcards.
+func (s *Spec) States() []State {
+	set := map[State]bool{s.Init: true}
+	for _, t := range s.Transitions {
+		if t.From != Any {
+			set[t.From] = true
+		}
+		if t.To != Same && t.To != Any {
+			set[t.To] = true
+		}
+	}
+	out := make([]State, 0, len(set))
+	for st := range set {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Machine is a live instance of a Spec.
+type Machine struct {
+	spec  *Spec
+	state State
+	vars  map[string]int
+	// varNames caches the sorted variable names for canonical encoding.
+	varNames []string
+}
+
+// New instantiates a machine in the spec's initial state.
+func New(spec *Spec) *Machine {
+	m := &Machine{spec: spec, state: spec.Init, vars: make(map[string]int, len(spec.Vars))}
+	for k, v := range spec.Vars {
+		m.vars = setVar(m.vars, k, v)
+	}
+	m.varNames = make([]string, 0, len(spec.Vars))
+	for k := range spec.Vars {
+		m.varNames = append(m.varNames, k)
+	}
+	sort.Strings(m.varNames)
+	return m
+}
+
+func setVar(m map[string]int, k string, v int) map[string]int {
+	m[k] = v
+	return m
+}
+
+// Spec returns the machine's definition.
+func (m *Machine) Spec() *Spec { return m.spec }
+
+// Name returns the spec name.
+func (m *Machine) Name() string { return m.spec.Name }
+
+// State returns the current control state.
+func (m *Machine) State() State { return m.state }
+
+// SetState forces the control state (used by test harnesses and by the
+// checker when replaying counterexamples).
+func (m *Machine) SetState(s State) { m.state = s }
+
+// Var returns a local variable value (zero if undeclared).
+func (m *Machine) Var(name string) int { return m.vars[name] }
+
+// SetVar assigns a local variable.
+func (m *Machine) SetVar(name string, v int) {
+	if _, ok := m.vars[name]; !ok {
+		m.varNames = append(m.varNames, name)
+		sort.Strings(m.varNames)
+	}
+	m.vars[name] = v
+}
+
+// Enabled returns the indices (into the spec's transition table) of all
+// transitions enabled for the event in the current state.
+func (m *Machine) Enabled(c Ctx, e Event) []int {
+	var out []int
+	for i, t := range m.spec.Transitions {
+		if t.On != e.Kind() {
+			continue
+		}
+		if t.From != Any && t.From != m.state {
+			continue
+		}
+		if t.Guard != nil && !t.Guard(&machineCtx{m: m, inner: c}, e) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Apply fires the i-th transition of the spec for the event. The caller
+// must have obtained i from Enabled with an equivalent context.
+func (m *Machine) Apply(c Ctx, e Event, i int) Transition {
+	t := m.spec.Transitions[i]
+	mc := &machineCtx{m: m, inner: c}
+	if t.Action != nil {
+		t.Action(mc, e)
+	}
+	if t.To != Same {
+		m.state = t.To
+	}
+	return t
+}
+
+// Step fires the first enabled transition for the event, returning the
+// transition taken and true, or a zero transition and false when no
+// transition is enabled (the event is discarded — matching NAS behavior
+// of ignoring unexpected messages).
+func (m *Machine) Step(c Ctx, e Event) (Transition, bool) {
+	en := m.Enabled(c, e)
+	if len(en) == 0 {
+		return Transition{}, false
+	}
+	return m.Apply(c, e, en[0]), true
+}
+
+// Clone returns a deep copy of the machine sharing the immutable spec.
+func (m *Machine) Clone() *Machine {
+	n := &Machine{spec: m.spec, state: m.state, vars: make(map[string]int, len(m.vars))}
+	for k, v := range m.vars {
+		n.vars[k] = v
+	}
+	n.varNames = append([]string(nil), m.varNames...)
+	return n
+}
+
+// Encode appends a canonical binary encoding of the machine's state to
+// buf: state name, then variables in sorted-name order.
+func (m *Machine) Encode(buf []byte) []byte {
+	buf = append(buf, m.state...)
+	buf = append(buf, 0)
+	var tmp [8]byte
+	for _, k := range m.varNames {
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(m.vars[k])))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// machineCtx scopes variable access to the machine while delegating
+// globals ("g." prefix), sends and traces to the backend context.
+type machineCtx struct {
+	m     *Machine
+	inner Ctx
+}
+
+func isGlobal(name string) bool {
+	return len(name) > 2 && name[0] == 'g' && name[1] == '.'
+}
+
+func (c *machineCtx) Get(name string) int {
+	if isGlobal(name) {
+		return c.inner.Get(name)
+	}
+	return c.m.vars[name]
+}
+
+func (c *machineCtx) Set(name string, v int) {
+	if isGlobal(name) {
+		c.inner.Set(name, v)
+		return
+	}
+	c.m.SetVar(name, v)
+}
+
+func (c *machineCtx) Send(to string, msg types.Message) { c.inner.Send(to, msg) }
+func (c *machineCtx) Output(msg types.Message)          { c.inner.Output(msg) }
+func (c *machineCtx) Trace(format string, args ...any)  { c.inner.Trace(format, args...) }

@@ -1,0 +1,241 @@
+// Package model defines the composable system model explored by the
+// CNetVerifier screening phase (internal/check): a World of protocol
+// processes (fsm.Machine instances) connected by message channels, plus
+// shared global context variables (e.g. whether a PDP context is
+// active).
+//
+// A World supports deterministic enumeration of its enabled steps
+// (message deliveries — including lossy drops and out-of-order
+// deliveries — and environment events), cloning, and canonical
+// encoding/hashing so the checker can deduplicate visited states.
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/types"
+)
+
+// Channel is a process inbox. The zero capacity means unbounded (the
+// checker bounds exploration by depth instead).
+type Channel struct {
+	// Name equals the owning process name.
+	Name string
+	// Cap bounds the queue length; messages sent to a full channel are
+	// dropped (models signaling overload). 0 = unbounded.
+	Cap int
+	// Lossy lets the checker explore dropping a deliverable message,
+	// modeling unreliable RRC transfer (§5.2: "RRC does not always
+	// ensure reliable delivery").
+	Lossy bool
+	// Reorder lets the checker deliver any queued message rather than
+	// only the head, modeling signals relayed through different base
+	// stations arriving out of sequence (§5.2 duplicate-signal case).
+	Reorder bool
+	// Queue holds pending messages in arrival order.
+	Queue []types.Message
+}
+
+// Proc is a protocol process: a named machine with an inbox.
+type Proc struct {
+	Name string
+	M    *fsm.Machine
+	// OutputTo lists co-located processes that receive this process's
+	// Output() messages (the cross-layer interface, e.g. UE-EMM →
+	// UE-RRC on the same phone).
+	OutputTo []string
+}
+
+// World is a global system state.
+type World struct {
+	Procs   []*Proc
+	Chans   []*Channel
+	Globals map[string]int
+
+	procIdx map[string]int
+	chanIdx map[string]int
+}
+
+// Config declares the construction of a World.
+type Config struct {
+	Procs   []ProcConfig
+	Globals map[string]int
+}
+
+// ProcConfig declares one process and its inbox properties.
+type ProcConfig struct {
+	Name     string
+	Spec     *fsm.Spec
+	Cap      int
+	Lossy    bool
+	Reorder  bool
+	OutputTo []string
+}
+
+// New builds a world: one inbox channel per process, all queues empty,
+// machines in their initial states.
+func New(cfg Config) (*World, error) {
+	w := &World{
+		Globals: make(map[string]int),
+		procIdx: make(map[string]int),
+		chanIdx: make(map[string]int),
+	}
+	for k, v := range cfg.Globals {
+		w.Globals[k] = v
+	}
+	for _, pc := range cfg.Procs {
+		if pc.Name == "" {
+			return nil, fmt.Errorf("model: process with empty name")
+		}
+		if _, dup := w.procIdx[pc.Name]; dup {
+			return nil, fmt.Errorf("model: duplicate process %q", pc.Name)
+		}
+		if err := pc.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("model: process %q: %w", pc.Name, err)
+		}
+		w.procIdx[pc.Name] = len(w.Procs)
+		w.Procs = append(w.Procs, &Proc{Name: pc.Name, M: fsm.New(pc.Spec), OutputTo: append([]string(nil), pc.OutputTo...)})
+		w.chanIdx[pc.Name] = len(w.Chans)
+		w.Chans = append(w.Chans, &Channel{Name: pc.Name, Cap: pc.Cap, Lossy: pc.Lossy, Reorder: pc.Reorder})
+	}
+	for _, p := range w.Procs {
+		for _, dst := range p.OutputTo {
+			if _, ok := w.procIdx[dst]; !ok {
+				return nil, fmt.Errorf("model: process %q outputs to unknown process %q", p.Name, dst)
+			}
+		}
+	}
+	return w, nil
+}
+
+// Proc returns the named process, or nil.
+func (w *World) Proc(name string) *Proc {
+	if i, ok := w.procIdx[name]; ok {
+		return w.Procs[i]
+	}
+	return nil
+}
+
+// Chan returns the named inbox, or nil.
+func (w *World) Chan(name string) *Channel {
+	if i, ok := w.chanIdx[name]; ok {
+		return w.Chans[i]
+	}
+	return nil
+}
+
+// Global reads a shared variable (names conventionally carry the "g."
+// prefix used by fsm guards/actions).
+func (w *World) Global(name string) int { return w.Globals[name] }
+
+// SetGlobal writes a shared variable.
+func (w *World) SetGlobal(name string, v int) { w.Globals[name] = v }
+
+// Clone deep-copies the world. Specs are shared (immutable).
+func (w *World) Clone() *World {
+	n := &World{
+		Procs:   make([]*Proc, len(w.Procs)),
+		Chans:   make([]*Channel, len(w.Chans)),
+		Globals: make(map[string]int, len(w.Globals)),
+		procIdx: w.procIdx,
+		chanIdx: w.chanIdx,
+	}
+	for i, p := range w.Procs {
+		n.Procs[i] = &Proc{Name: p.Name, M: p.M.Clone(), OutputTo: p.OutputTo}
+	}
+	for i, c := range w.Chans {
+		cc := *c
+		cc.Queue = append([]types.Message(nil), c.Queue...)
+		n.Chans[i] = &cc
+	}
+	for k, v := range w.Globals {
+		n.Globals[k] = v
+	}
+	return n
+}
+
+// Encode appends a canonical binary encoding of the full global state.
+func (w *World) Encode(buf []byte) []byte {
+	for _, p := range w.Procs {
+		buf = append(buf, p.Name...)
+		buf = append(buf, ':')
+		buf = p.M.Encode(buf)
+		buf = append(buf, ';')
+	}
+	var tmp [8]byte
+	for _, c := range w.Chans {
+		buf = append(buf, c.Name...)
+		buf = append(buf, '[')
+		for _, m := range c.Queue {
+			binary.LittleEndian.PutUint16(tmp[:2], uint16(m.Kind))
+			buf = append(buf, tmp[:2]...)
+			binary.LittleEndian.PutUint16(tmp[:2], uint16(m.Cause))
+			buf = append(buf, tmp[:2]...)
+			binary.LittleEndian.PutUint32(tmp[:4], m.Seq)
+			buf = append(buf, tmp[:4]...)
+			buf = append(buf, byte(m.System), byte(m.Domain), byte(m.Proto))
+			buf = append(buf, m.From...)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ']')
+	}
+	keys := make([]string, 0, len(w.Globals))
+	for k := range w.Globals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(w.Globals[k])))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Hash returns an FNV-64a digest of the canonical encoding.
+func (w *World) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(w.Encode(nil))
+	return h.Sum64()
+}
+
+// ctx implements fsm.Ctx for a process executing inside the world.
+type ctx struct {
+	w     *World
+	p     *Proc
+	notes []string
+}
+
+func (c *ctx) Get(name string) int { return c.w.Globals[name] }
+
+func (c *ctx) Set(name string, v int) { c.w.Globals[name] = v }
+
+func (c *ctx) Send(to string, msg types.Message) {
+	msg.From = c.p.Name
+	msg.To = to
+	ch := c.w.Chan(to)
+	if ch == nil {
+		c.notes = append(c.notes, fmt.Sprintf("send to unknown %q dropped", to))
+		return
+	}
+	if ch.Cap > 0 && len(ch.Queue) >= ch.Cap {
+		c.notes = append(c.notes, fmt.Sprintf("inbox %q full, %s dropped", to, msg))
+		return
+	}
+	ch.Queue = append(ch.Queue, msg)
+}
+
+func (c *ctx) Output(msg types.Message) {
+	for _, dst := range c.p.OutputTo {
+		c.Send(dst, msg)
+	}
+}
+
+func (c *ctx) Trace(format string, args ...any) {
+	c.notes = append(c.notes, fmt.Sprintf(format, args...))
+}

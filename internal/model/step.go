@@ -1,0 +1,201 @@
+package model
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/types"
+)
+
+// StepKind classifies an atomic world transition.
+type StepKind uint8
+
+const (
+	// StepDeliver delivers a queued message to its process and fires
+	// one enabled transition.
+	StepDeliver StepKind = iota + 1
+	// StepDrop removes a queued message without delivery (lossy
+	// channel).
+	StepDrop
+	// StepDiscard delivers a queued message that no transition accepts;
+	// the message is consumed with no state change (NAS discards
+	// unexpected messages).
+	StepDiscard
+	// StepEnv injects an environment event (user action, timer,
+	// operator decision) and fires one enabled transition.
+	StepEnv
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepDeliver:
+		return "deliver"
+	case StepDrop:
+		return "drop"
+	case StepDiscard:
+		return "discard"
+	case StepEnv:
+		return "env"
+	default:
+		return fmt.Sprintf("StepKind(%d)", uint8(k))
+	}
+}
+
+// Step is one atomic transition of the world. Steps are value types so
+// counterexample paths can be stored and replayed.
+type Step struct {
+	Kind StepKind
+	// Proc is the process acting.
+	Proc string
+	// Pos is the queue index of the message (Deliver/Drop/Discard).
+	Pos int
+	// TransIdx is the index of the fired transition in the process's
+	// spec (Deliver/Env).
+	TransIdx int
+	// Msg is the message delivered, dropped or injected.
+	Msg types.Message
+	// Label names the fired transition (filled by Apply).
+	Label string
+	// Notes carries trace output emitted while applying the step.
+	Notes []string
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepDrop:
+		return fmt.Sprintf("%s: DROP %s", s.Proc, s.Msg)
+	case StepDiscard:
+		return fmt.Sprintf("%s: discard %s", s.Proc, s.Msg)
+	case StepEnv:
+		return fmt.Sprintf("%s: env %s -> %s", s.Proc, s.Msg, s.Label)
+	default:
+		return fmt.Sprintf("%s: recv %s -> %s", s.Proc, s.Msg, s.Label)
+	}
+}
+
+// EnvEvent is a candidate environment event offered by a scenario.
+type EnvEvent struct {
+	// Proc is the process the event targets.
+	Proc string
+	// Msg is the event payload.
+	Msg types.Message
+}
+
+// Steps enumerates every enabled step of the world: for each process
+// with a non-empty inbox, the deliverable positions (head only, or all
+// positions when the channel reorders) with each enabled transition
+// branch, plus drop steps for lossy channels, plus the offered
+// environment events that have at least one enabled transition.
+//
+// Messages with no enabled transition yield a StepDiscard so that
+// blocked queues cannot wedge exploration.
+func (w *World) Steps(env []EnvEvent) []Step {
+	var steps []Step
+	for _, p := range w.Procs {
+		ch := w.Chan(p.Name)
+		if ch == nil || len(ch.Queue) == 0 {
+			continue
+		}
+		positions := []int{0}
+		if ch.Reorder {
+			positions = positions[:0]
+			for i := range ch.Queue {
+				positions = append(positions, i)
+			}
+		}
+		for _, pos := range positions {
+			msg := ch.Queue[pos]
+			ev := fsm.EvMsg(msg)
+			en := p.M.Enabled(&ctx{w: w, p: p}, ev)
+			if len(en) == 0 {
+				steps = append(steps, Step{Kind: StepDiscard, Proc: p.Name, Pos: pos, Msg: msg})
+			}
+			for _, ti := range en {
+				steps = append(steps, Step{Kind: StepDeliver, Proc: p.Name, Pos: pos, TransIdx: ti, Msg: msg})
+			}
+			if ch.Lossy {
+				steps = append(steps, Step{Kind: StepDrop, Proc: p.Name, Pos: pos, Msg: msg})
+			}
+		}
+	}
+	for _, e := range env {
+		p := w.Proc(e.Proc)
+		if p == nil {
+			continue
+		}
+		ev := fsm.EvMsg(e.Msg)
+		for _, ti := range p.M.Enabled(&ctx{w: w, p: p}, ev) {
+			steps = append(steps, Step{Kind: StepEnv, Proc: e.Proc, TransIdx: ti, Msg: e.Msg})
+		}
+	}
+	return steps
+}
+
+// Apply executes the step in place and returns it annotated with the
+// transition label and trace notes. The step must have been produced by
+// Steps on an equivalent world.
+func (w *World) Apply(s Step) (Step, error) {
+	p := w.Proc(s.Proc)
+	if p == nil {
+		return s, fmt.Errorf("model: apply: unknown process %q", s.Proc)
+	}
+	switch s.Kind {
+	case StepDrop, StepDiscard:
+		ch := w.Chan(s.Proc)
+		if ch == nil || s.Pos >= len(ch.Queue) {
+			return s, fmt.Errorf("model: apply: %s position %d out of range", s.Kind, s.Pos)
+		}
+		ch.Queue = append(ch.Queue[:s.Pos:s.Pos], ch.Queue[s.Pos+1:]...)
+		return s, nil
+	case StepDeliver:
+		ch := w.Chan(s.Proc)
+		if ch == nil || s.Pos >= len(ch.Queue) {
+			return s, fmt.Errorf("model: apply: deliver position %d out of range", s.Pos)
+		}
+		msg := ch.Queue[s.Pos]
+		ch.Queue = append(ch.Queue[:s.Pos:s.Pos], ch.Queue[s.Pos+1:]...)
+		c := &ctx{w: w, p: p}
+		tr := p.M.Apply(c, fsm.EvMsg(msg), s.TransIdx)
+		s.Label = tr.Name
+		s.Notes = c.notes
+		return s, nil
+	case StepEnv:
+		c := &ctx{w: w, p: p}
+		tr := p.M.Apply(c, fsm.EvMsg(s.Msg), s.TransIdx)
+		s.Label = tr.Name
+		s.Notes = c.notes
+		return s, nil
+	default:
+		return s, fmt.Errorf("model: apply: bad step kind %v", s.Kind)
+	}
+}
+
+// Inject places a message directly into a process inbox (used by test
+// harnesses and by the checker's initial-state setup).
+func (w *World) Inject(to string, msg types.Message) error {
+	ch := w.Chan(to)
+	if ch == nil {
+		return fmt.Errorf("model: inject: unknown process %q", to)
+	}
+	msg.To = to
+	ch.Queue = append(ch.Queue, msg)
+	return nil
+}
+
+// QueueLen returns the inbox depth of a process (0 if unknown).
+func (w *World) QueueLen(proc string) int {
+	if ch := w.Chan(proc); ch != nil {
+		return len(ch.Queue)
+	}
+	return 0
+}
+
+// Quiescent reports whether no messages are pending anywhere.
+func (w *World) Quiescent() bool {
+	for _, c := range w.Chans {
+		if len(c.Queue) > 0 {
+			return false
+		}
+	}
+	return true
+}

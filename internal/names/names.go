@@ -1,0 +1,108 @@
+// Package names fixes the process names and shared global-variable keys
+// used across the protocol models, the world assembly (internal/core)
+// and the properties (internal/props). Keeping them in one place makes
+// guard/action code in the protocol packages grep-able and prevents
+// silent drift between producers and consumers of a global.
+package names
+
+// Process names. Device-side processes carry the "ue." prefix; the
+// network side is named after its hosting element (Table 2).
+const (
+	UEEMM   = "ue.emm"
+	UEESM   = "ue.esm"
+	UEGMM   = "ue.gmm"
+	UESM    = "ue.sm"
+	UEMM    = "ue.mm"
+	UECM    = "ue.cm"
+	UERRC3G = "ue.rrc3g"
+	UERRC4G = "ue.rrc4g"
+
+	MMEEMM  = "mme.emm"
+	MMEESM  = "mme.esm"
+	SGSNGMM = "sgsn.gmm"
+	SGSNSM  = "sgsn.sm"
+	MSCMM   = "msc.mm"
+	MSCCM   = "msc.cm"
+	BSRRC3G = "bs.rrc3g"
+	BSRRC4G = "bs.rrc4g"
+)
+
+// Shared global context variables ("g." prefix resolves to world
+// globals in fsm guards/actions).
+const (
+	// GSys is the RAT the device is camped on (int of types.System:
+	// 0 none, 1 3G, 2 4G). The single-active-RAT rule of most phones
+	// (§5.1.2: "most smartphones do not support dual radios").
+	GSys = "g.sys"
+
+	// GPDP / GEPS are the shared session contexts of §5.1: the 3G PDP
+	// context and the 4G EPS bearer context (1 = active).
+	GPDP = "g.pdp"
+	GEPS = "g.eps"
+
+	// GDataOn is the user's mobile-data switch.
+	GDataOn = "g.dataOn"
+
+	// Registration states per system/domain.
+	GReg4G   = "g.reg4g"
+	GReg3GCS = "g.reg3gcs"
+	GReg3GPS = "g.reg3gps"
+
+	// GDetachedByNet is set when the network detaches a device that
+	// still wants service (the out-of-service symptom of S1/S2/S6).
+	GDetachedByNet = "g.detachedByNet"
+
+	// GAttachRejected is set when an initial attach is rejected. Kept
+	// separate from GDetachedByNet because PacketService_OK only
+	// covers service loss *after* a successful attach (§3.2.2).
+	GAttachRejected = "g.attachRejected"
+
+	// Call-service observables for CallService_OK (S4).
+	GCallWanted   = "g.callWanted"
+	GCallActive   = "g.callActive"
+	GCallRejected = "g.callRejected"
+	GCallDelayed  = "g.callDelayed"
+
+	// GLUInProgress is 1 while MM/GMM runs a location/routing update.
+	GLUInProgress = "g.luInProgress"
+
+	// GSwitchOpt selects the carrier's inter-system switching option
+	// (§5.3, Figure 6a): 0 = RRC connection release with redirect,
+	// 1 = inter-system handover, 2 = inter-system cell reselection.
+	GSwitchOpt = "g.switchOpt"
+
+	// GWantReturn4G is 1 when a CSFB call has ended and the device
+	// should migrate back to 4G (the MM_OK obligation of S3).
+	GWantReturn4G = "g.wantReturn4g"
+
+	// GPSData is 1 while a high-rate PS data session is ongoing.
+	GPSData = "g.psData"
+
+	// GCSFBTag marks an inter-system switch as CSFB-triggered; the
+	// domain-decoupling fix (§8) uses it to force a switch-capable RRC
+	// state when the call ends.
+	GCSFBTag = "g.csfbTag"
+
+	// GLUFail3G is 1 when a 3G location update failed; S6 concerns its
+	// propagation into 4G.
+	GLUFail3G = "g.luFail3g"
+
+	// GRAUInProgress is 1 while GMM runs a routing-area update (the PS
+	// twin of GLUInProgress; S4's data-side HOL blocking).
+	GRAUInProgress = "g.rauInProgress"
+
+	// GDataDelayed is set when an outgoing PS data request was delayed
+	// behind a routing-area update (S4, §6.1 "Internet data service").
+	GDataDelayed = "g.dataDelayed"
+
+	// GModulation is the downlink modulation order on the 3G shared
+	// channel (64 = 64QAM, 16 = 16QAM); S5's downgrade is visible here.
+	GModulation = "g.modulation"
+)
+
+// Inter-system switching options (values of GSwitchOpt).
+const (
+	SwitchRedirect = iota
+	SwitchHandover
+	SwitchReselect
+)

@@ -1,0 +1,55 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+// The process names are the routing addresses of both backends: they
+// must be unique and follow the element.protocol convention.
+func TestProcNamesUniqueAndWellFormed(t *testing.T) {
+	procs := []string{
+		UEEMM, UEESM, UEGMM, UESM, UEMM, UECM, UERRC3G, UERRC4G,
+		MMEEMM, MMEESM, SGSNGMM, SGSNSM, MSCMM, MSCCM, BSRRC3G, BSRRC4G,
+	}
+	seen := map[string]bool{}
+	for _, p := range procs {
+		if seen[p] {
+			t.Fatalf("duplicate proc name %q", p)
+		}
+		seen[p] = true
+		if !strings.Contains(p, ".") {
+			t.Fatalf("proc %q missing element.protocol form", p)
+		}
+	}
+	if len(procs) != 16 {
+		t.Fatalf("procs = %d, want 16 (8 protocols × 2 sides)", len(procs))
+	}
+}
+
+// Globals must carry the "g." prefix the fsm context uses for scoping.
+func TestGlobalsPrefixed(t *testing.T) {
+	globals := []string{
+		GSys, GPDP, GEPS, GDataOn, GReg4G, GReg3GCS, GReg3GPS,
+		GDetachedByNet, GAttachRejected, GCallWanted, GCallActive,
+		GCallRejected, GCallDelayed, GLUInProgress, GSwitchOpt,
+		GWantReturn4G, GPSData, GCSFBTag, GLUFail3G, GRAUInProgress,
+		GDataDelayed, GModulation,
+	}
+	seen := map[string]bool{}
+	for _, g := range globals {
+		if !strings.HasPrefix(g, "g.") {
+			t.Fatalf("global %q missing g. prefix", g)
+		}
+		if seen[g] {
+			t.Fatalf("duplicate global %q", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestSwitchOptionValues(t *testing.T) {
+	if SwitchRedirect != 0 || SwitchHandover != 1 || SwitchReselect != 2 {
+		t.Fatal("switch option constants changed — operator profiles depend on them")
+	}
+}

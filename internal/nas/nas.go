@@ -1,0 +1,135 @@
+// Package nas provides the binary wire codec for the §9 prototype: it
+// marshals control-plane messages (internal/types.Message) into
+// length-prefixed frames carried over UDP (the emulated RRC air
+// interface, which is unreliable) and TCP (the BS↔core relay, which is
+// reliable), mirroring the prototype's transport split ("we use UDP to
+// emulate it ... TCP to forward (relay) RRC payloads").
+//
+// Frame layout (big-endian):
+//
+//	0      2      4       6       8        12      13      14      15
+//	+------+------+-------+-------+--------+-------+-------+-------+
+//	| len  | kind | cause | resvd |  seq   | sys   | dom   | proto |
+//	+------+------+-------+-------+--------+-------+-------+-------+
+//	| fromLen(1) | from... | toLen(1) | to... |
+//
+// len counts the bytes after the length field itself.
+package nas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cnetverifier/internal/types"
+)
+
+// Frame errors.
+var (
+	ErrShortFrame = errors.New("nas: short frame")
+	ErrBadLength  = errors.New("nas: bad length field")
+)
+
+// MaxNameLen bounds the From/To entity names on the wire.
+const MaxNameLen = 255
+
+// fixedHeader is the byte size of the fixed message fields after the
+// length prefix.
+const fixedHeader = 2 + 2 + 2 + 4 + 1 + 1 + 1 // kind, cause, reserved, seq, sys, dom, proto
+
+// Marshal encodes a message into a frame (including the 2-byte length
+// prefix).
+func Marshal(m types.Message) ([]byte, error) {
+	if len(m.From) > MaxNameLen || len(m.To) > MaxNameLen {
+		return nil, fmt.Errorf("nas: entity name too long (%d/%d)", len(m.From), len(m.To))
+	}
+	body := fixedHeader + 1 + len(m.From) + 1 + len(m.To)
+	buf := make([]byte, 2+body)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(body))
+	binary.BigEndian.PutUint16(buf[2:4], uint16(m.Kind))
+	binary.BigEndian.PutUint16(buf[4:6], uint16(m.Cause))
+	// buf[6:8] reserved.
+	binary.BigEndian.PutUint32(buf[8:12], m.Seq)
+	buf[12] = byte(m.System)
+	buf[13] = byte(m.Domain)
+	buf[14] = byte(m.Proto)
+	p := 15
+	buf[p] = byte(len(m.From))
+	p++
+	copy(buf[p:], m.From)
+	p += len(m.From)
+	buf[p] = byte(len(m.To))
+	p++
+	copy(buf[p:], m.To)
+	return buf, nil
+}
+
+// Unmarshal decodes one frame. The input must contain exactly one
+// frame (datagram semantics); use ReadFrame for streams.
+func Unmarshal(buf []byte) (types.Message, error) {
+	var m types.Message
+	if len(buf) < 2 {
+		return m, ErrShortFrame
+	}
+	body := int(binary.BigEndian.Uint16(buf[0:2]))
+	if body < fixedHeader+2 || 2+body > len(buf) {
+		return m, ErrBadLength
+	}
+	frame := buf[2 : 2+body]
+	m.Kind = types.MsgKind(binary.BigEndian.Uint16(frame[0:2]))
+	m.Cause = types.Cause(binary.BigEndian.Uint16(frame[2:4]))
+	m.Seq = binary.BigEndian.Uint32(frame[6:10])
+	m.System = types.System(frame[10])
+	m.Domain = types.Domain(frame[11])
+	m.Proto = types.Protocol(frame[12])
+	p := 13
+	if p >= len(frame) {
+		return m, ErrShortFrame
+	}
+	fl := int(frame[p])
+	p++
+	if p+fl > len(frame) {
+		return m, ErrShortFrame
+	}
+	m.From = string(frame[p : p+fl])
+	p += fl
+	if p >= len(frame) {
+		return m, ErrShortFrame
+	}
+	tl := int(frame[p])
+	p++
+	if p+tl > len(frame) {
+		return m, ErrShortFrame
+	}
+	m.To = string(frame[p : p+tl])
+	return m, nil
+}
+
+// WriteFrame writes one frame to a stream (TCP relay).
+func WriteFrame(w io.Writer, m types.Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from a stream (TCP relay).
+func ReadFrame(r io.Reader) (types.Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return types.Message{}, err
+	}
+	body := int(binary.BigEndian.Uint16(lenBuf[:]))
+	if body < fixedHeader+2 {
+		return types.Message{}, ErrBadLength
+	}
+	frame := make([]byte, 2+body)
+	copy(frame, lenBuf[:])
+	if _, err := io.ReadFull(r, frame[2:]); err != nil {
+		return types.Message{}, err
+	}
+	return Unmarshal(frame)
+}

@@ -1,0 +1,165 @@
+package nas
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cnetverifier/internal/types"
+)
+
+func sample() types.Message {
+	return types.Message{
+		Kind:   types.MsgAttachRequest,
+		Cause:  types.CauseNone,
+		Seq:    42,
+		System: types.Sys4G,
+		Domain: types.DomainPS,
+		Proto:  types.ProtoEMM,
+		From:   "ue.emm",
+		To:     "mme.emm",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sample()
+	buf, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip: %+v != %+v", back, m)
+	}
+}
+
+func TestRoundTripEmptyNames(t *testing.T) {
+	m := types.Message{Kind: types.MsgPowerOn}
+	buf, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip: %+v != %+v", back, m)
+	}
+}
+
+func TestMarshalNameTooLong(t *testing.T) {
+	m := sample()
+	m.From = strings.Repeat("x", 300)
+	if _, err := Marshal(m); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := Marshal(sample())
+	cases := [][]byte{
+		nil,
+		{0x00},
+		good[:4],                                // truncated body
+		{0x00, 0x01, 0xff},                      // body length below fixed header
+		append([]byte{0xff, 0xff}, good[2:]...), // length exceeds buffer
+	}
+	for i, buf := range cases {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Errorf("case %d: bad frame accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalTruncatedNames(t *testing.T) {
+	good, _ := Marshal(sample())
+	// Corrupt the from-length to exceed the frame.
+	bad := append([]byte(nil), good...)
+	bad[15] = 0xff
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("overlong from-length accepted")
+	}
+}
+
+func TestStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []types.Message{
+		sample(),
+		{Kind: types.MsgAttachAccept, From: "mme.emm", To: "ue.emm"},
+		{Kind: types.MsgAttachComplete, Seq: 7},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedStream(t *testing.T) {
+	full, _ := Marshal(sample())
+	r := bytes.NewReader(full[:len(full)-3])
+	if _, err := ReadFrame(r); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Bad length prefix.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0x00, 0x01, 0x00})); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+}
+
+func TestWriteFrameError(t *testing.T) {
+	m := sample()
+	m.To = strings.Repeat("y", 256)
+	if err := WriteFrame(io.Discard, m); err == nil {
+		t.Fatal("oversized frame written")
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary bounded messages.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(kind uint16, cause uint16, seq uint32, sys, dom, proto uint8, from, to string) bool {
+		if len(from) > MaxNameLen {
+			from = from[:MaxNameLen]
+		}
+		if len(to) > MaxNameLen {
+			to = to[:MaxNameLen]
+		}
+		m := types.Message{
+			Kind:   types.MsgKind(kind),
+			Cause:  types.Cause(cause),
+			Seq:    seq,
+			System: types.System(sys),
+			Domain: types.Domain(dom),
+			Proto:  types.Protocol(proto),
+			From:   from,
+			To:     to,
+		}
+		buf, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(buf)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package netemu
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a duration distribution used by operator profiles for
+// procedure latencies (location updates, re-attach delays, ...).
+type Dist interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Fixed always returns D.
+type Fixed struct{ D time.Duration }
+
+// Sample implements Dist.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return f.D }
+
+// Uniform samples uniformly from [Min, Max].
+type Uniform struct{ Min, Max time.Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// Triangular samples a triangular distribution with the given mode —
+// handy for matching reported (min, median, max) triples such as
+// Figure 4's recovery times.
+type Triangular struct{ Min, Mode, Max time.Duration }
+
+// Sample implements Dist.
+func (t Triangular) Sample(rng *rand.Rand) time.Duration {
+	a, c, b := float64(t.Min), float64(t.Mode), float64(t.Max)
+	if b <= a {
+		return t.Min
+	}
+	u := rng.Float64()
+	fc := (c - a) / (b - a)
+	var x float64
+	if u < fc {
+		x = a + math.Sqrt(u*(b-a)*(c-a))
+	} else {
+		x = b - math.Sqrt((1-u)*(b-a)*(b-c))
+	}
+	return time.Duration(x)
+}
+
+// Mixture samples one of the parts by weight.
+type Mixture struct {
+	Weights []float64
+	Parts   []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(rng *rand.Rand) time.Duration {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	if total == 0 || len(m.Parts) == 0 {
+		return 0
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Parts[i].Sample(rng)
+		}
+	}
+	return m.Parts[len(m.Parts)-1].Sample(rng)
+}

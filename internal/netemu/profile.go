@@ -1,0 +1,120 @@
+package netemu
+
+import (
+	"time"
+
+	"cnetverifier/internal/names"
+)
+
+// OperatorProfile captures the per-carrier policies and latency
+// distributions that differentiate the paper's two studied US
+// operators (anonymized as OP-I and OP-II). Every number is calibrated
+// to a measurement the paper reports; the field comments cite them.
+type OperatorProfile struct {
+	// Name is "OP-I" or "OP-II".
+	Name string
+
+	// SwitchOption is the inter-system switching option the carrier
+	// uses after a CSFB call (§5.3.2: OP-I uses RRC connection release
+	// with redirect; OP-II uses inter-system cell reselection).
+	SwitchOption int
+
+	// LAU is the location-area-update duration (Figure 8a: OP-I all
+	// >2 s, average ≈3 s; OP-II 72% in 1.2–2.1 s, average ≈1.9 s).
+	LAU Dist
+	// RAU is the routing-area-update duration (Figure 8b: OP-I ~75%
+	// in 1–3.6 s; OP-II 90% in 1.6–4.1 s).
+	RAU Dist
+
+	// Reattach is the S1 recovery time from the tracking-area-update
+	// reject to a completed re-attach (Figure 4: 2.4–24.7 s across
+	// carriers; OP-II's re-attach is slower).
+	Reattach Dist
+
+	// StuckReturn is the time spent in 3G after a CSFB call ends with
+	// mobile data on (Table 6: OP-I min 1.1 s / median 2.3 s / max
+	// 52.6 s; OP-II min 14.7 s / median 24.3 s / max 253.9 s).
+	StuckReturn Dist
+
+	// VoiceOverheadDL/UL are the extra shared-channel penalties a
+	// concurrent CS call imposes beyond the 64QAM→16QAM downgrade,
+	// calibrated so Figure 9's observed drops emerge (DL 73.9% OP-I /
+	// 74.8% OP-II; UL 51.1% OP-I / 96.1% OP-II).
+	VoiceOverheadDL, VoiceOverheadUL float64
+
+	// CallSetupBase is the dial→connected time without interference
+	// (Figure 7: average ≈11.4 s).
+	CallSetupBase Dist
+
+	// WaitNetCmdExtra is the §6.1 chain effect: the extra time MM
+	// spends in MM-WAIT-FOR-NET-CMD after a location update during
+	// which call requests stay blocked (≈4.3 s measured).
+	WaitNetCmdExtra time.Duration
+}
+
+// OPI returns the OP-I profile.
+func OPI() OperatorProfile {
+	return OperatorProfile{
+		Name:         "OP-I",
+		SwitchOption: names.SwitchRedirect,
+		LAU:          Uniform{Min: 2 * time.Second, Max: 4 * time.Second},
+		RAU: Mixture{
+			Weights: []float64{0.75, 0.25},
+			Parts: []Dist{
+				Uniform{Min: 1 * time.Second, Max: 3600 * time.Millisecond},
+				Uniform{Min: 3600 * time.Millisecond, Max: 5 * time.Second},
+			},
+		},
+		Reattach: Triangular{Min: 2400 * time.Millisecond, Mode: 4600 * time.Millisecond, Max: 15200 * time.Millisecond},
+		StuckReturn: Mixture{
+			Weights: []float64{0.85, 0.15},
+			Parts: []Dist{
+				Uniform{Min: 1100 * time.Millisecond, Max: 3500 * time.Millisecond},
+				Uniform{Min: 3500 * time.Millisecond, Max: 52600 * time.Millisecond},
+			},
+		},
+		VoiceOverheadDL: 0.50,
+		VoiceOverheadUL: 0.024,
+		CallSetupBase:   Uniform{Min: 10 * time.Second, Max: 12800 * time.Millisecond},
+		WaitNetCmdExtra: 4300 * time.Millisecond,
+	}
+}
+
+// OPII returns the OP-II profile.
+func OPII() OperatorProfile {
+	return OperatorProfile{
+		Name:         "OP-II",
+		SwitchOption: names.SwitchReselect,
+		LAU: Mixture{
+			Weights: []float64{0.72, 0.28},
+			Parts: []Dist{
+				Uniform{Min: 1200 * time.Millisecond, Max: 2100 * time.Millisecond},
+				Uniform{Min: 2100 * time.Millisecond, Max: 3300 * time.Millisecond},
+			},
+		},
+		RAU: Mixture{
+			Weights: []float64{0.9, 0.1},
+			Parts: []Dist{
+				Uniform{Min: 1600 * time.Millisecond, Max: 4100 * time.Millisecond},
+				Uniform{Min: 4100 * time.Millisecond, Max: 5500 * time.Millisecond},
+			},
+		},
+		Reattach: Triangular{Min: 3500 * time.Millisecond, Mode: 8700 * time.Millisecond, Max: 24700 * time.Millisecond},
+		StuckReturn: Mixture{
+			Weights: []float64{0.9, 0.1},
+			Parts: []Dist{
+				Uniform{Min: 14700 * time.Millisecond, Max: 36 * time.Second},
+				Uniform{Min: 36 * time.Second, Max: 253900 * time.Millisecond},
+			},
+		},
+		VoiceOverheadDL: 0.516,
+		VoiceOverheadUL: 0.922,
+		CallSetupBase:   Uniform{Min: 10 * time.Second, Max: 12800 * time.Millisecond},
+		WaitNetCmdExtra: 4300 * time.Millisecond,
+	}
+}
+
+// Operators returns both profiles, OP-I first.
+func Operators() []OperatorProfile {
+	return []OperatorProfile{OPI(), OPII()}
+}

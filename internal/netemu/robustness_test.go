@@ -1,0 +1,198 @@
+package netemu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// fuzzEvents is the closed set of environment events a user/operator
+// can fire at the standard stack.
+var fuzzEvents = []struct {
+	proc string
+	kind types.MsgKind
+}{
+	{names.UEEMM, types.MsgPowerOn},
+	{names.UEGMM, types.MsgPowerOn},
+	{names.UEMM, types.MsgPowerOn},
+	// The empty proc marks a whole-phone power-off: a real power cycle
+	// hits every machine atomically.
+	{"", types.MsgPowerOff},
+	{names.UECM, types.MsgUserDialCall},
+	{names.UECM, types.MsgUserHangUp},
+	{names.UERRC4G, types.MsgUserDataOn},
+	{names.UERRC3G, types.MsgUserDataOn},
+	{names.UESM, types.MsgUserDataOn},
+	{names.UERRC3G, types.MsgUserDataOff},
+	{names.UERRC4G, types.MsgUserDataOff},
+	{names.UEMM, types.MsgUserMove},
+	{names.UEGMM, types.MsgUserMove},
+	{names.UEEMM, types.MsgUserMove},
+	{names.UEEMM, types.MsgPeriodicTimer},
+	{names.UEMM, types.MsgPeriodicTimer},
+	{names.UEGMM, types.MsgPeriodicTimer},
+	{names.UEGMM, types.MsgInterSystemSwitchCommand},
+	{names.UEEMM, types.MsgInterSystemCellReselect},
+	{names.UERRC3G, types.MsgInterSystemCellReselect},
+	{names.UERRC4G, types.MsgNetSwitchOrder},
+	{names.MSCMM, types.MsgLUFailureSignal},
+	{names.MSCCM, types.MsgPagingRequest},
+	{names.UESM, types.MsgWiFiAvailable},
+	{names.UESM, types.MsgDeactivatePDPRequest},
+	{names.SGSNSM, types.MsgNetDetachOrder},
+	{names.MMEEMM, types.MsgNetDetachOrder},
+	{names.SGSNGMM, types.MsgNetDetachOrder},
+}
+
+// checkInvariants asserts the shared-context invariants that must hold
+// in every reachable state of the standard stack.
+func checkInvariants(t *testing.T, w *World, step int) {
+	t.Helper()
+	binary := []string{
+		names.GPDP, names.GEPS, names.GReg4G, names.GReg3GCS, names.GReg3GPS,
+		names.GDetachedByNet, names.GAttachRejected, names.GCallWanted,
+		names.GCallActive, names.GCallRejected, names.GCallDelayed,
+		names.GLUInProgress, names.GRAUInProgress, names.GDataDelayed,
+		names.GWantReturn4G, names.GCSFBTag, names.GLUFail3G, names.GDataOn,
+	}
+	for _, name := range binary {
+		if v := w.Global(name); v != 0 && v != 1 {
+			t.Fatalf("step %d: global %s = %d, want 0/1", step, name, v)
+		}
+	}
+	if sys := w.Global(names.GSys); sys < 0 || sys > int(types.Sys4G) {
+		t.Fatalf("step %d: GSys = %d", step, sys)
+	}
+	if mod := w.Global(names.GModulation); mod != 16 && mod != 64 {
+		t.Fatalf("step %d: modulation = %d", step, mod)
+	}
+	// An active call implies the device is camped on 3G (CSFB world:
+	// no VoLTE, §2).
+	if w.Global(names.GCallActive) == 1 && w.Global(names.GSys) != int(types.Sys3G) {
+		t.Fatalf("step %d: call active while camped on %s",
+			step, types.System(w.Global(names.GSys)))
+	}
+}
+
+// Property: the standard stack survives arbitrary user/operator event
+// sequences (under every operator/fix combination) without panicking
+// or corrupting the shared context.
+func TestQuickStackRobustness(t *testing.T) {
+	causes := []types.Cause{
+		types.CauseInsufficientResources, types.CauseQoSNotAccepted,
+		types.CauseLowLayerFailure, types.CauseRegularDeactivation,
+		types.CauseIncompatiblePDPContext, types.CauseOperatorDeterminedBarring,
+	}
+	configs := []struct {
+		p     OperatorProfile
+		fixes FixSet
+	}{
+		{OPI(), FixSet{}},
+		{OPII(), FixSet{}},
+		{OPII(), AllFixes()},
+		{OPI(), FixSet{DomainDecoupling: true}},
+	}
+	f := func(choices []uint16, cfgIdx uint8) bool {
+		cfg := configs[int(cfgIdx)%len(configs)]
+		w := NewWorld(1)
+		StandardStack(w, cfg.p, cfg.fixes)
+		at := time.Duration(0)
+		for i, choice := range choices {
+			e := fuzzEvents[int(choice)%len(fuzzEvents)]
+			msg := types.Message{Kind: e.kind}
+			if e.kind == types.MsgDeactivatePDPRequest || e.kind == types.MsgNetDetachOrder {
+				msg.Cause = causes[int(choice/256)%len(causes)]
+			}
+			at += 100 * time.Millisecond
+			if e.proc == "" {
+				for _, proc := range []string{names.UEEMM, names.UEGMM, names.UEMM, names.UESM,
+					names.UEESM, names.UECM, names.UERRC3G, names.UERRC4G} {
+					w.InjectAt(at, proc, msg)
+				}
+			} else {
+				w.InjectAt(at, e.proc, msg)
+			}
+			w.Run()
+			checkInvariants(t, w, i)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whatever the event history, power-off always returns the
+// stack to a fully idle state.
+func TestQuickPowerOffAlwaysResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		w := NewWorld(int64(trial))
+		StandardStack(w, OPII(), FixSet{})
+		at := time.Duration(0)
+		for i := 0; i < 30; i++ {
+			e := fuzzEvents[rng.Intn(len(fuzzEvents))]
+			if e.proc == "" {
+				continue
+			}
+			at += 100 * time.Millisecond
+			w.InjectAt(at, e.proc, types.Message{Kind: e.kind, Cause: types.CauseRegularDeactivation})
+		}
+		w.Run()
+		// Power everything off.
+		for _, proc := range []string{names.UEEMM, names.UEGMM, names.UEMM, names.UESM,
+			names.UEESM, names.UECM, names.UERRC3G, names.UERRC4G} {
+			w.Inject(proc, types.Message{Kind: types.MsgPowerOff})
+		}
+		w.Run()
+		for _, g := range []string{names.GReg4G, names.GReg3GCS, names.GReg3GPS,
+			names.GPDP, names.GEPS, names.GCallActive, names.GPSData} {
+			if w.Global(g) != 0 {
+				t.Fatalf("trial %d: %s = %d after power off", trial, g, w.Global(g))
+			}
+		}
+	}
+}
+
+// Property: the S1 detach is monotone in the fixes — any event sequence
+// that strands the fixed stack must also strand the defective one.
+// (Checked on the canonical S1 sequence with randomized interleaved
+// noise events.)
+func TestQuickFixesNeverWorse(t *testing.T) {
+	noise := []struct {
+		proc string
+		kind types.MsgKind
+	}{
+		{names.UEMM, types.MsgUserMove},
+		{names.UEEMM, types.MsgPeriodicTimer},
+		{names.UEGMM, types.MsgPeriodicTimer},
+		{names.UECM, types.MsgUserDialCall},
+		{names.UECM, types.MsgUserHangUp},
+	}
+	f := func(noiseChoices []uint8) bool {
+		run := func(fixes FixSet) int {
+			w := NewWorld(5)
+			StandardStack(w, OPII(), fixes)
+			w.InjectAt(0, names.UEEMM, types.Message{Kind: types.MsgPowerOn})
+			w.InjectAt(time.Second, names.UEGMM, types.Message{Kind: types.MsgInterSystemSwitchCommand})
+			at := 1500 * time.Millisecond
+			for _, nc := range noiseChoices {
+				e := noise[int(nc)%len(noise)]
+				w.InjectAt(at, e.proc, types.Message{Kind: e.kind})
+				at += 100 * time.Millisecond
+			}
+			w.InjectAt(at+time.Second, names.UESM, types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: types.CauseInsufficientResources})
+			w.InjectAt(at+2*time.Second, names.UEEMM, types.Message{Kind: types.MsgInterSystemCellReselect})
+			w.Run()
+			return w.Global(names.GDetachedByNet)
+		}
+		return run(AllFixes()) <= run(FixSet{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package netemu is the validation-phase substrate of CNetVerifier
+// (§3.3, Figure 2 phase 2): a deterministic discrete-event emulator
+// that runs the same protocol state machines as the model checker, but
+// under virtual time, configurable signaling latencies, per-operator
+// policy profiles (OP-I, OP-II) and injected radio loss.
+//
+// Where the paper drives commercial phones over two US carriers and
+// reads QXDM traces, this package drives the emulated device/core
+// stacks and reads the internal/trace collector — reproducing the
+// validation experiments (Figures 4, 7, 8, 9, 10 and Table 6).
+package netemu
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Sim is a deterministic discrete-event scheduler under virtual time.
+type Sim struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+	rng *rand.Rand
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// NewSim returns a simulator with a seeded RNG (deterministic runs).
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation RNG.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at an absolute virtual time (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next pending event; it reports whether one ran.
+func (s *Sim) Step() bool {
+	if s.pq.empty() {
+		return false
+	}
+	e := heap.Pop(&s.pq).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for !s.pq.empty() && s.pq.peek().at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.pq) }

@@ -1,0 +1,104 @@
+// Package props defines the three cellular-oriented properties of
+// CNetVerifier's screening phase (§3.2.2) as monitors over model
+// worlds:
+//
+//   - PacketService_OK: packet data service stays available once the
+//     device has attached, unless explicitly deactivated by the user.
+//   - CallService_OK: call requests are neither rejected nor delayed
+//     without an explicit user operation.
+//   - MM_OK: inter-system mobility (a 3G↔4G switch) is served whenever
+//     requested and both systems are available.
+//
+// The monitors read the shared global context variables maintained by
+// the protocol models (internal/names), so they apply unchanged to
+// every scoped world assembled by internal/core.
+package props
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/names"
+)
+
+// prop adapts a monitor function to check.Property.
+type prop struct {
+	name string
+	f    func(w *model.World, last model.Step) string
+}
+
+func (p prop) Name() string                                 { return p.name }
+func (p prop) Check(w *model.World, last model.Step) string { return p.f(w, last) }
+
+// PacketServiceOK returns the PacketService_OK monitor. It fires when
+// the network has detached a device that still wants service — the
+// out-of-service symptom shared by S1, S2 and S6.
+func PacketServiceOK() check.Property {
+	return prop{
+		name: "PacketService_OK",
+		f: func(w *model.World, last model.Step) string {
+			if w.Global(names.GDetachedByNet) == 1 {
+				return fmt.Sprintf("device detached by network without user action (after %q)", last.Label)
+			}
+			return ""
+		},
+	}
+}
+
+// CallServiceOK returns the CallService_OK monitor. It fires when an
+// outgoing call request is rejected, or delayed behind an unrelated
+// procedure (the S4 head-of-line blocking).
+func CallServiceOK() check.Property {
+	return prop{
+		name: "CallService_OK",
+		f: func(w *model.World, last model.Step) string {
+			if w.Global(names.GCallRejected) == 1 {
+				return "outgoing call rejected without user action"
+			}
+			if w.Global(names.GCallDelayed) == 1 {
+				return "outgoing call delayed behind location update (HOL blocking)"
+			}
+			return ""
+		},
+	}
+}
+
+// DataServiceOK returns a companion monitor for the PS side of S4: an
+// outgoing data request delayed behind a routing-area update. The paper
+// folds this into the CallService_OK discussion (§6.1 "Internet data
+// service"); it is kept separate here so counterexamples name the
+// affected domain.
+func DataServiceOK() check.Property {
+	return prop{
+		name: "DataService_OK",
+		f: func(w *model.World, last model.Step) string {
+			if w.Global(names.GDataDelayed) == 1 {
+				return "outgoing data request delayed behind routing area update (HOL blocking)"
+			}
+			return ""
+		},
+	}
+}
+
+// MMOK returns the MM_OK monitor: a pending inter-system switch must
+// eventually be served. The monitor fires when the world is quiescent
+// (no signaling in flight) yet the return-to-4G obligation raised by a
+// completed CSFB call remains unmet — the S3 stuck-in-3G state.
+func MMOK() check.Property {
+	return prop{
+		name: "MM_OK",
+		f: func(w *model.World, last model.Step) string {
+			if w.Global(names.GWantReturn4G) == 1 && w.Quiescent() {
+				return "3G→4G switch requested but not served (stuck in 3G)"
+			}
+			return ""
+		},
+	}
+}
+
+// All returns the three properties of §3.2.2 plus the PS-side HOL
+// companion monitor.
+func All() []check.Property {
+	return []check.Property{PacketServiceOK(), CallServiceOK(), DataServiceOK(), MMOK()}
+}

@@ -1,0 +1,106 @@
+package props
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// idleSpec is a machine that reacts to nothing (worlds for property
+// evaluation only).
+func idleSpec() *fsm.Spec {
+	return &fsm.Spec{
+		Name: "idle",
+		Init: "IDLE",
+		Transitions: []fsm.Transition{
+			{Name: "noop", From: "IDLE", On: types.MsgPowerOn, To: fsm.Same},
+		},
+	}
+}
+
+func world(t *testing.T, globals map[string]int) *model.World {
+	t.Helper()
+	w, err := model.New(model.Config{
+		Procs:   []model.ProcConfig{{Name: "X", Spec: idleSpec()}},
+		Globals: globals,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPacketServiceOK(t *testing.T) {
+	p := PacketServiceOK()
+	if p.Name() != "PacketService_OK" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	if got := p.Check(world(t, nil), model.Step{}); got != "" {
+		t.Fatalf("clean world flagged: %s", got)
+	}
+	w := world(t, map[string]int{names.GDetachedByNet: 1})
+	if got := p.Check(w, model.Step{Label: "tau-reject-detach"}); got == "" {
+		t.Fatal("network detach not flagged")
+	}
+}
+
+func TestCallServiceOK(t *testing.T) {
+	p := CallServiceOK()
+	if got := p.Check(world(t, nil), model.Step{}); got != "" {
+		t.Fatalf("clean world flagged: %s", got)
+	}
+	if got := p.Check(world(t, map[string]int{names.GCallRejected: 1}), model.Step{}); got == "" {
+		t.Fatal("rejection not flagged")
+	}
+	if got := p.Check(world(t, map[string]int{names.GCallDelayed: 1}), model.Step{}); got == "" {
+		t.Fatal("HOL delay not flagged")
+	}
+}
+
+func TestDataServiceOK(t *testing.T) {
+	p := DataServiceOK()
+	if got := p.Check(world(t, map[string]int{names.GDataDelayed: 1}), model.Step{}); got == "" {
+		t.Fatal("data delay not flagged")
+	}
+	if got := p.Check(world(t, nil), model.Step{}); got != "" {
+		t.Fatalf("clean world flagged: %s", got)
+	}
+}
+
+// MM_OK only fires on quiescent worlds: a pending return with signaling
+// still in flight is not yet a violation.
+func TestMMOKQuiescence(t *testing.T) {
+	p := MMOK()
+	w := world(t, map[string]int{names.GWantReturn4G: 1})
+	if got := p.Check(w, model.Step{}); got == "" {
+		t.Fatal("quiescent stuck state not flagged")
+	}
+	if err := w.Inject("X", types.Message{Kind: types.MsgPowerOn}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Check(w, model.Step{}); got != "" {
+		t.Fatalf("in-flight world flagged: %s", got)
+	}
+}
+
+func TestAll(t *testing.T) {
+	props := All()
+	if len(props) != 4 {
+		t.Fatalf("All() = %d properties", len(props))
+	}
+	seen := map[string]bool{}
+	for _, p := range props {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate property %s", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	for _, want := range []string{"PacketService_OK", "CallService_OK", "DataService_OK", "MM_OK"} {
+		if !seen[want] {
+			t.Fatalf("missing property %s", want)
+		}
+	}
+}

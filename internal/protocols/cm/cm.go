@@ -1,0 +1,271 @@
+// Package cm models the 3G Call Control / Connectivity Management
+// protocol (CM/CC, TS 24.008) between the device and the MSC, plus the
+// CSFB call origination path of a 4G device (§2, §5.3): a call dialed
+// in 4G triggers Circuit-Switched Fallback — the device switches to 3G,
+// runs the call over CS there, and is supposed to return to 4G when the
+// call ends.
+package cm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side CM states.
+const (
+	UEIdle       fsm.State = "CC-IDLE"
+	UECSFBSwitch fsm.State = "CC-CSFB-SWITCHING"
+	UEServiceReq fsm.State = "CC-SERVICE-REQUESTED"
+	UESetup      fsm.State = "CC-SETUP"
+	UEActive     fsm.State = "CC-ACTIVE"
+)
+
+// MSC-side CM states.
+const (
+	MSCIdle   fsm.State = "MSC-CC-IDLE"
+	MSCActive fsm.State = "MSC-CC-ACTIVE"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// Peer is the MSC CM process (default names.MSCCM).
+	Peer string
+	// MM is the co-located mobility-management process that brokers the
+	// CM service request (default names.UEMM). When empty-string
+	// brokering is disabled via DirectToMSC, CM talks to the MSC
+	// directly (used by scoped models that omit MM).
+	MM string
+	// DirectToMSC skips the MM service-request brokering; used by the
+	// S3/S5 scoped models where MM is not under study.
+	DirectToMSC bool
+	// VoLTE enables Voice-over-LTE (§2): calls dialed in 4G are carried
+	// over the PS domain in 4G instead of falling back to 3G. The paper
+	// notes carriers avoided VoLTE for cost/complexity and adopted CSFB
+	// — which is what exposes S3 and S6; with VoLTE those two findings
+	// cannot occur (the what-if ablation).
+	VoLTE bool
+}
+
+// MSCOptions configure the network-side machine.
+type MSCOptions struct {
+	// Peer is the device CM process (default names.UECM).
+	Peer string
+}
+
+// DeviceSpec returns the device-side CM machine.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.MSCCM
+	}
+	if o.MM == "" {
+		o.MM = names.UEMM
+	}
+	peer, mmProc := o.Peer, o.MM
+
+	requestService := func(c fsm.Ctx, e fsm.Event) {
+		c.Set(names.GCallWanted, 1)
+		if o.DirectToMSC {
+			c.Send(peer, types.NewMessage(types.MsgCallSetup, types.ProtoCM))
+		} else {
+			c.Send(mmProc, types.NewMessage(types.MsgCMServiceRequest, types.ProtoCM))
+		}
+		c.Trace("CC outgoing call requested")
+	}
+
+	return &fsm.Spec{
+		Name:  "CC-UE",
+		Proto: types.ProtoCM,
+		Init:  UEIdle,
+		Vars:  map[string]int{"mtCall": 0, "volteCall": 0},
+		Transitions: []fsm.Transition{
+			// Dialing while camped on 3G: go through MM (or straight to
+			// the MSC in scoped models).
+			{Name: "dial-3g", From: UEIdle, On: types.MsgUserDialCall, To: UEServiceReq,
+				Guard:  func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) },
+				Action: requestService},
+
+			// Dialing while camped on 4G with VoLTE (§2): the call runs
+			// over the 4G PS domain — no fallback, no inter-system
+			// switch, hence no S3/S6 exposure. The MSC process stands in
+			// for the IMS application server in this abstraction.
+			{Name: "dial-volte", From: UEIdle, On: types.MsgUserDialCall, To: UESetup,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return o.VoLTE && c.Get(names.GSys) == int(types.Sys4G)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallWanted, 1)
+					c.Set("volteCall", 1)
+					c.Send(peer, types.NewMessage(types.MsgCallSetup, types.ProtoCM))
+					c.Trace("CC VoLTE call over 4G PS")
+				}},
+			{Name: "volte-paged", From: UEIdle, On: types.MsgPagingRequest, To: UESetup,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return o.VoLTE && c.Get(names.GSys) == int(types.Sys4G) && c.Get(names.GReg4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("volteCall", 1)
+					c.Send(peer, types.NewMessage(types.MsgCallConnect, types.ProtoCM))
+					c.Trace("CC VoLTE MT call answered in 4G")
+				}},
+
+			// Dialing while camped on 4G: CSFB. The extended service
+			// request is handed to 4G RRC, which performs the 4G→3G
+			// switch (§5.1.1); CM resumes once 3G RRC is connected.
+			{Name: "dial-csfb", From: UEIdle, On: types.MsgUserDialCall, To: UECSFBSwitch,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.VoLTE && c.Get(names.GSys) == int(types.Sys4G)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallWanted, 1)
+					c.Output(types.NewMessage(types.MsgCSFBServiceRequest, types.ProtoRRC4G))
+					c.Trace("CC CSFB call: requesting 4G→3G fallback")
+				}},
+			// Mobile-terminated CSFB (§2: CSFB "switches 4G users to
+			// legacy 3G" for voice — in both directions): a page while
+			// camped on 4G triggers the same fallback; the call is
+			// answered once the 3G radio is up.
+			{Name: "paged-csfb", From: UEIdle, On: types.MsgPagingRequest, To: UECSFBSwitch,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.VoLTE && c.Get(names.GSys) == int(types.Sys4G) && c.Get(names.GReg4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("mtCall", 1)
+					c.Output(types.NewMessage(types.MsgCSFBServiceRequest, types.ProtoRRC4G))
+					c.Trace("CC MT CSFB call: requesting 4G→3G fallback")
+				}},
+
+			// 3G radio is up after the fallback: proceed with the call
+			// (answer it for MT, request service for MO).
+			{Name: "csfb-proceed-mt", From: UECSFBSwitch, On: types.MsgRRCConnectionSetupComplete, To: UEActive,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get("mtCall") == 1 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("mtCall", 0)
+					c.Set(names.GCallActive, 1)
+					c.Send(peer, types.NewMessage(types.MsgCallConnect, types.ProtoCM))
+					c.Output(types.NewMessage(types.MsgCallConnect, types.ProtoRRC3G))
+					c.Trace("CC MT CSFB call answered in 3G")
+				}},
+			{Name: "csfb-proceed", From: UECSFBSwitch, On: types.MsgRRCConnectionSetupComplete, To: UEServiceReq,
+				Guard:  func(c fsm.Ctx, e fsm.Event) bool { return c.Get("mtCall") == 0 },
+				Action: requestService},
+
+			// Service request answered (via MM's cross-layer relay).
+			{Name: "svc-accepted", From: UEServiceReq, On: types.MsgCMServiceAccept, To: UESetup,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCallSetup, types.ProtoCM))
+					c.Trace("CC call setup sent")
+				}},
+			{Name: "svc-rejected", From: UEServiceReq, On: types.MsgCMServiceReject, To: UEIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallWanted, 0)
+					c.Set(names.GCallRejected, 1)
+					c.Trace("CC call rejected: %s", e.Msg.Cause)
+				}},
+
+			// Call connect (direct setups land here from UEServiceReq
+			// too, for DirectToMSC models).
+			{Name: "connected", From: UESetup, On: types.MsgCallConnect, To: UEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallActive, 1)
+					c.Set(names.GCallWanted, 0)
+					if c.Get("volteCall") == 0 {
+						// Tell 3G RRC a CS call now shares the channel (S5).
+						c.Output(types.NewMessage(types.MsgCallConnect, types.ProtoRRC3G))
+					}
+					c.Trace("CC call active")
+				}},
+			{Name: "connected-direct", From: UEServiceReq, On: types.MsgCallConnect, To: UEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallActive, 1)
+					c.Set(names.GCallWanted, 0)
+					c.Output(types.NewMessage(types.MsgCallConnect, types.ProtoRRC3G))
+					c.Trace("CC call active")
+				}},
+
+			// Hang-up: release toward the MSC and tell the local stack
+			// the CSFB call ended (MM runs the deferred location update,
+			// RRC evaluates the return-to-4G switch — S3).
+			{Name: "hangup", From: UEActive, On: types.MsgUserHangUp, To: UEIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallActive, 0)
+					volte := c.Get("volteCall") == 1
+					c.Set("volteCall", 0)
+					if !volte && c.Get(names.GCSFBTag) == 1 {
+						c.Set(names.GWantReturn4G, 1)
+					}
+					c.Send(peer, types.NewMessage(types.MsgCallDisconnect, types.ProtoCM))
+					if !volte {
+						c.Output(types.NewMessage(types.MsgCallRelease, types.ProtoRRC3G))
+					}
+					c.Trace("CC call ended")
+				}},
+			// Remote release.
+			{Name: "remote-release", From: UEActive, On: types.MsgCallRelease, To: UEIdle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return e.Msg.From != "" },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallActive, 0)
+					if c.Get(names.GCSFBTag) == 1 {
+						c.Set(names.GWantReturn4G, 1)
+					}
+					c.Output(types.NewMessage(types.MsgCallRelease, types.ProtoRRC3G))
+					c.Trace("CC call released by network")
+				}},
+
+			// Incoming call while camped on 3G: answer immediately (the
+			// §3.3 auto-answer test tool behavior).
+			{Name: "paged", From: UEIdle, On: types.MsgPagingRequest, To: UESetup,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCallConnect, types.ProtoCM))
+				}},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallActive, 0)
+					c.Set(names.GCallWanted, 0)
+				}},
+		},
+	}
+}
+
+// MSCSpec returns the MSC-side CM machine.
+func MSCSpec(o MSCOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UECM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "CC-MSC",
+		Proto: types.ProtoCM,
+		Init:  MSCIdle,
+		Transitions: []fsm.Transition{
+			{Name: "setup", From: MSCIdle, On: types.MsgCallSetup, To: MSCActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCallConnect, types.ProtoCM))
+				}},
+			{Name: "disconnect", From: MSCActive, On: types.MsgCallDisconnect, To: MSCIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCallRelease, types.ProtoCM))
+				}},
+			// Network-side release (operator scenario: remote hang-up).
+			{Name: "net-release", From: MSCActive, On: types.MsgNetDetachOrder, To: MSCIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCallRelease, types.ProtoCM))
+				}},
+			// Mobile-terminated call (operator scenario): page the UE.
+			// Paging requires a registered subscriber — the network
+			// cannot route an incoming call to a detached device (§6.1:
+			// "Without it, the network cannot route incoming calls").
+			{Name: "mt-call", From: MSCIdle, On: types.MsgPagingRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GReg3GCS) == 1 || c.Get(names.GReg4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgPagingRequest, types.ProtoCM))
+				}},
+			{Name: "mt-connect", From: MSCIdle, On: types.MsgCallConnect, To: MSCActive},
+		},
+	}
+}

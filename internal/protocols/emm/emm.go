@@ -1,0 +1,353 @@
+// Package emm models the 4G EPS Mobility Management protocol
+// (TS 24.301) as device-side and MME-side finite state machines.
+//
+// EMM manages attach/detach, tracking-area updates (TAU) and the
+// inter-system return to 4G. It is central to three of the paper's
+// findings:
+//
+//   - S1 (§5.1): on the return 3G→4G switch the device performs a TAU;
+//     if neither an EPS bearer context nor a 3G PDP context survives,
+//     the MME rejects the TAU and the device detaches — temporarily
+//     out of service.
+//   - S2 (§5.2): EMM assumes reliable, in-sequence signal transfer from
+//     RRC. A lost Attach Complete leaves the MME in WAIT-COMPLETE, so a
+//     later TAU is rejected with "implicitly detached"; a duplicate
+//     Attach Request at REGISTERED forces the MME to delete the EPS
+//     bearer context and reprocess.
+//   - S6 (§6.3): a 3G location-update failure propagated through the
+//     MME detaches the 4G user.
+//
+// The §8 fixes are modeled as option flags so the checker can verify
+// both the defective standard behavior and the repaired one.
+package emm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side EMM states (TS 24.301 §5.1.3, abstracted).
+const (
+	UEDeregistered fsm.State = "EMM-DEREGISTERED"
+	UEAttaching    fsm.State = "EMM-REGISTERED-INITIATED"
+	UERegistered   fsm.State = "EMM-REGISTERED"
+)
+
+// MME-side EMM states.
+const (
+	MMEDeregistered fsm.State = "MME-DEREGISTERED"
+	MMEWaitComplete fsm.State = "MME-COMMON-PROC-INITIATED"
+	MMERegistered   fsm.State = "MME-REGISTERED"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// FixReactivateBearer enables the §8 cross-system coordination fix
+	// for S1: on a TAU reject with "no EPS bearer context activated"
+	// the device requests an EPS bearer activation instead of
+	// detaching.
+	FixReactivateBearer bool
+	// Peer is the process name of the MME EMM (default names.MMEEMM).
+	Peer string
+}
+
+// MMEOptions configure the network-side machine.
+type MMEOptions struct {
+	// FixReactivateBearer enables the §8 fix on the MME: a TAU from a
+	// registered UE with no recoverable session context is accepted and
+	// a bearer activation is initiated, instead of rejecting and
+	// detaching the UE.
+	FixReactivateBearer bool
+	// FixLUFailureRecovery enables the §8 fix for S6: the MME absorbs a
+	// 3G location-update failure and recovers it with the MSC instead
+	// of detaching the device.
+	FixLUFailureRecovery bool
+	// PropagateLUFailure models the carrier behavior behind S6: the 3G
+	// failure is exposed to the device as an implicit detach. Ignored
+	// when FixLUFailureRecovery is set.
+	PropagateLUFailure bool
+	// Peer is the process name of the device EMM (default names.UEEMM).
+	Peer string
+	// ESM is the co-located MME ESM process receiving bearer-activation
+	// requests under FixReactivateBearer (default names.MMEESM).
+	ESM string
+}
+
+// DeviceSpec returns the device-side EMM machine.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.MMEEMM
+	}
+	peer := o.Peer
+
+	attach := func(c fsm.Ctx, e fsm.Event) {
+		c.Set(names.GSys, int(types.Sys4G))
+		c.Send(peer, types.NewMessage(types.MsgAttachRequest, types.ProtoEMM))
+		c.Trace("EMM attach initiated")
+	}
+	deregister := func(byNet bool) fsm.Action {
+		return func(c fsm.Ctx, e fsm.Event) {
+			c.Set(names.GReg4G, 0)
+			c.Set(names.GEPS, 0)
+			if byNet {
+				c.Set(names.GDetachedByNet, 1)
+				c.Trace("EMM detached by network: %s", e.Msg.Cause)
+			}
+		}
+	}
+
+	spec := &fsm.Spec{
+		Name:  "EMM-UE",
+		Proto: types.ProtoEMM,
+		Init:  UEDeregistered,
+		Transitions: []fsm.Transition{
+			// Power-on attach to 4G. A device already camped (and
+			// possibly busy) on 3G does not re-run the 4G power-on
+			// attach; it returns via reselection instead.
+			{Name: "attach-4g", From: UEDeregistered, On: types.MsgPowerOn, To: UEAttaching,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GSys) != int(types.Sys3G)
+				},
+				Action: attach},
+			// Re-attach after a detach (the Figure 4 recovery path).
+			{Name: "reattach-4g", From: UEDeregistered, On: types.MsgPeriodicTimer, To: UEAttaching,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GDetachedByNet) == 1 && c.Get(names.GSys) == int(types.Sys4G)
+				},
+				Action: attach},
+
+			// Attach accepted: establish default EPS bearer and confirm.
+			{Name: "attach-accept", From: UEAttaching, On: types.MsgAttachAccept, To: UERegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg4G, 1)
+					c.Set(names.GEPS, 1)
+					c.Set(names.GDetachedByNet, 0)
+					c.Send(peer, types.NewMessage(types.MsgAttachComplete, types.ProtoEMM))
+					c.Trace("EMM attach complete sent")
+				}},
+			{Name: "attach-reject", From: UEAttaching, On: types.MsgAttachReject, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					deregister(false)(c, e)
+					c.Set(names.GAttachRejected, 1)
+					c.Trace("EMM attach rejected: %s", e.Msg.Cause)
+				}},
+
+			// NAS retransmission: the T3410 timer refires the Attach
+			// Request while waiting for the Attach Accept. With signals
+			// relayed through different base stations this is the
+			// duplicate-signal source of S2 (§5.2.1, Figure 5b).
+			{Name: "attach-retransmit", From: UEAttaching, On: types.MsgPeriodicTimer, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgAttachRequest, types.ProtoEMM))
+					c.Trace("EMM attach request retransmitted")
+				}},
+
+			// Tracking area update triggers: periodic, mobility, and the
+			// return 3G→4G switch (the device camps on 4G, then updates
+			// its location, §2 "mobility management").
+			{Name: "tau-periodic", From: UERegistered, On: types.MsgPeriodicTimer, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys4G) },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateRequest, types.ProtoEMM))
+				}},
+			{Name: "tau-mobility", From: UERegistered, On: types.MsgUserMove, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys4G) },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateRequest, types.ProtoEMM))
+				}},
+			// Reselection back to 4G requires an effectively idle radio:
+			// an active CS call or an ongoing high-rate data session
+			// holds 3G RRC connected, and reselection only works from
+			// IDLE (§5.3, Figure 6a).
+			{Name: "switch-to-4g", From: UERegistered, On: types.MsgInterSystemCellReselect, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GSys) == int(types.Sys3G) &&
+						c.Get(names.GCallActive) == 0 && c.Get(names.GPSData) == 0
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GSys, int(types.Sys4G))
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateRequest, types.ProtoEMM))
+					c.Trace("EMM 3G→4G switch, TAU sent")
+				}},
+
+			{Name: "tau-accept", From: UERegistered, On: types.MsgTrackingAreaUpdateAccept, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GDetachedByNet, 0)
+				}},
+
+			// TAU reject handling: the S1/S2/S6 defect path detaches;
+			// the §8 fix reactivates the bearer for the S1 cause.
+			{Name: "tau-reject-reactivate", From: UERegistered, On: types.MsgTrackingAreaUpdateReject, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return o.FixReactivateBearer && e.Msg.Cause == types.CauseNoEPSBearerContext
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Output(types.NewMessage(types.MsgActivateBearerRequest, types.ProtoESM))
+					c.Trace("EMM fix: reactivating EPS bearer instead of detaching")
+				}},
+			{Name: "tau-reject-detach", From: UERegistered, On: types.MsgTrackingAreaUpdateReject, To: UEDeregistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !(o.FixReactivateBearer && e.Msg.Cause == types.CauseNoEPSBearerContext)
+				},
+				Action: deregister(true)},
+
+			// Network-initiated detach: a deliberate operator decision
+			// (e.g. resource constraints, §2) — the device complies.
+			// This is an *explicit* deactivation, so it does not count
+			// against PacketService_OK ("unless being explicitly
+			// deactivated", §3.2.2); the damaging out-of-service cases
+			// of S1/S2/S6 arrive as rejects instead.
+			{Name: "net-detach", From: UERegistered, On: types.MsgDetachRequest, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					deregister(false)(c, e)
+					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoEMM))
+					c.Trace("EMM detached on network order: %s", e.Msg.Cause)
+				}},
+
+			// User power-off from any state.
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg4G, 0)
+					c.Set(names.GEPS, 0)
+					c.Set(names.GSys, int(types.SysNone))
+					c.Send(peer, types.NewMessage(types.MsgDetachRequest, types.ProtoEMM).WithCause(types.CauseUserPowerOff))
+				}},
+		},
+	}
+	return spec
+}
+
+// MMESpec returns the MME-side EMM machine.
+func MMESpec(o MMEOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UEEMM
+	}
+	if o.ESM == "" {
+		o.ESM = names.MMEESM
+	}
+	peer := o.Peer
+
+	acceptTAU := func(c fsm.Ctx, e fsm.Event) {
+		c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateAccept, types.ProtoEMM))
+	}
+
+	spec := &fsm.Spec{
+		Name:  "EMM-MME",
+		Proto: types.ProtoEMM,
+		Init:  MMEDeregistered,
+		Transitions: []fsm.Transition{
+			// Attach: accept. (Reject branches are injected by operator
+			// scenarios as explicit env events on this machine.)
+			{Name: "attach-accept", From: MMEDeregistered, On: types.MsgAttachRequest, To: MMEWaitComplete,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgAttachAccept, types.ProtoEMM))
+				}},
+			// On completion the default EPS bearer context is final on
+			// the network side too (needed when device and core keep
+			// separate context stores, as in the socket prototype).
+			{Name: "attach-done", From: MMEWaitComplete, On: types.MsgAttachComplete, To: MMERegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 1)
+				}},
+
+			// S2 lost-signal defect: a TAU while the attach never
+			// completed is rejected with "implicitly detached"
+			// (TS 24.301; §5.2.1 first case). The EPS bearer context is
+			// deleted.
+			{Name: "tau-implicit-detach", From: MMEWaitComplete, On: types.MsgTrackingAreaUpdateRequest, To: MMEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateReject, types.ProtoEMM).WithCause(types.CauseImplicitDetach))
+					c.Trace("MME: TAU before attach complete → implicit detach (S2)")
+				}},
+
+			// S2 duplicate-signal defect: a duplicate Attach Request at
+			// REGISTERED deletes the EPS bearer context and reprocesses
+			// the attach (TS 24.301; §5.2.1 second case).
+			{Name: "dup-attach-reprocess", From: MMERegistered, On: types.MsgAttachRequest, To: MMEWaitComplete,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgAttachAccept, types.ProtoEMM))
+					c.Trace("MME: duplicate attach request, EPS bearer context deleted and reprocessed (S2)")
+				}},
+
+			// TAU at REGISTERED: four cases ordered most-specific first.
+			//
+			// (a) S6 defect: 3G LAU failure propagated → implicit detach.
+			{Name: "tau-lufail-detach", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: MMEDeregistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 1 && o.PropagateLUFailure && !o.FixLUFailureRecovery
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateReject, types.ProtoEMM).WithCause(types.CauseImplicitDetach))
+					c.Trace("MME: 3G LU failure propagated to 4G → detach (S6)")
+				}},
+			// (a') S6 fix: recover the update with the MSC, accept.
+			{Name: "tau-lufail-recover", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 1 && o.FixLUFailureRecovery
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GLUFail3G, 0)
+					acceptTAU(c, e)
+					c.Trace("MME fix: recovered 3G location update on behalf of device (S6)")
+				}},
+			// (b) EPS bearer context alive: plain accept.
+			{Name: "tau-accept", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 0 && c.Get(names.GEPS) == 1
+				},
+				Action: acceptTAU},
+			// (c) Context migration: the 3G PDP context is translated
+			// into an EPS bearer context during the location update
+			// (§5.1.1 step 2).
+			{Name: "tau-migrate-context", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 0 && c.Get(names.GEPS) == 0 && c.Get(names.GPDP) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+					c.Set(names.GEPS, 1)
+					acceptTAU(c, e)
+					c.Trace("MME: PDP context migrated to EPS bearer context")
+				}},
+			// (d) S1 defect: no recoverable context → reject + detach...
+			{Name: "tau-no-context-detach", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: MMEDeregistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 0 && c.Get(names.GEPS) == 0 && c.Get(names.GPDP) == 0 && !o.FixReactivateBearer
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgTrackingAreaUpdateReject, types.ProtoEMM).WithCause(types.CauseNoEPSBearerContext))
+					c.Trace("MME: no EPS bearer context activated → TAU reject (S1)")
+				}},
+			// (d') S1 fix: accept and initiate bearer reactivation.
+			{Name: "tau-no-context-reactivate", From: MMERegistered, On: types.MsgTrackingAreaUpdateRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GLUFail3G) == 0 && c.Get(names.GEPS) == 0 && c.Get(names.GPDP) == 0 && o.FixReactivateBearer
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					acceptTAU(c, e)
+					c.Output(types.NewMessage(types.MsgActivateBearerRequest, types.ProtoESM))
+					c.Trace("MME fix: TAU accepted, EPS bearer reactivation initiated (S1)")
+				}},
+
+			// Device-initiated detach.
+			{Name: "ue-detach", From: fsm.Any, On: types.MsgDetachRequest, To: MMEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoEMM))
+				}},
+
+			// Operator-scenario event: network-initiated detach
+			// (e.g. under resource constraints, §2).
+			{Name: "net-detach", From: MMERegistered, On: types.MsgNetDetachOrder, To: MMEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDetachRequest, types.ProtoEMM).WithCause(types.CauseNetworkFailure))
+				}},
+		},
+	}
+	return spec
+}

@@ -1,0 +1,319 @@
+package emm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	if err := DeviceSpec(DeviceOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MMESpec(MMEOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeviceSpec(DeviceOptions{FixReactivateBearer: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MMESpec(MMEOptions{FixReactivateBearer: true, FixLUFailureRecovery: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAttachFlow(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.WantState(t, m, UEAttaching)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+	ptest.WantSent(t, c, 0, types.MsgAttachRequest)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	ptest.WantState(t, m, UERegistered)
+	ptest.WantGlobal(t, c, names.GReg4G, 1)
+	ptest.WantGlobal(t, c, names.GEPS, 1)
+	ptest.WantSent(t, c, 1, types.MsgAttachComplete)
+}
+
+func TestDeviceAttachReject(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgAttachReject, names.MMEEMM, types.CausePLMNNotAllowed))
+	ptest.WantState(t, m, UEDeregistered)
+	// An initial-attach rejection is recorded separately from a
+	// post-attach network detach (PacketService_OK only covers the
+	// latter).
+	ptest.WantGlobal(t, c, names.GAttachRejected, 1)
+	ptest.WantGlobal(t, c, names.GDetachedByNet, 0)
+}
+
+func TestDeviceAttachRetransmission(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPeriodicTimer))
+	ptest.WantState(t, m, UEAttaching)
+	ptest.WantSent(t, c, 1, types.MsgAttachRequest)
+}
+
+func TestDeviceTAUTriggers(t *testing.T) {
+	for _, trigger := range []types.MsgKind{types.MsgPeriodicTimer, types.MsgUserMove} {
+		m := fsm.New(DeviceSpec(DeviceOptions{}))
+		c := ptest.NewCtx()
+		ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+		ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+		before := len(c.Sent)
+		ptest.MustStep(t, m, c, fsm.Ev(trigger))
+		ptest.WantSent(t, c, before, types.MsgTrackingAreaUpdateRequest)
+		ptest.WantState(t, m, UERegistered)
+	}
+}
+
+func TestDeviceTAUNotIn3G(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	// Camped on 3G after a 4G→3G switch: EMM must not run TAUs.
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgPeriodicTimer))
+}
+
+func TestDeviceSwitchTo4GSendsTAU(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	c.Set(names.GSys, int(types.Sys3G)) // device went to 3G meanwhile
+	before := len(c.Sent)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgInterSystemCellReselect))
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+	ptest.WantSent(t, c, before, types.MsgTrackingAreaUpdateRequest)
+}
+
+func TestDeviceTAURejectDetaches(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgTrackingAreaUpdateReject, names.MMEEMM, types.CauseNoEPSBearerContext))
+	ptest.WantState(t, m, UEDeregistered)
+	ptest.WantGlobal(t, c, names.GDetachedByNet, 1)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+}
+
+func TestDeviceTAURejectWithFixReactivates(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{FixReactivateBearer: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgTrackingAreaUpdateReject, names.MMEEMM, types.CauseNoEPSBearerContext))
+	// Stays registered and requests an ESM bearer activation instead.
+	ptest.WantState(t, m, UERegistered)
+	ptest.WantGlobal(t, c, names.GDetachedByNet, 0)
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgActivateBearerRequest {
+		t.Fatalf("outputs = %v, want one ActivateBearerRequest", c.OutputKinds())
+	}
+	// Other causes still detach even with the fix.
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgTrackingAreaUpdateReject, names.MMEEMM, types.CauseImplicitDetach))
+	ptest.WantState(t, m, UEDeregistered)
+}
+
+func TestDeviceReattachAfterDetach(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgTrackingAreaUpdateReject, names.MMEEMM, types.CauseImplicitDetach))
+	ptest.WantState(t, m, UEDeregistered)
+	// The retry timer triggers a re-attach (Figure 4 recovery).
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPeriodicTimer))
+	ptest.WantState(t, m, UEAttaching)
+	if got := c.LastSent().Kind; got != types.MsgAttachRequest {
+		t.Fatalf("last sent = %s, want AttachRequest", got)
+	}
+}
+
+func TestDevicePowerOff(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.MMEEMM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOff))
+	ptest.WantState(t, m, UEDeregistered)
+	ptest.WantGlobal(t, c, names.GReg4G, 0)
+	ptest.WantGlobal(t, c, names.GSys, int(types.SysNone))
+	if got := c.LastSent(); got.Kind != types.MsgDetachRequest || got.Cause != types.CauseUserPowerOff {
+		t.Fatalf("last sent = %v, want DetachRequest(user power off)", got)
+	}
+}
+
+// --- MME side ---
+
+func mmeRegistered(t *testing.T) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachComplete, names.UEEMM))
+	ptest.WantState(t, m, MMERegistered)
+	return m, c
+}
+
+func TestMMEAttachFlow(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.WantState(t, m, MMEWaitComplete)
+	ptest.WantSent(t, c, 0, types.MsgAttachAccept)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachComplete, names.UEEMM))
+	ptest.WantState(t, m, MMERegistered)
+}
+
+// S2 lost-signal case: TAU before attach complete → implicit detach.
+func TestMMES2LostSignal(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GEPS, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	// Attach Complete was lost; the device believes it is registered
+	// and sends a TAU.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMEDeregistered)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	if got := c.LastSent(); got.Kind != types.MsgTrackingAreaUpdateReject || got.Cause != types.CauseImplicitDetach {
+		t.Fatalf("last sent = %v, want TAUReject(implicit detach)", got)
+	}
+}
+
+// S2 duplicate-signal case: duplicate Attach Request at REGISTERED
+// deletes the EPS bearer context and reprocesses.
+func TestMMES2DuplicateAttach(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.WantState(t, m, MMEWaitComplete)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+}
+
+func TestMMETAUAcceptWithContext(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMERegistered)
+	if got := c.LastSent().Kind; got != types.MsgTrackingAreaUpdateAccept {
+		t.Fatalf("last sent = %s, want TAUAccept", got)
+	}
+}
+
+// §5.1.1: returning with a live PDP context migrates it into an EPS
+// bearer context.
+func TestMMETAUContextMigration(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 0)
+	c.Set(names.GPDP, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantGlobal(t, c, names.GEPS, 1)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+	if got := c.LastSent().Kind; got != types.MsgTrackingAreaUpdateAccept {
+		t.Fatalf("last sent = %s, want TAUAccept", got)
+	}
+}
+
+// S1 defect: no context at all → TAU reject, device detached. (The
+// 4G→3G switch released the EPS bearer and 3G deactivated the PDP
+// context.)
+func TestMMES1NoContextReject(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 0)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMEDeregistered)
+	if got := c.LastSent(); got.Kind != types.MsgTrackingAreaUpdateReject || got.Cause != types.CauseNoEPSBearerContext {
+		t.Fatalf("last sent = %v, want TAUReject(no EPS bearer context)", got)
+	}
+}
+
+// S1 fix: accept the TAU and reactivate the bearer.
+func TestMMES1FixReactivates(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{FixReactivateBearer: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachComplete, names.UEEMM))
+	c.Set(names.GEPS, 0) // lost across the 3G round trip
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMERegistered)
+	if got := c.LastSent().Kind; got != types.MsgTrackingAreaUpdateAccept {
+		t.Fatalf("last sent = %s, want TAUAccept", got)
+	}
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgActivateBearerRequest {
+		t.Fatalf("outputs = %v, want bearer activation", c.OutputKinds())
+	}
+}
+
+// S6 defect: a 3G LU failure propagated to 4G detaches the device.
+func TestMMES6Propagation(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{PropagateLUFailure: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachComplete, names.UEEMM))
+	c.Set(names.GEPS, 1)
+	c.Set(names.GLUFail3G, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMEDeregistered)
+	if got := c.LastSent(); got.Cause != types.CauseImplicitDetach {
+		t.Fatalf("last sent = %v, want implicit detach", got)
+	}
+}
+
+// S6: without the propagation slip the LU failure is invisible to EMM.
+func TestMMES6NoPropagation(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 1)
+	c.Set(names.GLUFail3G, 1)
+	// Neither Propagate nor Fix: guard (a) is off; the GLUFail3G==0
+	// guards of (b)-(d) are also off, so nothing fires and the TAU is
+	// discarded. That models a carrier that simply ignores the failure.
+	ptest.MustNotStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+}
+
+// S6 fix: the MME recovers the update and accepts the TAU.
+func TestMMES6FixRecovers(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{FixLUFailureRecovery: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachComplete, names.UEEMM))
+	c.Set(names.GEPS, 1)
+	c.Set(names.GLUFail3G, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgTrackingAreaUpdateRequest, names.UEEMM))
+	ptest.WantState(t, m, MMERegistered)
+	ptest.WantGlobal(t, c, names.GLUFail3G, 0)
+	if got := c.LastSent().Kind; got != types.MsgTrackingAreaUpdateAccept {
+		t.Fatalf("last sent = %s, want TAUAccept", got)
+	}
+}
+
+func TestMMENetworkDetach(t *testing.T) {
+	m, c := mmeRegistered(t)
+	c.Set(names.GEPS, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgNetDetachOrder))
+	ptest.WantState(t, m, MMEDeregistered)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	if got := c.LastSent().Kind; got != types.MsgDetachRequest {
+		t.Fatalf("last sent = %s, want DetachRequest", got)
+	}
+}
+
+func TestMMEUEDetach(t *testing.T) {
+	m, c := mmeRegistered(t)
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgDetachRequest, names.UEEMM, types.CauseUserPowerOff))
+	ptest.WantState(t, m, MMEDeregistered)
+	if got := c.LastSent().Kind; got != types.MsgDetachAccept {
+		t.Fatalf("last sent = %s, want DetachAccept", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package esm models the 4G EPS Session Management protocol
+// (TS 24.301): activation and deactivation of the EPS bearer context
+// that carries all 4G packet service. Since 4G is PS-only, the EPS
+// bearer context is mandatory — whenever it cannot be constructed, no
+// 4G service is available (§5.1.2), which is why its loss is so much
+// more damaging than a 3G PDP context loss.
+package esm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side ESM states.
+const (
+	UEInactive fsm.State = "ESM-BEARER-INACTIVE"
+	UEPending  fsm.State = "ESM-BEARER-PENDING"
+	UEActive   fsm.State = "ESM-BEARER-ACTIVE"
+)
+
+// MME-side ESM states.
+const (
+	MMEInactive fsm.State = "MME-BEARER-INACTIVE"
+	MMEActive   fsm.State = "MME-BEARER-ACTIVE"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// Peer is the MME ESM process (default names.MMEESM).
+	Peer string
+}
+
+// MMEOptions configure the MME-side machine.
+type MMEOptions struct {
+	// Peer is the device ESM process (default names.UEESM).
+	Peer string
+}
+
+// DeviceSpec returns the device-side ESM machine.
+//
+// The machine reacts both to air-interface messages from the MME and to
+// the cross-layer MsgActivateBearerRequest emitted by the device EMM
+// under the §8 reactivate-instead-of-detach fix.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.MMEESM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "ESM-UE",
+		Proto: types.ProtoESM,
+		Init:  UEInactive,
+		Transitions: []fsm.Transition{
+			// UE-requested bearer activation (also the target of the
+			// cross-layer fix output from EMM).
+			{Name: "activate-req", From: UEInactive, On: types.MsgActivateBearerRequest, To: UEPending,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgActivateBearerRequest, types.ProtoESM))
+					c.Trace("ESM bearer activation requested")
+				}},
+			// Re-request while pending is absorbed (retransmission).
+			{Name: "activate-req-pending", From: UEPending, On: types.MsgActivateBearerRequest, To: fsm.Same},
+			// Already active: nothing to do.
+			{Name: "activate-req-active", From: UEActive, On: types.MsgActivateBearerRequest, To: fsm.Same},
+
+			{Name: "activate-accept", From: UEPending, On: types.MsgActivateBearerAccept, To: UEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 1)
+					c.Trace("ESM bearer active")
+				}},
+			{Name: "activate-reject", From: UEPending, On: types.MsgActivateBearerReject, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Trace("ESM bearer activation rejected: %s", e.Msg.Cause)
+				}},
+
+			// Network-initiated activation (MME pushes the default
+			// bearer during attach or under the S1 fix).
+			{Name: "net-activate", From: UEInactive, On: types.MsgActivateBearerAccept, To: UEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 1)
+				}},
+
+			// Deactivation, either side.
+			{Name: "deactivate", From: fsm.Any, On: types.MsgDeactivateBearerRequest, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivateBearerAccept, types.ProtoESM))
+					c.Trace("ESM bearer deactivated: %s", e.Msg.Cause)
+				}},
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+				}},
+		},
+	}
+}
+
+// MMESpec returns the MME-side ESM machine.
+func MMESpec(o MMEOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UEESM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "ESM-MME",
+		Proto: types.ProtoESM,
+		Init:  MMEInactive,
+		Transitions: []fsm.Transition{
+			// UE-requested activation: accept and install the context.
+			{Name: "activate", From: MMEInactive, On: types.MsgActivateBearerRequest, To: MMEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 1)
+					c.Send(peer, types.NewMessage(types.MsgActivateBearerAccept, types.ProtoESM))
+				}},
+			// Duplicate request while active: idempotent accept.
+			{Name: "activate-dup", From: MMEActive, On: types.MsgActivateBearerRequest, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgActivateBearerAccept, types.ProtoESM))
+				}},
+
+			// Network-initiated deactivation (operator scenario).
+			{Name: "net-deactivate", From: MMEActive, On: types.MsgNetDetachOrder, To: MMEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivateBearerRequest, types.ProtoESM).WithCause(types.CauseRegularDeactivation))
+				}},
+			{Name: "ue-deactivate", From: MMEActive, On: types.MsgDeactivateBearerRequest, To: MMEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivateBearerAccept, types.ProtoESM))
+				}},
+			{Name: "deactivate-ack", From: fsm.Any, On: types.MsgDeactivateBearerAccept, To: MMEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+				}},
+		},
+	}
+}

@@ -1,0 +1,119 @@
+package esm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	if err := DeviceSpec(DeviceOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MMESpec(MMEOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceActivationFlow(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgActivateBearerRequest))
+	ptest.WantState(t, m, UEPending)
+	ptest.WantSent(t, c, 0, types.MsgActivateBearerRequest)
+
+	// Retransmitted request while pending is absorbed.
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgActivateBearerRequest))
+	ptest.WantState(t, m, UEPending)
+	if len(c.Sent) != 1 {
+		t.Fatalf("retransmission produced extra sends: %v", c.SentKinds())
+	}
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerAccept, names.MMEESM))
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GEPS, 1)
+
+	// Idempotent request when already active.
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgActivateBearerRequest))
+	ptest.WantState(t, m, UEActive)
+}
+
+func TestDeviceActivationReject(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgActivateBearerRequest))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgActivateBearerReject, names.MMEESM, types.CauseCongestion))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+}
+
+func TestDeviceNetworkPushedBearer(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerAccept, names.MMEESM))
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GEPS, 1)
+}
+
+func TestDeviceDeactivation(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerAccept, names.MMEESM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgDeactivateBearerRequest, names.MMEESM, types.CauseRegularDeactivation))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	if got := c.LastSent().Kind; got != types.MsgDeactivateBearerAccept {
+		t.Fatalf("last sent = %s, want DeactivateBearerAccept", got)
+	}
+}
+
+func TestDevicePowerOff(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerAccept, names.MMEESM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOff))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+}
+
+func TestMMEActivation(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerRequest, names.UEESM))
+	ptest.WantState(t, m, MMEActive)
+	ptest.WantGlobal(t, c, names.GEPS, 1)
+	ptest.WantSent(t, c, 0, types.MsgActivateBearerAccept)
+
+	// Duplicate request: idempotent accept, still active.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerRequest, names.UEESM))
+	ptest.WantState(t, m, MMEActive)
+	ptest.WantSent(t, c, 1, types.MsgActivateBearerAccept)
+}
+
+func TestMMENetworkDeactivation(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerRequest, names.UEESM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgNetDetachOrder))
+	ptest.WantState(t, m, MMEInactive)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	if got := c.LastSent().Kind; got != types.MsgDeactivateBearerRequest {
+		t.Fatalf("last sent = %s, want DeactivateBearerRequest", got)
+	}
+}
+
+func TestMMEUEDeactivation(t *testing.T) {
+	m := fsm.New(MMESpec(MMEOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivateBearerRequest, names.UEESM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgDeactivateBearerRequest, names.UEESM))
+	ptest.WantState(t, m, MMEInactive)
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	if got := c.LastSent().Kind; got != types.MsgDeactivateBearerAccept {
+		t.Fatalf("last sent = %s, want DeactivateBearerAccept", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package gmm models the 3G PS Mobility Management protocol (GMM,
+// TS 24.008), running between the device and the 3G gateways (SGSN).
+//
+// GMM performs the 3G PS attach, routing-area updates (RAU), and the
+// PS side of inter-system switching: when the device arrives from 4G it
+// registers via an RAU during which the 4G EPS bearer context is
+// translated into a 3G PDP context (§5.1.1). Its RAU-in-progress state
+// is also the source of the PS-side head-of-line blocking of S4 (§6.1).
+package gmm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side GMM states.
+const (
+	UEDeregistered fsm.State = "GMM-DEREGISTERED"
+	UEAttaching    fsm.State = "GMM-REGISTERED-INITIATED"
+	UERegistered   fsm.State = "GMM-REGISTERED"
+	UERAUPending   fsm.State = "GMM-RAU-INITIATED"
+)
+
+// SGSN-side GMM states.
+const (
+	SGSNDeregistered fsm.State = "SGSN-DEREGISTERED"
+	SGSNRegistered   fsm.State = "SGSN-REGISTERED"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// FixParallelUpdate enables the §8 layer-extension fix for S4's PS
+	// side: outgoing data requests are not blocked behind a
+	// routing-area update (GMM keeps GRAUInProgress clear for SM).
+	FixParallelUpdate bool
+	// Peer is the SGSN GMM process (default names.SGSNGMM).
+	Peer string
+}
+
+// SGSNOptions configure the network-side machine.
+type SGSNOptions struct {
+	// Peer is the device GMM process (default names.UEGMM).
+	Peer string
+}
+
+// DeviceSpec returns the device-side GMM machine.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.SGSNGMM
+	}
+	peer := o.Peer
+
+	startRAU := func(c fsm.Ctx, e fsm.Event) {
+		if !o.FixParallelUpdate {
+			c.Set(names.GRAUInProgress, 1)
+		}
+		c.Send(peer, types.NewMessage(types.MsgRoutingAreaUpdateRequest, types.ProtoGMM))
+		c.Trace("GMM routing area update initiated")
+	}
+
+	return &fsm.Spec{
+		Name:  "GMM-UE",
+		Proto: types.ProtoGMM,
+		Init:  UEDeregistered,
+		Transitions: []fsm.Transition{
+			// 3G PS attach at power-on.
+			{Name: "attach-3g", From: UEDeregistered, On: types.MsgPowerOn, To: UEAttaching,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GSys, int(types.Sys3G))
+					c.Send(peer, types.NewMessage(types.MsgAttachRequest, types.ProtoGMM))
+					c.Trace("GMM attach initiated")
+				}},
+			{Name: "attach-accept", From: UEAttaching, On: types.MsgAttachAccept, To: UERegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GPS, 1)
+				}},
+			{Name: "attach-reject", From: UEAttaching, On: types.MsgAttachReject, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GPS, 0)
+					c.Set(names.GAttachRejected, 1)
+				}},
+
+			// 4G→3G inter-system switch (§5.1.1): the device arrives
+			// from 4G and registers via an RAU; the SGSN migrates the
+			// EPS bearer context into a PDP context.
+			{Name: "switch-from-4g", From: UEDeregistered, On: types.MsgInterSystemSwitchCommand, To: UERAUPending,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GSys) == int(types.Sys4G) && c.Get(names.GReg4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GSys, int(types.Sys3G))
+					startRAU(c, e)
+					c.Trace("GMM 4G→3G switch")
+				}},
+			// Same arrival, but the radio layer (4G RRC) already
+			// executed the switch and set the serving system to 3G
+			// before notifying the mobility layers (Figure 3 step 2).
+			{Name: "switch-from-4g-rrc", From: UEDeregistered, On: types.MsgInterSystemSwitchCommand, To: UERAUPending,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return e.Msg.From != "" && c.Get(names.GSys) == int(types.Sys3G) && c.Get(names.GReg4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					startRAU(c, e)
+					c.Trace("GMM routing area update after RRC-executed switch")
+				}},
+
+			// Routing-area update triggers (Table 4 rows 4–6).
+			{Name: "rau-mobility", From: UERegistered, On: types.MsgUserMove, To: UERAUPending,
+				Guard:  func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) },
+				Action: startRAU},
+			{Name: "rau-periodic", From: UERegistered, On: types.MsgPeriodicTimer, To: UERAUPending,
+				Guard:  func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) },
+				Action: startRAU},
+
+			{Name: "rau-accept", From: UERAUPending, On: types.MsgRoutingAreaUpdateAccept, To: UERegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GRAUInProgress, 0)
+					c.Set(names.GReg3GPS, 1)
+					// Local context migration on the device: the EPS
+					// bearer it held becomes a PDP context (§5.1.1).
+					// Under a shared context store the SGSN already
+					// performed the translation and this is a no-op;
+					// with split device/core stores (the socket
+					// prototype) the device updates its own view here.
+					if c.Get(names.GEPS) == 1 {
+						c.Set(names.GEPS, 0)
+						c.Set(names.GPDP, 1)
+					}
+					c.Trace("GMM routing area update complete")
+				}},
+			{Name: "rau-reject", From: UERAUPending, On: types.MsgRoutingAreaUpdateReject, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GRAUInProgress, 0)
+					c.Set(names.GReg3GPS, 0)
+					c.Set(names.GDetachedByNet, 1)
+					c.Trace("GMM RAU rejected: %s", e.Msg.Cause)
+				}},
+
+			// Network-initiated detach: a deliberate operator decision
+			// the device complies with; not a PacketService_OK
+			// violation (§3.2.2 exempts explicit deactivation).
+			{Name: "net-detach", From: fsm.Any, On: types.MsgDetachRequest, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GPS, 0)
+					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoGMM))
+					c.Trace("GMM detached on network order: %s", e.Msg.Cause)
+				}},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GPS, 0)
+					c.Set(names.GRAUInProgress, 0)
+					c.Set(names.GSys, int(types.SysNone))
+					c.Send(peer, types.NewMessage(types.MsgDetachRequest, types.ProtoGMM).WithCause(types.CauseUserPowerOff))
+				}},
+		},
+	}
+}
+
+// SGSNSpec returns the network-side GMM machine.
+func SGSNSpec(o SGSNOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UEGMM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "GMM-SGSN",
+		Proto: types.ProtoGMM,
+		Init:  SGSNDeregistered,
+		Transitions: []fsm.Transition{
+			{Name: "attach-accept", From: SGSNDeregistered, On: types.MsgAttachRequest, To: SGSNRegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgAttachAccept, types.ProtoGMM))
+				}},
+
+			// RAU with context migration: an arriving 4G EPS bearer
+			// context is translated into a 3G PDP context and the 4G
+			// resources are released (§5.1.1 step 2).
+			{Name: "rau-migrate", From: fsm.Any, On: types.MsgRoutingAreaUpdateRequest, To: SGSNRegistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GEPS) == 1 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+					c.Set(names.GPDP, 1)
+					c.Send(peer, types.NewMessage(types.MsgRoutingAreaUpdateAccept, types.ProtoGMM))
+					c.Trace("SGSN: EPS bearer context migrated to PDP context")
+				}},
+			// Plain RAU (no migration needed).
+			{Name: "rau-accept", From: fsm.Any, On: types.MsgRoutingAreaUpdateRequest, To: SGSNRegistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GEPS) == 0 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgRoutingAreaUpdateAccept, types.ProtoGMM))
+				}},
+
+			// Operator-scenario detach (resource constraints, §2).
+			{Name: "net-detach", From: SGSNRegistered, On: types.MsgNetDetachOrder, To: SGSNDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgDetachRequest, types.ProtoGMM).WithCause(types.CauseNetworkFailure))
+				}},
+			{Name: "ue-detach", From: fsm.Any, On: types.MsgDetachRequest, To: SGSNDeregistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoGMM))
+				}},
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package gmm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	if err := DeviceSpec(DeviceOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeviceSpec(DeviceOptions{FixParallelUpdate: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SGSNSpec(SGSNOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAttachFlow(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.WantState(t, m, UEAttaching)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	ptest.WantSent(t, c, 0, types.MsgAttachRequest)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.SGSNGMM))
+	ptest.WantState(t, m, UERegistered)
+	ptest.WantGlobal(t, c, names.GReg3GPS, 1)
+}
+
+func TestDeviceSwitchFrom4G(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GReg4G, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgInterSystemSwitchCommand))
+	ptest.WantState(t, m, UERAUPending)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	ptest.WantGlobal(t, c, names.GRAUInProgress, 1)
+	ptest.WantSent(t, c, 0, types.MsgRoutingAreaUpdateRequest)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRoutingAreaUpdateAccept, names.SGSNGMM))
+	ptest.WantState(t, m, UERegistered)
+	ptest.WantGlobal(t, c, names.GRAUInProgress, 0)
+}
+
+func TestDeviceSwitchGuardRequiresRegistered4G(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GReg4G, 0)
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgInterSystemSwitchCommand))
+}
+
+func TestDeviceRAUTriggers(t *testing.T) {
+	for _, trigger := range []types.MsgKind{types.MsgUserMove, types.MsgPeriodicTimer} {
+		m := fsm.New(DeviceSpec(DeviceOptions{}))
+		c := ptest.NewCtx()
+		ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+		ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.SGSNGMM))
+		ptest.MustStep(t, m, c, fsm.Ev(trigger))
+		ptest.WantState(t, m, UERAUPending)
+		ptest.WantGlobal(t, c, names.GRAUInProgress, 1)
+	}
+}
+
+func TestDeviceFixParallelKeepsRAUFlagClear(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{FixParallelUpdate: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.SGSNGMM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserMove))
+	// Fix: SM requests are not blocked, so the blocking flag stays 0.
+	ptest.WantGlobal(t, c, names.GRAUInProgress, 0)
+	// The update itself still runs.
+	if got := c.LastSent().Kind; got != types.MsgRoutingAreaUpdateRequest {
+		t.Fatalf("last sent = %s, want RAURequest", got)
+	}
+}
+
+func TestDeviceRAUReject(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.SGSNGMM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserMove))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgRoutingAreaUpdateReject, names.SGSNGMM, types.CauseNetworkFailure))
+	ptest.WantState(t, m, UEDeregistered)
+	ptest.WantGlobal(t, c, names.GDetachedByNet, 1)
+}
+
+func TestDeviceNetworkDetach(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachAccept, names.SGSNGMM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgDetachRequest, names.SGSNGMM, types.CauseNetworkFailure))
+	ptest.WantState(t, m, UEDeregistered)
+	// An explicit operator-ordered detach is complied with, not
+	// counted as an un-consented service loss.
+	ptest.WantGlobal(t, c, names.GDetachedByNet, 0)
+	if got := c.LastSent().Kind; got != types.MsgDetachAccept {
+		t.Fatalf("last sent = %s, want DetachAccept", got)
+	}
+}
+
+func TestSGSNAttachAndRAU(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEGMM))
+	ptest.WantState(t, m, SGSNRegistered)
+	ptest.WantSent(t, c, 0, types.MsgAttachAccept)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRoutingAreaUpdateRequest, names.UEGMM))
+	if got := c.LastSent().Kind; got != types.MsgRoutingAreaUpdateAccept {
+		t.Fatalf("last sent = %s, want RAUAccept", got)
+	}
+}
+
+// §5.1.1: the SGSN migrates an arriving EPS bearer context into a PDP
+// context during the RAU.
+func TestSGSNContextMigration(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GEPS, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRoutingAreaUpdateRequest, names.UEGMM))
+	ptest.WantGlobal(t, c, names.GEPS, 0)
+	ptest.WantGlobal(t, c, names.GPDP, 1)
+	ptest.WantState(t, m, SGSNRegistered)
+}
+
+func TestSGSNNetworkDetach(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgAttachRequest, names.UEGMM))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgNetDetachOrder))
+	ptest.WantState(t, m, SGSNDeregistered)
+	if got := c.LastSent().Kind; got != types.MsgDetachRequest {
+		t.Fatalf("last sent = %s, want DetachRequest", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package mm models the 3G CS Mobility Management protocol (MM,
+// TS 24.008), running between the device and the MSC.
+//
+// MM performs the CS attach and location-area updates (LAU), and
+// brokers CM service requests toward the MSC. Two findings live here:
+//
+//   - S4 (§6.1): MM serves location updates with higher priority than
+//     outgoing CM service requests, so calls dialed during an LAU are
+//     head-of-line blocked; the "MM WAIT FOR NETWORK COMMAND" state
+//     after the update extends the delay further.
+//   - S6 (§6.3): a failed 3G location update sets a failure flag that
+//     carriers propagate into 4G, where the MME detaches the user.
+//
+// The §8 layer-extension fix (parallel location-update and service
+// threads, with the service request given priority since it implicitly
+// updates the location) is available as an option.
+package mm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side MM states.
+const (
+	UEIdle       fsm.State = "MM-IDLE"
+	UELUPending  fsm.State = "MM-LOCATION-UPDATING"
+	UERegistered fsm.State = "MM-REGISTERED"
+	UEWaitNetCmd fsm.State = "MM-WAIT-FOR-NET-CMD"
+)
+
+// MSC-side MM states.
+const (
+	MSCDetached   fsm.State = "MSC-DETACHED"
+	MSCRegistered fsm.State = "MSC-REGISTERED"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// FixParallelUpdate enables the §8 fix for S4: CM service requests
+	// are forwarded immediately, concurrently with any ongoing
+	// location update, instead of being queued behind it.
+	FixParallelUpdate bool
+	// Peer is the MSC MM process (default names.MSCMM).
+	Peer string
+	// CM is the co-located connectivity-management process that
+	// receives MM's service-accept outputs (default names.UECM).
+	CM string
+}
+
+// MSCOptions configure the network-side machine.
+type MSCOptions struct {
+	// Peer is the device MM process (default names.UEMM).
+	Peer string
+}
+
+// DeviceSpec returns the device-side MM machine.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.MSCMM
+	}
+	if o.CM == "" {
+		o.CM = names.UECM
+	}
+	peer := o.Peer
+
+	startLU := func(c fsm.Ctx, e fsm.Event) {
+		c.Set(names.GLUInProgress, 1)
+		c.Send(peer, types.NewMessage(types.MsgLocationUpdateRequest, types.ProtoMM))
+		c.Trace("MM location area update initiated")
+	}
+	forwardCall := func(c fsm.Ctx, e fsm.Event) {
+		c.Send(peer, types.NewMessage(types.MsgCMServiceRequest, types.ProtoCM))
+		c.Trace("MM forwarded CM service request to MSC")
+	}
+	in3G := func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) }
+
+	return &fsm.Spec{
+		Name:  "MM-UE",
+		Proto: types.ProtoMM,
+		Init:  UEIdle,
+		Vars:  map[string]int{"pendingCall": 0},
+		Transitions: []fsm.Transition{
+			// CS attach: the IMSI attach is a location update.
+			{Name: "attach-3gcs", From: UEIdle, On: types.MsgPowerOn, To: UELUPending,
+				Guard: in3G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					startLU(c, e)
+				}},
+
+			// Location update triggers (Table 4 rows 1–3 and 6).
+			{Name: "lu-mobility", From: UERegistered, On: types.MsgUserMove, To: UELUPending,
+				Guard: in3G, Action: startLU},
+			{Name: "lu-periodic", From: UERegistered, On: types.MsgPeriodicTimer, To: UELUPending,
+				Guard: in3G, Action: startLU},
+			// After a CSFB call ends, the deferred location update runs
+			// (§6.3: the first 3G update is deferred until the call
+			// completes).
+			{Name: "lu-csfb-end", From: UERegistered, On: types.MsgCallRelease, To: UELUPending,
+				Guard: in3G, Action: startLU},
+			// After switching into 3G.
+			{Name: "lu-switch-in", From: UEIdle, On: types.MsgInterSystemSwitchCommand, To: UELUPending,
+				Guard: in3G, Action: startLU},
+
+			// Location update outcomes. On accept MM enters the
+			// WAIT-FOR-NET-CMD state (§6.1) where requests keep queuing
+			// until the network command (channel release) arrives.
+			{Name: "lu-accept", From: UELUPending, On: types.MsgLocationUpdateAccept, To: UEWaitNetCmd,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GCS, 1)
+					c.Trace("MM location update accepted, waiting for network command")
+				}},
+			{Name: "lu-reject", From: UELUPending, On: types.MsgLocationUpdateReject, To: UEIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GLUInProgress, 0)
+					c.Set(names.GReg3GCS, 0)
+					c.Trace("MM location update rejected: %s", e.Msg.Cause)
+				}},
+			{Name: "net-cmd", From: UEWaitNetCmd, On: types.MsgRRCConnectionRelease, To: UERegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GLUInProgress, 0)
+					if c.Get("pendingCall") == 1 {
+						c.Set("pendingCall", 0)
+						forwardCall(c, e)
+						c.Trace("MM released head-of-line blocked call request (S4)")
+					}
+				}},
+
+			// CM service request brokering — the S4 defect and fix.
+			//
+			// Fix enabled: forward immediately from any state; the call
+			// implicitly updates the location (§6.1).
+			{Name: "svc-parallel", From: fsm.Any, On: types.MsgCMServiceRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return o.FixParallelUpdate && e.Msg.From != peer
+				},
+				Action: forwardCall},
+			// Defect: during an LAU (or the WAIT state that follows) the
+			// request is queued and the call delayed.
+			{Name: "svc-blocked-lu", From: UELUPending, On: types.MsgCMServiceRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixParallelUpdate && e.Msg.From != peer
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("pendingCall", 1)
+					c.Set(names.GCallDelayed, 1)
+					c.Trace("MM: call request blocked behind location update (S4)")
+				}},
+			{Name: "svc-blocked-wait", From: UEWaitNetCmd, On: types.MsgCMServiceRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixParallelUpdate && e.Msg.From != peer
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("pendingCall", 1)
+					c.Set(names.GCallDelayed, 1)
+					c.Trace("MM: call request blocked in WAIT-FOR-NET-CMD (S4)")
+				}},
+			// Normal path: registered and idle — forward at once.
+			{Name: "svc-forward", From: UERegistered, On: types.MsgCMServiceRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixParallelUpdate && e.Msg.From != peer
+				},
+				Action: forwardCall},
+
+			// The MSC's answer is relayed up to CM (cross-layer output).
+			{Name: "svc-accept", From: fsm.Any, On: types.MsgCMServiceAccept, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Output(types.NewMessage(types.MsgCMServiceAccept, types.ProtoCM))
+				}},
+			{Name: "svc-reject", From: fsm.Any, On: types.MsgCMServiceReject, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GCallRejected, 1)
+					c.Output(types.NewMessage(types.MsgCMServiceReject, types.ProtoCM))
+				}},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEIdle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GReg3GCS, 0)
+					c.Set(names.GLUInProgress, 0)
+					c.Set("pendingCall", 0)
+				}},
+		},
+	}
+}
+
+// MSCSpec returns the MSC-side MM machine.
+//
+// The operator-scenario event MsgLUFailureSignal arms a one-shot
+// location-update failure: the next LAU is rejected and the shared
+// GLUFail3G flag is raised — the input condition of S6.
+func MSCSpec(o MSCOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UEMM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "MM-MSC",
+		Proto: types.ProtoMM,
+		Init:  MSCDetached,
+		Vars:  map[string]int{"failNext": 0},
+		Transitions: []fsm.Transition{
+			// Arm a location-update failure (operator scenario).
+			{Name: "arm-failure", From: fsm.Any, On: types.MsgLUFailureSignal, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("failNext", 1)
+				}},
+
+			// Location update: fail once if armed, else accept followed
+			// by the channel-release network command that ends the
+			// device's WAIT-FOR-NET-CMD state.
+			{Name: "lu-fail", From: fsm.Any, On: types.MsgLocationUpdateRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get("failNext") == 1 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set("failNext", 0)
+					c.Set(names.GLUFail3G, 1)
+					c.Send(peer, types.NewMessage(types.MsgLocationUpdateReject, types.ProtoMM).WithCause(types.CauseNetworkFailure))
+					c.Trace("MSC: location update failed (S6 trigger)")
+				}},
+			{Name: "lu-accept", From: fsm.Any, On: types.MsgLocationUpdateRequest, To: MSCRegistered,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get("failNext") == 0 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgLocationUpdateAccept, types.ProtoMM))
+					c.Send(peer, types.NewMessage(types.MsgRRCConnectionRelease, types.ProtoRRC3G))
+				}},
+
+			// CM service requests: accepting one implicitly refreshes
+			// the device's location (§6.1).
+			{Name: "svc-accept", From: MSCRegistered, On: types.MsgCMServiceRequest, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCMServiceAccept, types.ProtoCM))
+				}},
+			// A service request from an unregistered device still
+			// serves as an implicit attach+update (fix rationale §8).
+			{Name: "svc-accept-implicit", From: MSCDetached, On: types.MsgCMServiceRequest, To: MSCRegistered,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgCMServiceAccept, types.ProtoCM))
+					c.Trace("MSC: service request served as implicit location update")
+				}},
+
+			{Name: "ue-detach", From: fsm.Any, On: types.MsgDetachRequest, To: MSCDetached,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoMM))
+				}},
+		},
+	}
+}

@@ -1,0 +1,222 @@
+package mm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, o := range []DeviceOptions{{}, {FixParallelUpdate: true}} {
+		if err := DeviceSpec(o).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := MSCSpec(MSCOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func registeredDevice(t *testing.T, o DeviceOptions) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m := fsm.New(DeviceSpec(o))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateAccept, names.MSCMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionRelease, names.MSCMM))
+	ptest.WantState(t, m, UERegistered)
+	return m, c
+}
+
+func TestDeviceAttachViaLAU(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.WantState(t, m, UELUPending)
+	ptest.WantGlobal(t, c, names.GLUInProgress, 1)
+	ptest.WantSent(t, c, 0, types.MsgLocationUpdateRequest)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateAccept, names.MSCMM))
+	ptest.WantState(t, m, UEWaitNetCmd)
+	ptest.WantGlobal(t, c, names.GReg3GCS, 1)
+	// GLUInProgress only clears once the network command arrives —
+	// the §6.1 chain effect.
+	ptest.WantGlobal(t, c, names.GLUInProgress, 1)
+
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionRelease, names.MSCMM))
+	ptest.WantState(t, m, UERegistered)
+	ptest.WantGlobal(t, c, names.GLUInProgress, 0)
+}
+
+func TestDeviceAttachNotIn4G(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+}
+
+func TestDeviceLAUTriggers(t *testing.T) {
+	triggers := []types.MsgKind{types.MsgUserMove, types.MsgPeriodicTimer, types.MsgCallRelease}
+	for _, trigger := range triggers {
+		m, c := registeredDevice(t, DeviceOptions{})
+		ptest.MustStep(t, m, c, fsm.Ev(trigger))
+		ptest.WantState(t, m, UELUPending)
+		ptest.WantGlobal(t, c, names.GLUInProgress, 1)
+	}
+}
+
+// S4 defect: a call dialed during the LAU is head-of-line blocked, then
+// released when the network command ends the update.
+func TestDeviceS4HOLBlocking(t *testing.T) {
+	m, c := registeredDevice(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserMove)) // LAU starts
+	sent := len(c.Sent)
+
+	// CM hands down a service request mid-update.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UECM))
+	ptest.WantGlobal(t, c, names.GCallDelayed, 1)
+	if len(c.Sent) != sent {
+		t.Fatalf("blocked request must not be forwarded yet: %v", c.SentKinds())
+	}
+
+	// Update completes; still blocked in WAIT-FOR-NET-CMD.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateAccept, names.MSCMM))
+	if len(c.Sent) != sent {
+		t.Fatalf("request must stay blocked in WAIT-FOR-NET-CMD: %v", c.SentKinds())
+	}
+
+	// Network command arrives: the pending call is finally forwarded.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionRelease, names.MSCMM))
+	if got := c.LastSent().Kind; got != types.MsgCMServiceRequest {
+		t.Fatalf("last sent = %s, want forwarded CMServiceRequest", got)
+	}
+}
+
+// S4: blocking also happens while waiting for the net command.
+func TestDeviceS4BlockedInWaitState(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateAccept, names.MSCMM))
+	ptest.WantState(t, m, UEWaitNetCmd)
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UECM))
+	if tr.Name != "svc-blocked-wait" {
+		t.Fatalf("transition = %s, want svc-blocked-wait", tr.Name)
+	}
+	ptest.WantGlobal(t, c, names.GCallDelayed, 1)
+}
+
+// S4 fix: parallel threads forward the request immediately even during
+// the update.
+func TestDeviceS4FixParallel(t *testing.T) {
+	m, c := registeredDevice(t, DeviceOptions{FixParallelUpdate: true})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserMove)) // LAU starts
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UECM))
+	if tr.Name != "svc-parallel" {
+		t.Fatalf("transition = %s, want svc-parallel", tr.Name)
+	}
+	ptest.WantGlobal(t, c, names.GCallDelayed, 0)
+	if got := c.LastSent().Kind; got != types.MsgCMServiceRequest {
+		t.Fatalf("last sent = %s, want CMServiceRequest", got)
+	}
+}
+
+func TestDeviceNormalServiceForward(t *testing.T) {
+	m, c := registeredDevice(t, DeviceOptions{})
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UECM))
+	if tr.Name != "svc-forward" {
+		t.Fatalf("transition = %s, want svc-forward", tr.Name)
+	}
+	if got := c.LastSent().Kind; got != types.MsgCMServiceRequest {
+		t.Fatalf("last sent = %s", got)
+	}
+}
+
+func TestDeviceRelaysMSCAnswers(t *testing.T) {
+	m, c := registeredDevice(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceAccept, names.MSCMM))
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgCMServiceAccept {
+		t.Fatalf("outputs = %v, want CMServiceAccept relay", c.OutputKinds())
+	}
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgCMServiceReject, names.MSCMM, types.CauseCongestion))
+	ptest.WantGlobal(t, c, names.GCallRejected, 1)
+}
+
+func TestDeviceLUReject(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOn))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgLocationUpdateReject, names.MSCMM, types.CauseNetworkFailure))
+	ptest.WantState(t, m, UEIdle)
+	ptest.WantGlobal(t, c, names.GReg3GCS, 0)
+	ptest.WantGlobal(t, c, names.GLUInProgress, 0)
+}
+
+// --- MSC side ---
+
+func TestMSCLUAcceptSendsNetCmd(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateRequest, names.UEMM))
+	ptest.WantState(t, m, MSCRegistered)
+	ptest.WantSent(t, c, 0, types.MsgLocationUpdateAccept)
+	ptest.WantSent(t, c, 1, types.MsgRRCConnectionRelease)
+}
+
+// S6 trigger: an armed failure rejects the next LAU and raises the
+// shared failure flag read by the MME.
+func TestMSCS6ArmedFailure(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgLUFailureSignal))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateRequest, names.UEMM))
+	ptest.WantGlobal(t, c, names.GLUFail3G, 1)
+	if got := c.LastSent().Kind; got != types.MsgLocationUpdateReject {
+		t.Fatalf("last sent = %s, want LUReject", got)
+	}
+	// One-shot: the next update succeeds.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateRequest, names.UEMM))
+	if got := c.Sent[len(c.Sent)-2].Kind; got != types.MsgLocationUpdateAccept {
+		t.Fatalf("second LAU = %s, want accept", got)
+	}
+}
+
+func TestMSCServiceAccept(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateRequest, names.UEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UEMM))
+	if got := c.LastSent().Kind; got != types.MsgCMServiceAccept {
+		t.Fatalf("last sent = %s, want CMServiceAccept", got)
+	}
+}
+
+// §8 rationale: a service request from a detached device acts as an
+// implicit location update.
+func TestMSCImplicitUpdateViaService(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	tr := ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCMServiceRequest, names.UEMM))
+	if tr.Name != "svc-accept-implicit" {
+		t.Fatalf("transition = %s, want svc-accept-implicit", tr.Name)
+	}
+	ptest.WantState(t, m, MSCRegistered)
+}
+
+func TestMSCDetach(t *testing.T) {
+	m := fsm.New(MSCSpec(MSCOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgLocationUpdateRequest, names.UEMM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgDetachRequest, names.UEMM))
+	ptest.WantState(t, m, MSCDetached)
+	if got := c.LastSent().Kind; got != types.MsgDetachAccept {
+		t.Fatalf("last sent = %s, want DetachAccept", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package rrc3g models the 3G Radio Resource Control protocol
+// (TS 25.331) at the device. The machine keeps the three-state
+// connection model of §2 — IDLE, and the connected sub-states FACH
+// (low-rate, cheap) and DCH (high-rate, expensive) — and owns the two
+// cross-domain couplings of the paper:
+//
+//   - S3 (§5.3): the RRC state is shared by CS voice and PS data. When
+//     a CSFB call ends but a high-rate data session keeps RRC at DCH,
+//     a carrier using "inter-system cell reselection" (which requires
+//     IDLE) never moves the device back to 4G — it is stuck in 3G.
+//   - S5 (§6.2): the shared channel carries both domains with one
+//     modulation scheme; when a CS call starts the modulation is
+//     downgraded from 64QAM to 16QAM, collapsing the PS rate.
+//
+// The §8 domain-decoupling fixes are options: a CSFB tag that forces a
+// switch-capable state when the call ends, and per-domain channels that
+// keep 64QAM for PS traffic during calls.
+package rrc3g
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side 3G RRC states (TS 25.331, reduced to the paper's model).
+const (
+	Idle fsm.State = "RRC-IDLE"
+	FACH fsm.State = "RRC-FACH"
+	DCH  fsm.State = "RRC-DCH"
+)
+
+// Modulation orders configured on the shared channel (§6.2).
+const (
+	Mod64QAM = 64
+	Mod16QAM = 16
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// FixCSFBTag enables the §8 domain-decoupling fix for S3: when a
+	// CSFB-tagged call ends, the base station moves RRC to a
+	// switch-capable state so the return to 4G always proceeds,
+	// regardless of the carrier's switching option.
+	FixCSFBTag bool
+	// FixDecoupleChannels enables the §8 fix for S5: CS and PS traffic
+	// use separate channels with independent modulation, so a voice
+	// call no longer downgrades the PS modulation.
+	FixDecoupleChannels bool
+}
+
+func in3G(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys3G) }
+
+// returnTo4G performs the 3G→4G migration bookkeeping shared by the
+// redirect, handover and (post-IDLE) reselection paths.
+func returnTo4G(c fsm.Ctx, how string) {
+	c.Set(names.GSys, int(types.Sys4G))
+	c.Set(names.GWantReturn4G, 0)
+	c.Set(names.GCSFBTag, 0)
+	c.Trace("RRC 3G→4G switch via %s", how)
+}
+
+// DeviceSpec returns the device-side 3G RRC machine.
+//
+// The carrier's inter-system switching option is read from the
+// GSwitchOpt global (names.SwitchRedirect / SwitchHandover /
+// SwitchReselect), so one spec serves both operator profiles.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	return &fsm.Spec{
+		Name:  "RRC3G-UE",
+		Proto: types.ProtoRRC3G,
+		Init:  Idle,
+		Transitions: []fsm.Transition{
+			// Arrival from 4G (CSFB fallback or mobility, §5.1.1): the
+			// radio comes up in DCH when a high-rate data session
+			// migrates along, else FACH. The setup-complete output lets
+			// CM proceed with the call.
+			{Name: "switch-in-dch", From: Idle, On: types.MsgInterSystemSwitchCommand, To: DCH,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GPSData) == 1 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Output(types.NewMessage(types.MsgRRCConnectionSetupComplete, types.ProtoRRC3G))
+					c.Trace("RRC connected at DCH after inter-system switch")
+				}},
+			{Name: "switch-in-fach", From: Idle, On: types.MsgInterSystemSwitchCommand, To: FACH,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GPSData) == 0 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Output(types.NewMessage(types.MsgRRCConnectionSetupComplete, types.ProtoRRC3G))
+					c.Trace("RRC connected at FACH after inter-system switch")
+				}},
+
+			// PS data session control: high-rate data drives DCH.
+			{Name: "data-on-idle", From: Idle, On: types.MsgUserDataOn, To: DCH,
+				Guard: in3G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 1)
+				}},
+			{Name: "data-on-fach", From: FACH, On: types.MsgUserDataOn, To: DCH,
+				Guard: in3G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 1)
+				}},
+			{Name: "data-on-dch", From: DCH, On: types.MsgUserDataOn, To: fsm.Same,
+				Guard: in3G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 1)
+				}},
+			// Data ends: fall back toward IDLE (via inactivity). If a
+			// deferred return-to-4G is pending under the reselection
+			// policy, it can now proceed (the S3 deadlock breaks only
+			// here — after the data session's lifetime, Table 6).
+			{Name: "data-off", From: fsm.Any, On: types.MsgUserDataOff, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return in3G(c, e) && c.Get(names.GCallActive) == 0
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 0)
+					c.Trace("RRC released to IDLE after data session end")
+				}},
+			// Data off while a call still holds the channel: stay
+			// connected for the CS domain.
+			{Name: "data-off-in-call", From: fsm.Any, On: types.MsgUserDataOff, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return in3G(c, e) && c.Get(names.GCallActive) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 0)
+				}},
+
+			// A CS call starts on the shared channel: S5's modulation
+			// downgrade — unless the domains are decoupled (§8).
+			{Name: "call-start-coupled", From: fsm.Any, On: types.MsgCallConnect, To: DCH,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return !o.FixDecoupleChannels },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod16QAM)
+					c.Trace("RRC: 64QAM disabled during CS voice call, shared channel at 16QAM (S5)")
+				}},
+			{Name: "call-start-decoupled", From: fsm.Any, On: types.MsgCallConnect, To: DCH,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return o.FixDecoupleChannels },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					c.Trace("RRC fix: CS on separate channel, PS keeps 64QAM")
+				}},
+
+			// A CSFB call ended (cross-layer release from CC): decide
+			// the return to 4G per the carrier's switching option —
+			// the crux of S3 (Figure 6).
+			//
+			// Fix: the CSFB tag forces a switch-capable state first.
+			{Name: "csfb-end-tagged", From: fsm.Any, On: types.MsgCallRelease, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return o.FixCSFBTag && c.Get(names.GWantReturn4G) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					returnTo4G(c, "CSFB-tagged release (fix)")
+				}},
+			// Option 1: RRC connection release with redirect — always
+			// works but disrupts the ongoing data session (OP-I).
+			{Name: "csfb-end-redirect", From: fsm.Any, On: types.MsgCallRelease, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixCSFBTag && c.Get(names.GWantReturn4G) == 1 &&
+						c.Get(names.GSwitchOpt) == names.SwitchRedirect
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					returnTo4G(c, "RRC connection release with redirect")
+					c.Trace("ongoing data session disrupted by release")
+				}},
+			// Option 2: inter-system handover — direct DCH→CONNECTED.
+			{Name: "csfb-end-handover", From: fsm.Any, On: types.MsgCallRelease, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixCSFBTag && c.Get(names.GWantReturn4G) == 1 &&
+						c.Get(names.GSwitchOpt) == names.SwitchHandover
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					returnTo4G(c, "inter-system handover")
+				}},
+			// Option 3 (OP-II): inter-system cell reselection requires
+			// IDLE. With the data session holding DCH, the device is
+			// stuck in 3G — the S3 defect. The transition fires but
+			// only restores the modulation; no switch happens.
+			{Name: "csfb-end-stuck", From: DCH, On: types.MsgCallRelease, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixCSFBTag && c.Get(names.GWantReturn4G) == 1 &&
+						c.Get(names.GSwitchOpt) == names.SwitchReselect &&
+						c.Get(names.GPSData) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					c.Trace("RRC stays at DCH for ongoing data; reselection impossible — stuck in 3G (S3)")
+				}},
+			// Reselection policy but no data: the state can drain to
+			// IDLE and reselect.
+			{Name: "csfb-end-reselect-idle", From: fsm.Any, On: types.MsgCallRelease, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return !o.FixCSFBTag && c.Get(names.GWantReturn4G) == 1 &&
+						c.Get(names.GSwitchOpt) == names.SwitchReselect &&
+						c.Get(names.GPSData) == 0
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+					returnTo4G(c, "inter-system cell reselection")
+				}},
+			// A call release with no pending return (plain 3G call):
+			// restore modulation, drain toward IDLE unless data holds
+			// the channel.
+			{Name: "call-end-data", From: fsm.Any, On: types.MsgCallRelease, To: DCH,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GWantReturn4G) == 0 && c.Get(names.GPSData) == 1
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+				}},
+			{Name: "call-end-idle", From: fsm.Any, On: types.MsgCallRelease, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GWantReturn4G) == 0 && c.Get(names.GPSData) == 0
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GModulation, Mod64QAM)
+				}},
+
+			// Device-triggered reselection from IDLE (the deferred S3
+			// recovery once the data session finally ends).
+			{Name: "reselect-4g", From: Idle, On: types.MsgInterSystemCellReselect, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GWantReturn4G) == 1 && in3G(c, e)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					returnTo4G(c, "inter-system cell reselection")
+				}},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: Idle,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 0)
+					c.Set(names.GModulation, Mod64QAM)
+				}},
+		},
+	}
+}

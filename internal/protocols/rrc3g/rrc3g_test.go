@@ -1,0 +1,170 @@
+package rrc3g
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	opts := []DeviceOptions{{}, {FixCSFBTag: true}, {FixDecoupleChannels: true}, {FixCSFBTag: true, FixDecoupleChannels: true}}
+	for _, o := range opts {
+		if err := DeviceSpec(o).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newUE(t *testing.T, o DeviceOptions) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m := fsm.New(DeviceSpec(o))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GModulation, Mod64QAM)
+	return m, c
+}
+
+func TestSwitchInStates(t *testing.T) {
+	// With a migrating data session the radio comes up at DCH.
+	m, c := newUE(t, DeviceOptions{})
+	c.Set(names.GPSData, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgInterSystemSwitchCommand, names.UERRC4G))
+	ptest.WantState(t, m, DCH)
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgRRCConnectionSetupComplete {
+		t.Fatalf("outputs = %v, want setup complete", c.OutputKinds())
+	}
+
+	// Without data: FACH.
+	m2, c2 := newUE(t, DeviceOptions{})
+	ptest.MustStep(t, m2, c2, ptest.FromNet(types.MsgInterSystemSwitchCommand, names.UERRC4G))
+	ptest.WantState(t, m2, FACH)
+}
+
+func TestDataDrivesDCH(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.WantState(t, m, DCH)
+	ptest.WantGlobal(t, c, names.GPSData, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOff))
+	ptest.WantState(t, m, Idle)
+	ptest.WantGlobal(t, c, names.GPSData, 0)
+}
+
+func TestDataOffDuringCallStaysConnected(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	c.Set(names.GCallActive, 1)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOff))
+	ptest.WantState(t, m, DCH)
+	ptest.WantGlobal(t, c, names.GPSData, 0)
+}
+
+// S5: a CS call on the shared channel downgrades the modulation.
+func TestS5ModulationDowngrade(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.WantGlobal(t, c, names.GModulation, Mod64QAM)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.UECM))
+	ptest.WantGlobal(t, c, names.GModulation, Mod16QAM)
+	// Plain call end (no return pending, data ongoing): restore 64QAM.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallRelease, names.UECM))
+	ptest.WantGlobal(t, c, names.GModulation, Mod64QAM)
+	ptest.WantState(t, m, DCH)
+}
+
+// S5 fix: decoupled channels keep 64QAM for PS during the call.
+func TestS5FixDecoupledChannels(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{FixDecoupleChannels: true})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.UECM))
+	ptest.WantGlobal(t, c, names.GModulation, Mod64QAM)
+}
+
+func csfbCallEnd(t *testing.T, o DeviceOptions, switchOpt int, dataOn bool) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m, c := newUE(t, o)
+	c.Set(names.GSwitchOpt, switchOpt)
+	c.Set(names.GCSFBTag, 1)
+	if dataOn {
+		c.Set(names.GPSData, 1)
+		ptest.MustStep(t, m, c, ptest.FromNet(types.MsgInterSystemSwitchCommand, names.UERRC4G))
+		ptest.WantState(t, m, DCH)
+	} else {
+		ptest.MustStep(t, m, c, ptest.FromNet(types.MsgInterSystemSwitchCommand, names.UERRC4G))
+		ptest.WantState(t, m, FACH)
+	}
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallConnect, names.UECM))
+	c.Set(names.GCallActive, 0)
+	c.Set(names.GWantReturn4G, 1) // CC raised the return obligation
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCallRelease, names.UECM))
+	return m, c
+}
+
+// OP-I behavior: release-with-redirect always returns to 4G.
+func TestS3RedirectReturns(t *testing.T) {
+	_, c := csfbCallEnd(t, DeviceOptions{}, names.SwitchRedirect, true)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 0)
+}
+
+func TestS3HandoverReturns(t *testing.T) {
+	_, c := csfbCallEnd(t, DeviceOptions{}, names.SwitchHandover, true)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+}
+
+// OP-II behavior (S3 defect): reselection + ongoing data = stuck in 3G.
+func TestS3ReselectStuck(t *testing.T) {
+	m, c := csfbCallEnd(t, DeviceOptions{}, names.SwitchReselect, true)
+	ptest.WantState(t, m, DCH)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 1) // obligation unmet
+	// Modulation restored even while stuck.
+	ptest.WantGlobal(t, c, names.GModulation, Mod64QAM)
+
+	// The deadlock breaks only when the data session ends (Table 6).
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOff))
+	ptest.WantState(t, m, Idle)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgInterSystemCellReselect))
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 0)
+}
+
+// Reselection without data drains to IDLE and returns immediately.
+func TestS3ReselectNoData(t *testing.T) {
+	_, c := csfbCallEnd(t, DeviceOptions{}, names.SwitchReselect, false)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+}
+
+// S3 fix: the CSFB tag forces the return even under reselection policy
+// with ongoing data.
+func TestS3FixCSFBTag(t *testing.T) {
+	m, c := csfbCallEnd(t, DeviceOptions{FixCSFBTag: true}, names.SwitchReselect, true)
+	ptest.WantState(t, m, Idle)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys4G))
+	ptest.WantGlobal(t, c, names.GWantReturn4G, 0)
+	ptest.WantGlobal(t, c, names.GCSFBTag, 0)
+}
+
+func TestReselectRequiresIdle(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{})
+	c.Set(names.GWantReturn4G, 1)
+	c.Set(names.GPSData, 1)
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgInterSystemSwitchCommand, names.UERRC4G))
+	ptest.WantState(t, m, DCH)
+	// Reselection event in DCH must not fire.
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgInterSystemCellReselect))
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+}
+
+func TestPowerOffResets(t *testing.T) {
+	m, c := newUE(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	c.Set(names.GModulation, Mod16QAM)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOff))
+	ptest.WantState(t, m, Idle)
+	ptest.WantGlobal(t, c, names.GPSData, 0)
+	ptest.WantGlobal(t, c, names.GModulation, Mod64QAM)
+}

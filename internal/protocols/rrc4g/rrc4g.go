@@ -1,0 +1,89 @@
+// Package rrc4g models the 4G LTE Radio Resource Control protocol
+// (TS 36.331) at the device: the two-state IDLE/CONNECTED machine of
+// §2, the CSFB fallback trigger (a call dialed in 4G hands the radio to
+// 3G, §5.1.1), and operator- or mobility-initiated 4G→3G switches.
+package rrc4g
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side 4G RRC states.
+const (
+	Idle      fsm.State = "RRC-IDLE"
+	Connected fsm.State = "RRC-CONNECTED"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct{}
+
+func in4G(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GSys) == int(types.Sys4G) }
+
+// fallTo3G executes the 4G→3G radio switch and hands control to the
+// co-located 3G RRC (cross-layer output, Figure 3 step 2).
+func fallTo3G(c fsm.Ctx, csfb bool) {
+	c.Set(names.GSys, int(types.Sys3G))
+	if csfb {
+		c.Set(names.GCSFBTag, 1)
+	}
+	c.Output(types.NewMessage(types.MsgInterSystemSwitchCommand, types.ProtoRRC3G))
+	if csfb {
+		c.Trace("4G RRC released for CSFB fallback to 3G")
+	} else {
+		c.Trace("4G RRC released for inter-system switch to 3G")
+	}
+}
+
+// DeviceSpec returns the device-side 4G RRC machine.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	return &fsm.Spec{
+		Name:  "RRC4G-UE",
+		Proto: types.ProtoRRC4G,
+		Init:  Idle,
+		Transitions: []fsm.Transition{
+			// Data activity in 4G connects the radio.
+			{Name: "data-on", From: Idle, On: types.MsgUserDataOn, To: Connected,
+				Guard: in4G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 1)
+				}},
+			{Name: "data-on-conn", From: Connected, On: types.MsgUserDataOn, To: fsm.Same,
+				Guard: in4G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 1)
+				}},
+			{Name: "data-off", From: fsm.Any, On: types.MsgUserDataOff, To: Idle,
+				Guard: in4G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPSData, 0)
+				}},
+
+			// CSFB: the extended service request from CC triggers the
+			// fallback (works from IDLE and CONNECTED alike).
+			{Name: "csfb-fallback", From: fsm.Any, On: types.MsgCSFBServiceRequest, To: Idle,
+				Guard: in4G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					fallTo3G(c, true)
+				}},
+
+			// Operator- or mobility-initiated 4G→3G switch.
+			{Name: "switch-out", From: fsm.Any, On: types.MsgNetSwitchOrder, To: Idle,
+				Guard: in4G,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					fallTo3G(c, false)
+				}},
+			{Name: "move-out-of-coverage", From: fsm.Any, On: types.MsgInterSystemSwitchCommand, To: Idle,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return in4G(c, e) && e.Msg.From == "" },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					fallTo3G(c, false)
+				}},
+
+			// Network release of the radio connection.
+			{Name: "release", From: Connected, On: types.MsgRRCConnectionRelease, To: Idle},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: Idle},
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package rrc4g
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecValidates(t *testing.T) {
+	if err := DeviceSpec(DeviceOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newUE(t *testing.T) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	return m, c
+}
+
+func TestDataConnects(t *testing.T) {
+	m, c := newUE(t)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.WantState(t, m, Connected)
+	ptest.WantGlobal(t, c, names.GPSData, 1)
+	// Idempotent while connected.
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.WantState(t, m, Connected)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOff))
+	ptest.WantState(t, m, Idle)
+	ptest.WantGlobal(t, c, names.GPSData, 0)
+}
+
+func TestCSFBFallback(t *testing.T) {
+	m, c := newUE(t)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgCSFBServiceRequest, names.UECM))
+	ptest.WantState(t, m, Idle)
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	ptest.WantGlobal(t, c, names.GCSFBTag, 1)
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgInterSystemSwitchCommand {
+		t.Fatalf("outputs = %v, want switch command toward 3G RRC", c.OutputKinds())
+	}
+}
+
+func TestCSFBNotIn3G(t *testing.T) {
+	m, c := newUE(t)
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustNotStep(t, m, c, ptest.FromNet(types.MsgCSFBServiceRequest, names.UECM))
+}
+
+func TestOperatorSwitchOrder(t *testing.T) {
+	m, c := newUE(t)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgNetSwitchOrder))
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	// Not CSFB-tagged.
+	ptest.WantGlobal(t, c, names.GCSFBTag, 0)
+}
+
+func TestMobilitySwitch(t *testing.T) {
+	m, c := newUE(t)
+	// Environment event (empty From): user left 4G coverage.
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgInterSystemSwitchCommand))
+	ptest.WantGlobal(t, c, names.GSys, int(types.Sys3G))
+	if len(c.Outputs) != 1 || c.Outputs[0].Kind != types.MsgInterSystemSwitchCommand {
+		t.Fatalf("outputs = %v", c.OutputKinds())
+	}
+}
+
+func TestNetworkRelease(t *testing.T) {
+	m, c := newUE(t)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgRRCConnectionRelease, names.BSRRC4G))
+	ptest.WantState(t, m, Idle)
+}
+
+func TestPowerOff(t *testing.T) {
+	m, c := newUE(t)
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgPowerOff))
+	ptest.WantState(t, m, Idle)
+}

@@ -1,0 +1,240 @@
+// Package sm models the 3G Session Management protocol (SM, TS 24.008):
+// activation, modification and deactivation of the PDP context that
+// carries 3G packet service.
+//
+// Unlike the 4G EPS bearer context, the PDP context is optional — a 3G
+// user can still use CS voice without it, so deactivating it is common
+// (Table 3 lists the causes). S1 (§5.1) arises exactly because 3G may
+// delete this context while 4G later requires it. S4's data side (§6.1)
+// arises because SM service requests are blocked behind GMM
+// routing-area updates.
+package sm
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+// Device-side SM states.
+const (
+	UEInactive fsm.State = "SM-PDP-INACTIVE"
+	UEPending  fsm.State = "SM-PDP-PENDING"
+	UEActive   fsm.State = "SM-PDP-ACTIVE"
+)
+
+// SGSN-side SM states.
+const (
+	SGSNInactive fsm.State = "SGSN-PDP-INACTIVE"
+	SGSNActive   fsm.State = "SGSN-PDP-ACTIVE"
+)
+
+// DeviceOptions configure the device-side machine.
+type DeviceOptions struct {
+	// FixParallelUpdate enables the §8 fix for S4's PS side: data
+	// requests proceed even while a routing-area update runs.
+	FixParallelUpdate bool
+	// FixKeepContext enables the §8 cross-system remedy for avoidable
+	// deactivations: "QoS not accepted" downgrades the QoS instead of
+	// deleting the context, and "incompatible PDP context" modifies it
+	// (§5.1.2, Table 3 remedies).
+	FixKeepContext bool
+	// Peer is the SGSN SM process (default names.SGSNSM).
+	Peer string
+}
+
+// SGSNOptions configure the network-side machine.
+type SGSNOptions struct {
+	// FixKeepContext mirrors the device-side remedy for
+	// network-originated avoidable causes.
+	FixKeepContext bool
+	// Peer is the device SM process (default names.UESM).
+	Peer string
+}
+
+func avoidable(c types.Cause) bool {
+	switch c {
+	case types.CauseQoSNotAccepted, types.CauseIncompatiblePDPContext, types.CauseRegularDeactivation:
+		return true
+	}
+	return false
+}
+
+// DeviceSpec returns the device-side SM machine.
+//
+// Environment events drive it: MsgUserDataOn requests PDP activation,
+// MsgDeactivatePDPRequest with a Table 3 cause models device-originated
+// deactivation, and MsgWiFiAvailable models the §5.1.3 phone quirk of
+// deactivating all PDP contexts when WiFi takes over.
+func DeviceSpec(o DeviceOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.SGSNSM
+	}
+	peer := o.Peer
+
+	deactivate := func(c fsm.Ctx, e fsm.Event) {
+		c.Set(names.GPDP, 0)
+		c.Send(peer, types.NewMessage(types.MsgDeactivatePDPRequest, types.ProtoSM).WithCause(e.Msg.Cause))
+		c.Trace("SM PDP context deactivated: %s", e.Msg.Cause)
+	}
+
+	return &fsm.Spec{
+		Name:  "SM-UE",
+		Proto: types.ProtoSM,
+		Init:  UEInactive,
+		Transitions: []fsm.Transition{
+			// S4 defect path: a data request during an RAU is delayed
+			// (head-of-line blocking, §6.1). The request is still sent —
+			// after the delay — so the state advances, but the delay is
+			// recorded for CallService/DataService observation.
+			{Name: "activate-delayed", From: UEInactive, On: types.MsgUserDataOn, To: UEPending,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GSys) == int(types.Sys3G) && c.Get(names.GRAUInProgress) == 1 && !o.FixParallelUpdate
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GDataDelayed, 1)
+					c.Send(peer, types.NewMessage(types.MsgActivatePDPRequest, types.ProtoSM))
+					c.Trace("SM request delayed behind routing area update (S4)")
+				}},
+			{Name: "activate", From: UEInactive, On: types.MsgUserDataOn, To: UEPending,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GSys) == int(types.Sys3G) && (c.Get(names.GRAUInProgress) == 0 || o.FixParallelUpdate)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgActivatePDPRequest, types.ProtoSM))
+					c.Trace("SM PDP activation requested")
+				}},
+
+			{Name: "activate-accept", From: UEPending, On: types.MsgActivatePDPAccept, To: UEActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 1)
+					c.Trace("SM PDP context active")
+				}},
+			{Name: "activate-reject", From: UEPending, On: types.MsgActivatePDPReject, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+				}},
+
+			// Device-originated deactivation with a Table 3 cause
+			// (environment events carry an empty From). The guard is on
+			// the shared GPDP context, not the machine state, because a
+			// context migrated in from 4G (§5.1.1) is live without the
+			// machine ever having run the activation flow. Under
+			// FixKeepContext, avoidable causes modify rather than delete.
+			{Name: "deact-keep", From: fsm.Any, On: types.MsgDeactivatePDPRequest, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return e.Msg.From == "" && c.Get(names.GPDP) == 1 && o.FixKeepContext && avoidable(e.Msg.Cause)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgModifyPDPRequest, types.ProtoSM).WithCause(e.Msg.Cause))
+					c.Trace("SM fix: PDP context modified instead of deleted (%s)", e.Msg.Cause)
+				}},
+			{Name: "deact", From: fsm.Any, On: types.MsgDeactivatePDPRequest, To: UEInactive,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return e.Msg.From == "" && c.Get(names.GPDP) == 1 && !(o.FixKeepContext && avoidable(e.Msg.Cause))
+				},
+				Action: deactivate},
+
+			// Network-originated deactivation arriving from the SGSN:
+			// acknowledge and drop the context.
+			{Name: "deact-from-net", From: fsm.Any, On: types.MsgDeactivatePDPRequest, To: UEInactive,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return e.Msg.From != "" },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivatePDPAccept, types.ProtoSM))
+					c.Trace("SM: network deactivated PDP context (%s)", e.Msg.Cause)
+				}},
+
+			// The WiFi-offload quirk (§5.1.3): some phones deactivate
+			// all PDP contexts when the user switches to WiFi.
+			{Name: "deact-wifi", From: fsm.Any, On: types.MsgWiFiAvailable, To: UEInactive,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool { return c.Get(names.GPDP) == 1 },
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivatePDPRequest, types.ProtoSM).WithCause(types.CauseRegularDeactivation))
+					c.Trace("SM: PDP contexts deactivated on WiFi offload")
+				}},
+
+			// SGSN acknowledged a device-originated deactivation.
+			{Name: "deact-ack", From: fsm.Any, On: types.MsgDeactivatePDPAccept, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+				}},
+
+			// Modification accepted: context retained.
+			{Name: "modify-accept", From: UEActive, On: types.MsgModifyPDPAccept, To: fsm.Same},
+
+			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+				}},
+		},
+	}
+}
+
+// SGSNSpec returns the network-side SM machine.
+func SGSNSpec(o SGSNOptions) *fsm.Spec {
+	if o.Peer == "" {
+		o.Peer = names.UESM
+	}
+	peer := o.Peer
+
+	return &fsm.Spec{
+		Name:  "SM-SGSN",
+		Proto: types.ProtoSM,
+		Init:  SGSNInactive,
+		Transitions: []fsm.Transition{
+			{Name: "activate", From: SGSNInactive, On: types.MsgActivatePDPRequest, To: SGSNActive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 1)
+					c.Send(peer, types.NewMessage(types.MsgActivatePDPAccept, types.ProtoSM))
+				}},
+			{Name: "activate-dup", From: SGSNActive, On: types.MsgActivatePDPRequest, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgActivatePDPAccept, types.ProtoSM))
+				}},
+
+			// UE-originated deactivation.
+			{Name: "ue-deact", From: fsm.Any, On: types.MsgDeactivatePDPRequest, To: SGSNInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivatePDPAccept, types.ProtoSM))
+				}},
+
+			// Network-originated deactivation with a Table 3 cause,
+			// driven by an operator-scenario event carrying the cause.
+			// Guarded on GPDP so migrated-in contexts (§5.1.1) are
+			// covered too.
+			{Name: "net-deact-keep", From: fsm.Any, On: types.MsgNetDetachOrder, To: fsm.Same,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GPDP) == 1 && o.FixKeepContext && avoidable(e.Msg.Cause)
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgModifyPDPRequest, types.ProtoSM).WithCause(e.Msg.Cause))
+					c.Trace("SGSN fix: PDP context modified instead of deleted (%s)", e.Msg.Cause)
+				}},
+			{Name: "net-deact", From: fsm.Any, On: types.MsgNetDetachOrder, To: SGSNInactive,
+				Guard: func(c fsm.Ctx, e fsm.Event) bool {
+					return c.Get(names.GPDP) == 1 && !(o.FixKeepContext && avoidable(e.Msg.Cause))
+				},
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+					c.Send(peer, types.NewMessage(types.MsgDeactivatePDPRequest, types.ProtoSM).WithCause(e.Msg.Cause))
+					c.Trace("SGSN: PDP context deactivated (%s)", e.Msg.Cause)
+				}},
+
+			// UE accepted a network-originated deactivation.
+			{Name: "deact-ack", From: fsm.Any, On: types.MsgDeactivatePDPAccept, To: SGSNInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GPDP, 0)
+				}},
+
+			// Modification request (from the keep-context fix).
+			{Name: "modify", From: SGSNActive, On: types.MsgModifyPDPRequest, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgModifyPDPAccept, types.ProtoSM))
+				}},
+			{Name: "modify-inactive", From: SGSNInactive, On: types.MsgModifyPDPRequest, To: fsm.Same},
+		},
+	}
+}

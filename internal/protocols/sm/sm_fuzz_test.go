@@ -1,0 +1,27 @@
+package sm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/protocols/ptest"
+)
+
+// Random-event robustness: every spec variant survives arbitrary
+// signal sequences without leaving its declared state set.
+func TestFuzzSpecs(t *testing.T) {
+	for i, spec := range fuzzSpecs() {
+		for seed := int64(1); seed <= 4; seed++ {
+			ptest.Fuzz(t, spec, 400, seed+int64(i)*100)
+		}
+	}
+}
+
+func fuzzSpecs() []*fsm.Spec {
+	return []*fsm.Spec{
+		DeviceSpec(DeviceOptions{}),
+		DeviceSpec(DeviceOptions{FixParallelUpdate: true, FixKeepContext: true}),
+		SGSNSpec(SGSNOptions{}),
+		SGSNSpec(SGSNOptions{FixKeepContext: true}),
+	}
+}

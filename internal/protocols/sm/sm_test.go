@@ -1,0 +1,195 @@
+package sm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/ptest"
+	"cnetverifier/internal/types"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, o := range []DeviceOptions{{}, {FixParallelUpdate: true}, {FixKeepContext: true}} {
+		if err := DeviceSpec(o).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range []SGSNOptions{{}, {FixKeepContext: true}} {
+		if err := SGSNSpec(o).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func activeDevice(t *testing.T, o DeviceOptions) (*fsm.Machine, *ptest.Ctx) {
+	t.Helper()
+	m := fsm.New(DeviceSpec(o))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPAccept, names.SGSNSM))
+	ptest.WantState(t, m, UEActive)
+	return m, c
+}
+
+func TestDeviceActivationFlow(t *testing.T) {
+	m, c := activeDevice(t, DeviceOptions{})
+	_ = m
+	ptest.WantGlobal(t, c, names.GPDP, 1)
+	ptest.WantSent(t, c, 0, types.MsgActivatePDPRequest)
+}
+
+func TestDeviceActivationRequires3G(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys4G))
+	ptest.MustNotStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+}
+
+// S4 PS side: a data request during an RAU is delayed.
+func TestDeviceS4DataDelayed(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GRAUInProgress, 1)
+	tr := ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	if tr.Name != "activate-delayed" {
+		t.Fatalf("transition = %s, want activate-delayed", tr.Name)
+	}
+	ptest.WantGlobal(t, c, names.GDataDelayed, 1)
+	// The request is still sent (after the delay).
+	ptest.WantSent(t, c, 0, types.MsgActivatePDPRequest)
+}
+
+// S4 PS fix: with parallel updates the request proceeds undelayed.
+func TestDeviceS4FixNoDelay(t *testing.T) {
+	m := fsm.New(DeviceSpec(DeviceOptions{FixParallelUpdate: true}))
+	c := ptest.NewCtx()
+	c.Set(names.GSys, int(types.Sys3G))
+	c.Set(names.GRAUInProgress, 1)
+	tr := ptest.MustStep(t, m, c, fsm.Ev(types.MsgUserDataOn))
+	if tr.Name != "activate" {
+		t.Fatalf("transition = %s, want activate", tr.Name)
+	}
+	ptest.WantGlobal(t, c, names.GDataDelayed, 0)
+}
+
+// Device-originated deactivation for each Table 3 cause.
+func TestDeviceDeactivationCauses(t *testing.T) {
+	for _, row := range types.PDPDeactivationCauses() {
+		if row.Originator&types.OriginDevice == 0 {
+			continue
+		}
+		m, c := activeDevice(t, DeviceOptions{})
+		ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgDeactivatePDPRequest, row.Cause))
+		ptest.WantState(t, m, UEInactive)
+		ptest.WantGlobal(t, c, names.GPDP, 0)
+		if got := c.LastSent(); got.Kind != types.MsgDeactivatePDPRequest || got.Cause != row.Cause {
+			t.Fatalf("cause %s: last sent = %v", row.Cause, got)
+		}
+	}
+}
+
+// FixKeepContext: avoidable causes modify instead of delete (§5.1.2).
+func TestDeviceFixKeepContext(t *testing.T) {
+	m, c := activeDevice(t, DeviceOptions{FixKeepContext: true})
+	tr := ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgDeactivatePDPRequest, types.CauseQoSNotAccepted))
+	if tr.Name != "deact-keep" {
+		t.Fatalf("transition = %s, want deact-keep", tr.Name)
+	}
+	ptest.WantState(t, m, UEActive)
+	ptest.WantGlobal(t, c, names.GPDP, 1)
+	if got := c.LastSent().Kind; got != types.MsgModifyPDPRequest {
+		t.Fatalf("last sent = %s, want ModifyPDPRequest", got)
+	}
+	// Unavoidable causes still deactivate even with the fix.
+	ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgDeactivatePDPRequest, types.CauseInsufficientResources))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+}
+
+// The WiFi-offload quirk of §5.1.3.
+func TestDeviceWiFiOffloadQuirk(t *testing.T) {
+	m, c := activeDevice(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, fsm.Ev(types.MsgWiFiAvailable))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+}
+
+// Network-originated deactivation must be acknowledged.
+func TestDeviceNetworkDeactivation(t *testing.T) {
+	m, c := activeDevice(t, DeviceOptions{})
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgDeactivatePDPRequest, names.SGSNSM, types.CauseOperatorDeterminedBarring))
+	ptest.WantState(t, m, UEInactive)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+	if got := c.LastSent().Kind; got != types.MsgDeactivatePDPAccept {
+		t.Fatalf("last sent = %s, want DeactivatePDPAccept", got)
+	}
+}
+
+func TestSGSNActivation(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	ptest.WantState(t, m, SGSNActive)
+	ptest.WantGlobal(t, c, names.GPDP, 1)
+	ptest.WantSent(t, c, 0, types.MsgActivatePDPAccept)
+
+	// Duplicate request is idempotent.
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	ptest.WantState(t, m, SGSNActive)
+}
+
+func TestSGSNNetworkDeactivation(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgNetDetachOrder, types.CauseIncompatiblePDPContext))
+	ptest.WantState(t, m, SGSNInactive)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+	if got := c.LastSent(); got.Kind != types.MsgDeactivatePDPRequest || got.Cause != types.CauseIncompatiblePDPContext {
+		t.Fatalf("last sent = %v", got)
+	}
+}
+
+func TestSGSNFixKeepContext(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{FixKeepContext: true}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	tr := ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgNetDetachOrder, types.CauseIncompatiblePDPContext))
+	if tr.Name != "net-deact-keep" {
+		t.Fatalf("transition = %s, want net-deact-keep", tr.Name)
+	}
+	ptest.WantState(t, m, SGSNActive)
+	ptest.WantGlobal(t, c, names.GPDP, 1)
+	if got := c.LastSent().Kind; got != types.MsgModifyPDPRequest {
+		t.Fatalf("last sent = %s, want ModifyPDPRequest", got)
+	}
+	// Barring is not avoidable: deactivates even with the fix.
+	ptest.MustStep(t, m, c, ptest.EnvCause(types.MsgNetDetachOrder, types.CauseOperatorDeterminedBarring))
+	ptest.WantState(t, m, SGSNInactive)
+}
+
+func TestSGSNUEDeactivation(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	ptest.MustStep(t, m, c, ptest.FromNetCause(types.MsgDeactivatePDPRequest, names.UESM, types.CauseRegularDeactivation))
+	ptest.WantState(t, m, SGSNInactive)
+	ptest.WantGlobal(t, c, names.GPDP, 0)
+	if got := c.LastSent().Kind; got != types.MsgDeactivatePDPAccept {
+		t.Fatalf("last sent = %s, want DeactivatePDPAccept", got)
+	}
+}
+
+func TestSGSNModify(t *testing.T) {
+	m := fsm.New(SGSNSpec(SGSNOptions{}))
+	c := ptest.NewCtx()
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgActivatePDPRequest, names.UESM))
+	ptest.MustStep(t, m, c, ptest.FromNet(types.MsgModifyPDPRequest, names.UESM))
+	ptest.WantState(t, m, SGSNActive)
+	if got := c.LastSent().Kind; got != types.MsgModifyPDPAccept {
+		t.Fatalf("last sent = %s, want ModifyPDPAccept", got)
+	}
+}

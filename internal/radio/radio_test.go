@@ -1,0 +1,238 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModulationTables(t *testing.T) {
+	if QAM64.PeakDL() <= QAM16.PeakDL() || QAM16.PeakDL() <= QPSK.PeakDL() {
+		t.Fatal("DL peak rates not increasing with modulation order")
+	}
+	if QAM64.PeakUL() <= QAM16.PeakUL() {
+		t.Fatal("UL peak rates not increasing")
+	}
+	// §6.2's cited numbers.
+	if QAM64.PeakDL() != 21.1 || QAM16.PeakDL() != 11.0 {
+		t.Fatalf("peaks = %v/%v, want 21.1/11.0", QAM64.PeakDL(), QAM16.PeakDL())
+	}
+	if QAM64.Order() != 64 || QAM16.Order() != 16 || QPSK.Order() != 4 {
+		t.Fatal("orders wrong")
+	}
+	for _, m := range []Modulation{QPSK, QAM16, QAM64, Modulation(9)} {
+		if m.String() == "" {
+			t.Fatal("empty modulation name")
+		}
+	}
+	if Modulation(9).PeakDL() != 0 || Modulation(9).PeakUL() != 0 || Modulation(9).Order() != 0 {
+		t.Fatal("unknown modulation should rate 0")
+	}
+}
+
+// S5's physics: an active call on a coupled channel downgrades the
+// modulation; a decoupled channel does not.
+func TestSharedChannelCoupling(t *testing.T) {
+	ch := NewSharedChannel()
+	if ch.CurrentMod() != QAM64 {
+		t.Fatalf("idle modulation = %v", ch.CurrentMod())
+	}
+	before := ch.DataRateDL(1)
+	ch.CallActive = true
+	if ch.CurrentMod() != QAM16 {
+		t.Fatalf("in-call modulation = %v, want 16QAM", ch.CurrentMod())
+	}
+	during := ch.DataRateDL(1)
+	if during >= before {
+		t.Fatalf("rate did not drop: %v -> %v", before, during)
+	}
+	drop := 1 - during/before
+	// Pure modulation downgrade: 1 - 11/21.1 ≈ 47.9%.
+	if drop < 0.4 || drop > 0.6 {
+		t.Fatalf("modulation-only drop = %.2f, want ≈0.48", drop)
+	}
+
+	ch.Coupled = false
+	if ch.CurrentMod() != QAM64 {
+		t.Fatal("decoupled channel downgraded anyway")
+	}
+	if ch.DataRateDL(1) != before {
+		t.Fatal("decoupled rate changed during call")
+	}
+}
+
+func TestSharedChannelVoiceOverhead(t *testing.T) {
+	ch := NewSharedChannel()
+	ch.CallActive = true
+	ch.VoiceOverheadFactor = 0.5
+	// 16QAM peak halved again.
+	want := QAM16.PeakDL() * 0.5
+	if got := ch.DataRateDL(1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+	// Overhead only applies during coupled calls.
+	ch.CallActive = false
+	if got := ch.DataRateDL(1); got != QAM64.PeakDL() {
+		t.Fatalf("idle rate = %v", got)
+	}
+	ch.CallActive = true
+	ch.VoiceOverheadFactor = 2 // clamps to zero rate
+	if got := ch.DataRateDL(1); got != 0 {
+		t.Fatalf("over-penalized rate = %v, want 0", got)
+	}
+}
+
+func TestDataRateLoadClamping(t *testing.T) {
+	ch := NewSharedChannel()
+	if ch.DataRateDL(-1) != 0 {
+		t.Fatal("negative load not clamped")
+	}
+	if ch.DataRateDL(2) != QAM64.PeakDL() {
+		t.Fatal("excess load not clamped")
+	}
+	if ch.DataRateUL(0.5) != QAM64.PeakUL()*0.5 {
+		t.Fatal("UL rate wrong")
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	p := DefaultPathLoss()
+	last := math.Inf(1)
+	for _, d := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+		r := p.RSSIAt(d, nil)
+		if r >= last {
+			t.Fatalf("RSSI not decreasing with distance: %v at %v", r, d)
+		}
+		last = r
+	}
+	// Distances are floored: no +inf at zero.
+	if math.IsInf(p.RSSIAt(0, nil), 1) {
+		t.Fatal("RSSI at distance 0 is infinite")
+	}
+}
+
+// Figure 7's context: along Route-1 the measured RSSI stays in the
+// good-signal range [-95, -51] dBm.
+func TestRoute1RSSIRange(t *testing.T) {
+	r := Route1()
+	p := DefaultPathLoss()
+	p.ShadowSigmaDB = 0
+	for mp := 0.0; mp <= r.LengthMiles; mp += 0.1 {
+		rssi := r.RSSIAt(mp, p, nil)
+		if rssi < -95 || rssi > -45 {
+			t.Fatalf("RSSI at %.1f mi = %.1f dBm, outside good-signal range", mp, rssi)
+		}
+	}
+}
+
+func TestRouteUpdateCrossings(t *testing.T) {
+	r := Route1()
+	if !r.CrossesUpdate(9.0, 10.0) {
+		t.Fatal("9.5-mile boundary not detected")
+	}
+	if !r.CrossesUpdate(10.0, 9.0) {
+		t.Fatal("reverse crossing not detected")
+	}
+	if r.CrossesUpdate(10.0, 13.0) {
+		t.Fatal("false crossing")
+	}
+	if !r.CrossesUpdate(13.0, 13.5) {
+		t.Fatal("13.2-mile boundary not detected")
+	}
+	if len(Route2().UpdateMileposts) == 0 || Route2().LengthMiles != 28.3 {
+		t.Fatal("Route2 malformed")
+	}
+}
+
+func TestServingBSDistance(t *testing.T) {
+	r := Route1()
+	if d := r.ServingBSDistance(0.5); d != 0 {
+		t.Fatalf("distance at BS = %v", d)
+	}
+	if d := r.ServingBSDistance(1.5); math.Abs(d-1.0) > 1e-9 {
+		t.Fatalf("midpoint distance = %v, want 1.0", d)
+	}
+}
+
+func TestLoadFactorDiurnal(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		f := LoadFactor(h)
+		if f <= 0 || f > 1 {
+			t.Fatalf("load factor at %d = %v", h, f)
+		}
+	}
+	if LoadFactor(18) >= LoadFactor(0) {
+		t.Fatal("evening peak should be more congested than midnight")
+	}
+	if LoadFactor(-1) != LoadFactor(23) {
+		t.Fatal("negative hours not normalized")
+	}
+	if LoadFactor(25) != LoadFactor(1) {
+		t.Fatal("overflow hours not normalized")
+	}
+}
+
+func TestDropperRates(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		d := NewDropper(rate, 1)
+		drops := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if d.Drop() {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Fatalf("rate %v: observed %v", rate, got)
+		}
+	}
+	if NewDropper(-0.5, 1).Rate() != 0 || NewDropper(2, 1).Rate() != 1 {
+		t.Fatal("rates not clamped")
+	}
+}
+
+func TestDropperDeterministic(t *testing.T) {
+	a, b := NewDropper(0.3, 42), NewDropper(0.3, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Drop() != b.Drop() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// Property: shadowing is zero-mean — the shadowed RSSI averages to the
+// deterministic value.
+func TestShadowingZeroMean(t *testing.T) {
+	p := DefaultPathLoss()
+	rng := rand.New(rand.NewSource(7))
+	mean := 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		mean += p.RSSIAt(2, rng)
+	}
+	mean /= n
+	want := p.RSSIAt(2, nil)
+	if math.Abs(mean-want) > 0.3 {
+		t.Fatalf("shadowed mean %v vs deterministic %v", mean, want)
+	}
+}
+
+// Property: the coupled in-call rate never exceeds the idle rate at any
+// load.
+func TestQuickCallNeverFaster(t *testing.T) {
+	f := func(load float64, overhead float64) bool {
+		load = math.Mod(math.Abs(load), 1)
+		overhead = math.Mod(math.Abs(overhead), 1)
+		idle := NewSharedChannel()
+		busy := NewSharedChannel()
+		busy.CallActive = true
+		busy.VoiceOverheadFactor = overhead
+		return busy.DataRateDL(load) <= idle.DataRateDL(load)+1e-12 &&
+			busy.DataRateUL(load) <= idle.DataRateUL(load)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"testing"
+
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/types"
+)
+
+func TestFullSpaceCoversFamilies(t *testing.T) {
+	evs := FullSpace().Events(nil)
+	if len(evs) < 20 {
+		t.Fatalf("full space = %d events, want a rich space", len(evs))
+	}
+	labels := map[string]bool{}
+	users, ops := 0, 0
+	for _, e := range evs {
+		if e.Label == "" || e.Proc == "" || e.Msg.Kind == types.MsgNone {
+			t.Fatalf("malformed event %+v", e)
+		}
+		if labels[e.Label] {
+			t.Fatalf("duplicate label %q", e.Label)
+		}
+		labels[e.Label] = true
+		if e.UserDemand {
+			users++
+		} else {
+			ops++
+		}
+	}
+	// §3.2.1 models both user demands and operator responses.
+	if users == 0 || ops == 0 {
+		t.Fatalf("user=%d operator=%d events", users, ops)
+	}
+	// Table 3's bounded enumeration: all six causes appear, at eight
+	// originator-cause pairs.
+	deacts := 0
+	for l := range labels {
+		if len(l) > 9 && (l[:9] == "pdp-deact") {
+			deacts++
+		}
+	}
+	if deacts != 8 {
+		t.Fatalf("PDP deactivation events = %d, want 8 (6 causes, 2 dual-originator)", deacts)
+	}
+}
+
+func TestSpaceTogglesFamilies(t *testing.T) {
+	var s Space
+	if got := len(s.Events(nil)); got != 0 {
+		t.Fatalf("empty space has %d events", got)
+	}
+	s.Calls = true
+	if got := len(s.Events(nil)); got != 3 {
+		t.Fatalf("calls-only space = %d events, want 3", got)
+	}
+}
+
+func TestEnvEventsAdapter(t *testing.T) {
+	s := Space{Data: true}
+	evs := s.EnvEvents(nil)
+	if len(evs) != len(s.Events(nil)) {
+		t.Fatal("adapter lost events")
+	}
+	for _, e := range evs {
+		if e.Proc == "" {
+			t.Fatal("empty proc")
+		}
+	}
+}
+
+func TestSamplerDeterministicAndBounded(t *testing.T) {
+	a := NewSampler(FullSpace(), 4, 7)
+	b := NewSampler(FullSpace(), 4, 7)
+	for i := 0; i < 20; i++ {
+		ea, eb := a.Events(nil), b.Events(nil)
+		if len(ea) != 4 || len(eb) != 4 {
+			t.Fatalf("sample sizes %d/%d, want 4", len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+	// Small spaces are returned whole.
+	small := NewSampler(Space{Calls: true}, 10, 1)
+	if got := len(small.Events(nil)); got != 3 {
+		t.Fatalf("small space sample = %d", got)
+	}
+	// Default PerStep.
+	if s := NewSampler(FullSpace(), 0, 1); s.PerStep != 4 {
+		t.Fatalf("default per-step = %d", s.PerStep)
+	}
+}
+
+func TestSamplerCoversSpaceOverTime(t *testing.T) {
+	s := NewSampler(FullSpace(), 4, 3)
+	seen := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		for _, e := range s.Events(nil) {
+			seen[e.Proc+"/"+e.Msg.Kind.String()+"/"+e.Msg.Cause.String()] = true
+		}
+	}
+	total := len(FullSpace().Events(nil))
+	if len(seen) < total {
+		t.Fatalf("sampler covered %d/%d events after 400 draws", len(seen), total)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	space := FullSpace()
+	steps := []model.Step{
+		{Kind: model.StepEnv, Proc: names.UECM, Msg: types.Message{Kind: types.MsgUserDialCall}},
+		{Kind: model.StepEnv, Proc: names.UECM, Msg: types.Message{Kind: types.MsgUserDialCall}},
+		{Kind: model.StepEnv, Proc: names.UESM, Msg: types.Message{Kind: types.MsgDeactivatePDPRequest, Cause: types.CauseQoSNotAccepted}},
+		{Kind: model.StepDeliver, Proc: names.UECM, Msg: types.Message{Kind: types.MsgCallConnect}},
+	}
+	cov := Coverage(space, nil, steps)
+	if cov["dial"] != 2 {
+		t.Fatalf("dial coverage = %d", cov["dial"])
+	}
+	if cov["pdp-deact-ue/QoS not accepted"] != 1 {
+		t.Fatalf("deact coverage = %v", cov)
+	}
+	if len(cov) != 2 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}

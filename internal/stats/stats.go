@@ -1,0 +1,176 @@
+// Package stats provides the small set of descriptive statistics used
+// by the experiment harnesses: min/median/max summaries (Figure 4,
+// Table 6), percentiles (Table 6's 90th), means, and empirical CDFs
+// (Figure 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary is a five-number-style description of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Median float64
+	Max    float64
+	Mean   float64
+	P90    float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Median: Percentile(s, 50),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+		P90:    Percentile(s, 90),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f median=%.2f p90=%.2f max=%.2f mean=%.2f",
+		s.N, s.Min, s.Median, s.P90, s.Max, s.Mean)
+}
+
+// Percentile returns the p-th percentile (0–100) of a sorted sample
+// using linear interpolation between order statistics. The input must
+// be sorted ascending; it panics on an empty sample or out-of-range p.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of the first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest x with P(X <= x) >= q, for q in (0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		panic("stats: quantile of empty CDF")
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) pairs suitable for
+// plotting the CDF curve (Figure 8).
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / maxInt(n-1, 1)
+		x := c.sorted[idx]
+		out = append(out, [2]float64{x, float64(idx+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Durations converts a slice of time.Duration to seconds.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// AsciiCDF renders a crude terminal plot of a CDF with the given number
+// of rows, used by the bench harness to echo Figure 8-style curves.
+func AsciiCDF(c *CDF, rows int, label string) string {
+	if c.N() == 0 || rows <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CDF of %s (n=%d)\n", label, c.N())
+	for i := 1; i <= rows; i++ {
+		q := float64(i) / float64(rows)
+		x := c.Quantile(q)
+		bar := strings.Repeat("#", int(q*40))
+		fmt.Fprintf(&b, "%5.0f%% %-40s %.3f\n", q*100, bar, x)
+	}
+	return b.String()
+}

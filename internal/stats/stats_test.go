@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.Median, 3) || !almost(s.Mean, 3) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Fatalf("empty summary = %+v", zero)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("single-element P50 = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 6}), 3) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almost(got, tc.want) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if NewCDF(nil).At(1) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {0.1, 10},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); !almost(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][0] != 1 || pts[4][0] != 5 {
+		t.Fatalf("endpoints wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+	}
+	if got := c.Points(100); len(got) != 5 {
+		t.Fatalf("oversampled points = %d, want clamped to 5", len(got))
+	}
+	if NewCDF(nil).Points(3) != nil {
+		t.Fatal("empty CDF points != nil")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if !almost(ds[0], 1) || !almost(ds[1], 0.5) {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	out := AsciiCDF(c, 4, "test")
+	if !strings.Contains(out, "CDF of test") || !strings.Contains(out, "100%") {
+		t.Fatalf("ascii cdf:\n%s", out)
+	}
+	if AsciiCDF(NewCDF(nil), 4, "x") != "" {
+		t.Fatal("empty CDF should render empty")
+	}
+}
+
+// Property: the CDF is monotone and At(Quantile(q)) >= q.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		for _, q := range []float64{0.1, 0.5, 0.9, 1.0} {
+			if c.At(c.Quantile(q)) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize agrees with direct computations.
+func TestQuickSummaryConsistent(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max && s.N == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

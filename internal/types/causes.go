@@ -1,0 +1,149 @@
+package types
+
+import "fmt"
+
+// Cause is a signaling cause/error code carried in reject, detach and
+// deactivation messages. The numeric values are internal to this
+// reproduction; the names mirror the 3GPP causes cited by the paper.
+type Cause uint16
+
+const (
+	CauseNone Cause = iota
+
+	// --- PDP context deactivation causes (Table 3) ---
+
+	// CauseInsufficientResources: device-originated; radio/bearer
+	// resources can no longer sustain the PDP context.
+	CauseInsufficientResources
+	// CauseQoSNotAccepted: device-originated; the negotiated QoS cannot
+	// be satisfied at the device.
+	CauseQoSNotAccepted
+	// CauseLowLayerFailure: device- or network-originated; RRC/RLC
+	// failure below the session layer.
+	CauseLowLayerFailure
+	// CauseRegularDeactivation: device- or network-originated; e.g. the
+	// user switches mobile data off, or the network gracefully releases.
+	CauseRegularDeactivation
+	// CauseIncompatiblePDPContext: network-originated; the active PDP
+	// context is not compatible with all PS services (e.g. MMS vs
+	// Internet APN).
+	CauseIncompatiblePDPContext
+	// CauseOperatorDeterminedBarring: network-originated; subscription
+	// or policy barring.
+	CauseOperatorDeterminedBarring
+
+	// --- EMM/GMM/MM reject and detach causes ---
+
+	// CauseImplicitDetach: the network has implicitly detached the UE
+	// (TS 24.301 cause #10); observed in S2 and S6.
+	CauseImplicitDetach
+	// CauseNoEPSBearerContext: "No EPS bearer context activated"
+	// (TS 24.301 cause #40); observed in S1 when returning to 4G with no
+	// recoverable context.
+	CauseNoEPSBearerContext
+	// CauseMSCTemporarilyNotReachable: TS 24.301 cause #16; observed in
+	// S6 (OP-II) when the combined TAU's CS part fails.
+	CauseMSCTemporarilyNotReachable
+	// CauseNetworkFailure: generic network-side failure (cause #17).
+	CauseNetworkFailure
+	// CauseCongestion: network congestion (cause #22).
+	CauseCongestion
+	// CausePLMNNotAllowed: subscription not allowed on this PLMN (#11).
+	CausePLMNNotAllowed
+	// CauseTrackingAreaNotAllowed: TA not allowed (#12).
+	CauseTrackingAreaNotAllowed
+
+	// --- Internal/bookkeeping causes ---
+
+	// CauseUserPowerOff: device-originated detach at power-off.
+	CauseUserPowerOff
+	// CauseTimerExpiry: a NAS retransmission timer reached its maximum
+	// retry count.
+	CauseTimerExpiry
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseInsufficientResources:
+		return "insufficient resources"
+	case CauseQoSNotAccepted:
+		return "QoS not accepted"
+	case CauseLowLayerFailure:
+		return "low layer failure"
+	case CauseRegularDeactivation:
+		return "regular deactivation"
+	case CauseIncompatiblePDPContext:
+		return "incompatible PDP context"
+	case CauseOperatorDeterminedBarring:
+		return "operator determined barring"
+	case CauseImplicitDetach:
+		return "implicitly detached"
+	case CauseNoEPSBearerContext:
+		return "no EPS bearer context activated"
+	case CauseMSCTemporarilyNotReachable:
+		return "MSC temporarily not reachable"
+	case CauseNetworkFailure:
+		return "network failure"
+	case CauseCongestion:
+		return "congestion"
+	case CausePLMNNotAllowed:
+		return "PLMN not allowed"
+	case CauseTrackingAreaNotAllowed:
+		return "tracking area not allowed"
+	case CauseUserPowerOff:
+		return "user power off"
+	case CauseTimerExpiry:
+		return "NAS timer expiry"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint16(c))
+	}
+}
+
+// PDPDeactOriginator says which side may initiate a PDP context
+// deactivation with a given cause (Table 3).
+type PDPDeactOriginator uint8
+
+const (
+	OriginDevice PDPDeactOriginator = 1 << iota
+	OriginNetwork
+)
+
+func (o PDPDeactOriginator) String() string {
+	switch o {
+	case OriginDevice:
+		return "User device"
+	case OriginNetwork:
+		return "Network"
+	case OriginDevice | OriginNetwork:
+		return "User device/Network"
+	default:
+		return fmt.Sprintf("Originator(%d)", uint8(o))
+	}
+}
+
+// PDPDeactCause is one row of Table 3.
+type PDPDeactCause struct {
+	Originator PDPDeactOriginator
+	Cause      Cause
+	// Avoidable reports whether the paper argues the deactivation could
+	// have been avoided or repaired without detaching the user (§5.1.2).
+	Avoidable bool
+	// Remedy is the paper's suggested alternative to deactivation.
+	Remedy string
+}
+
+// PDPDeactivationCauses reproduces Table 3: the causes that may trigger
+// PDP context deactivation in 3G, each of which can strand the device
+// out-of-service after a 3G→4G switch (finding S1).
+func PDPDeactivationCauses() []PDPDeactCause {
+	return []PDPDeactCause{
+		{OriginDevice, CauseInsufficientResources, false, "reactivate EPS bearer after switching instead of detaching"},
+		{OriginDevice, CauseQoSNotAccepted, true, "keep the PDP context and downgrade to a lower QoS policy"},
+		{OriginDevice | OriginNetwork, CauseLowLayerFailure, false, "reactivate EPS bearer after switching instead of detaching"},
+		{OriginDevice | OriginNetwork, CauseRegularDeactivation, true, "defer deactivation until the switch to 4G completes"},
+		{OriginNetwork, CauseIncompatiblePDPContext, true, "modify the PDP context rather than delete it"},
+		{OriginNetwork, CauseOperatorDeterminedBarring, false, "reactivate EPS bearer after switching instead of detaching"},
+	}
+}

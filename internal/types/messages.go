@@ -1,0 +1,238 @@
+package types
+
+import "fmt"
+
+// MsgKind enumerates the control-plane signaling messages exchanged by
+// the modeled protocols. The set covers every procedure exercised by the
+// paper: attach/detach, location management (LAU/RAU/TAU), session
+// management (PDP context / EPS bearer), call control (incl. CSFB), and
+// radio resource control.
+type MsgKind uint16
+
+const (
+	MsgNone MsgKind = iota
+
+	// --- Mobility management: attach/detach (EMM/GMM/MM) ---
+	MsgAttachRequest
+	MsgAttachAccept
+	MsgAttachComplete
+	MsgAttachReject
+	MsgDetachRequest
+	MsgDetachAccept
+
+	// --- Mobility management: location management ---
+	MsgLocationUpdateRequest // 3G CS location area update (MM → MSC)
+	MsgLocationUpdateAccept
+	MsgLocationUpdateReject
+	MsgRoutingAreaUpdateRequest // 3G PS routing area update (GMM → SGSN)
+	MsgRoutingAreaUpdateAccept
+	MsgRoutingAreaUpdateReject
+	MsgTrackingAreaUpdateRequest // 4G tracking area update (EMM → MME)
+	MsgTrackingAreaUpdateAccept
+	MsgTrackingAreaUpdateReject
+
+	// --- Session management: 3G PDP context (SM) ---
+	MsgActivatePDPRequest
+	MsgActivatePDPAccept
+	MsgActivatePDPReject
+	MsgDeactivatePDPRequest
+	MsgDeactivatePDPAccept
+	MsgModifyPDPRequest
+	MsgModifyPDPAccept
+
+	// --- Session management: 4G EPS bearer (ESM) ---
+	MsgActivateBearerRequest
+	MsgActivateBearerAccept
+	MsgActivateBearerReject
+	MsgDeactivateBearerRequest
+	MsgDeactivateBearerAccept
+
+	// --- Call control (CM/CC) ---
+	MsgCMServiceRequest // establish signaling connection for MO call
+	MsgCMServiceAccept
+	MsgCMServiceReject
+	MsgCallSetup
+	MsgCallConnect
+	MsgCallAlerting
+	MsgCallDisconnect
+	MsgCallRelease
+	MsgPagingRequest // MT call / downlink data notification
+
+	// --- Radio resource control ---
+	MsgRRCConnectionRequest
+	MsgRRCConnectionSetup
+	MsgRRCConnectionSetupComplete
+	MsgRRCConnectionRelease
+	MsgRRCConnectionReleaseRedirect // "RRC connection release with redirect"
+	MsgRRCStateTransition           // FACH<->DCH / DRX changes
+	MsgRRCMeasurementReport
+	MsgRRCReconfiguration // carries modulation/channel config (S5)
+
+	// --- Inter-system switching (§5.1.1, Figure 3/6) ---
+	MsgInterSystemSwitchCommand // network-ordered 4G<->3G switch
+	MsgInterSystemHandover      // option 2: direct DCH<->CONNECTED handover
+	MsgInterSystemCellReselect  // option 3: idle-mode reselection
+	MsgCSFBServiceRequest       // extended service request for CSFB call
+	MsgContextTransfer          // EPS bearer <-> PDP context migration
+
+	// --- Internal/environment events (not on the air interface) ---
+	MsgPowerOn
+	MsgPowerOff
+	MsgUserDialCall
+	MsgUserHangUp
+	MsgUserDataOn
+	MsgUserDataOff
+	MsgUserMove      // crosses an LA/RA/TA boundary
+	MsgPeriodicTimer // periodic LAU/RAU/TAU timer
+	MsgWiFiAvailable // device policy may deactivate PDP contexts
+
+	// --- Operator/environment events toward network elements ---
+	MsgNetDetachOrder  // network-oriented detach (e.g. resource constraints)
+	MsgNetSwitchOrder  // carrier-initiated inter-system switch (load balancing)
+	MsgLUFailureSignal // a 3G location update failed (input to S6)
+
+	// MsgShimAck is the acknowledgment of the §8 reliable-transfer
+	// shim inserted between EMM and RRC (internal/fixes).
+	MsgShimAck
+)
+
+var msgKindNames = map[MsgKind]string{
+	MsgNone:                         "None",
+	MsgAttachRequest:                "AttachRequest",
+	MsgAttachAccept:                 "AttachAccept",
+	MsgAttachComplete:               "AttachComplete",
+	MsgAttachReject:                 "AttachReject",
+	MsgDetachRequest:                "DetachRequest",
+	MsgDetachAccept:                 "DetachAccept",
+	MsgLocationUpdateRequest:        "LocationUpdateRequest",
+	MsgLocationUpdateAccept:         "LocationUpdateAccept",
+	MsgLocationUpdateReject:         "LocationUpdateReject",
+	MsgRoutingAreaUpdateRequest:     "RoutingAreaUpdateRequest",
+	MsgRoutingAreaUpdateAccept:      "RoutingAreaUpdateAccept",
+	MsgRoutingAreaUpdateReject:      "RoutingAreaUpdateReject",
+	MsgTrackingAreaUpdateRequest:    "TrackingAreaUpdateRequest",
+	MsgTrackingAreaUpdateAccept:     "TrackingAreaUpdateAccept",
+	MsgTrackingAreaUpdateReject:     "TrackingAreaUpdateReject",
+	MsgActivatePDPRequest:           "ActivatePDPRequest",
+	MsgActivatePDPAccept:            "ActivatePDPAccept",
+	MsgActivatePDPReject:            "ActivatePDPReject",
+	MsgDeactivatePDPRequest:         "DeactivatePDPRequest",
+	MsgDeactivatePDPAccept:          "DeactivatePDPAccept",
+	MsgModifyPDPRequest:             "ModifyPDPRequest",
+	MsgModifyPDPAccept:              "ModifyPDPAccept",
+	MsgActivateBearerRequest:        "ActivateBearerRequest",
+	MsgActivateBearerAccept:         "ActivateBearerAccept",
+	MsgActivateBearerReject:         "ActivateBearerReject",
+	MsgDeactivateBearerRequest:      "DeactivateBearerRequest",
+	MsgDeactivateBearerAccept:       "DeactivateBearerAccept",
+	MsgCMServiceRequest:             "CMServiceRequest",
+	MsgCMServiceAccept:              "CMServiceAccept",
+	MsgCMServiceReject:              "CMServiceReject",
+	MsgCallSetup:                    "CallSetup",
+	MsgCallConnect:                  "CallConnect",
+	MsgCallAlerting:                 "CallAlerting",
+	MsgCallDisconnect:               "CallDisconnect",
+	MsgCallRelease:                  "CallRelease",
+	MsgPagingRequest:                "PagingRequest",
+	MsgRRCConnectionRequest:         "RRCConnectionRequest",
+	MsgRRCConnectionSetup:           "RRCConnectionSetup",
+	MsgRRCConnectionSetupComplete:   "RRCConnectionSetupComplete",
+	MsgRRCConnectionRelease:         "RRCConnectionRelease",
+	MsgRRCConnectionReleaseRedirect: "RRCConnectionReleaseRedirect",
+	MsgRRCStateTransition:           "RRCStateTransition",
+	MsgRRCMeasurementReport:         "RRCMeasurementReport",
+	MsgRRCReconfiguration:           "RRCReconfiguration",
+	MsgInterSystemSwitchCommand:     "InterSystemSwitchCommand",
+	MsgInterSystemHandover:          "InterSystemHandover",
+	MsgInterSystemCellReselect:      "InterSystemCellReselect",
+	MsgCSFBServiceRequest:           "CSFBServiceRequest",
+	MsgContextTransfer:              "ContextTransfer",
+	MsgPowerOn:                      "PowerOn",
+	MsgPowerOff:                     "PowerOff",
+	MsgUserDialCall:                 "UserDialCall",
+	MsgUserHangUp:                   "UserHangUp",
+	MsgUserDataOn:                   "UserDataOn",
+	MsgUserDataOff:                  "UserDataOff",
+	MsgUserMove:                     "UserMove",
+	MsgPeriodicTimer:                "PeriodicTimer",
+	MsgWiFiAvailable:                "WiFiAvailable",
+	MsgNetDetachOrder:               "NetDetachOrder",
+	MsgNetSwitchOrder:               "NetSwitchOrder",
+	MsgLUFailureSignal:              "LUFailureSignal",
+	MsgShimAck:                      "ShimAck",
+}
+
+func (k MsgKind) String() string {
+	if s, ok := msgKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint16(k))
+}
+
+// IsUserEvent reports whether the kind is a user/environment event
+// rather than an air-interface signaling message.
+func (k MsgKind) IsUserEvent() bool {
+	switch k {
+	case MsgPowerOn, MsgPowerOff, MsgUserDialCall, MsgUserHangUp,
+		MsgUserDataOn, MsgUserDataOff, MsgUserMove, MsgPeriodicTimer,
+		MsgWiFiAvailable:
+		return true
+	}
+	return false
+}
+
+// IsOperatorEvent reports whether the kind is a network/operator
+// environment event rather than an air-interface signaling message.
+func (k MsgKind) IsOperatorEvent() bool {
+	switch k {
+	case MsgNetDetachOrder, MsgNetSwitchOrder, MsgLUFailureSignal:
+		return true
+	}
+	return false
+}
+
+// IsReject reports whether the kind denies a request.
+func (k MsgKind) IsReject() bool {
+	switch k {
+	case MsgAttachReject, MsgLocationUpdateReject, MsgRoutingAreaUpdateReject,
+		MsgTrackingAreaUpdateReject, MsgActivatePDPReject,
+		MsgActivateBearerReject, MsgCMServiceReject:
+		return true
+	}
+	return false
+}
+
+// Message is a control-plane signaling message instance.
+type Message struct {
+	Kind   MsgKind
+	System System
+	Domain Domain
+	Proto  Protocol
+	Cause  Cause
+	// Seq is a NAS-level sequence number; used by the reliable-transfer
+	// shim (§8 Layer Extension) and duplicate detection (S2).
+	Seq uint32
+	// From and To identify the sending/receiving entity (device, BS,
+	// MSC, SGSN, MME, ...). Free-form; the emulator uses element names.
+	From, To string
+}
+
+func (m Message) String() string {
+	s := m.Kind.String()
+	if m.Cause != CauseNone {
+		s += fmt.Sprintf("(cause=%s)", m.Cause)
+	}
+	return s
+}
+
+// NewMessage builds a message of the given kind with defaults derived
+// from the protocol association.
+func NewMessage(kind MsgKind, proto Protocol) Message {
+	return Message{Kind: kind, Proto: proto, System: proto.System(), Domain: proto.Domain()}
+}
+
+// WithCause returns a copy of the message carrying the given cause.
+func (m Message) WithCause(c Cause) Message {
+	m.Cause = c
+	return m
+}

@@ -1,0 +1,211 @@
+// Package types defines the shared vocabulary of the cellular control
+// plane used throughout CNetVerifier: radio systems, switching domains,
+// interaction dimensions, signaling message kinds, and 3GPP cause codes.
+//
+// The definitions follow the terminology of TS 24.008 (3G NAS),
+// TS 24.301 (4G NAS), TS 25.331 (3G RRC) and TS 36.331 (4G RRC), reduced
+// to the level of abstraction used by the SIGCOMM'14 paper
+// "Control-Plane Protocol Interactions in Cellular Networks".
+package types
+
+import "fmt"
+
+// System identifies a cellular radio system generation.
+type System uint8
+
+const (
+	// SysNone means the device is not camped on any system.
+	SysNone System = iota
+	// Sys3G is the UMTS/WCDMA system offering both CS and PS domains.
+	Sys3G
+	// Sys4G is the LTE system offering the PS domain only.
+	Sys4G
+)
+
+func (s System) String() string {
+	switch s {
+	case SysNone:
+		return "none"
+	case Sys3G:
+		return "3G"
+	case Sys4G:
+		return "4G"
+	default:
+		return fmt.Sprintf("System(%d)", uint8(s))
+	}
+}
+
+// Domain identifies a switching domain within a system.
+type Domain uint8
+
+const (
+	// DomainNone means no domain applies (e.g. RRC-level events).
+	DomainNone Domain = iota
+	// DomainCS is the circuit-switched domain (3G voice).
+	DomainCS
+	// DomainPS is the packet-switched domain (3G and 4G data).
+	DomainPS
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainNone:
+		return "-"
+	case DomainCS:
+		return "CS"
+	case DomainPS:
+		return "PS"
+	default:
+		return fmt.Sprintf("Domain(%d)", uint8(d))
+	}
+}
+
+// Dimension classifies an inter-protocol interaction per the paper's
+// taxonomy (§1): between stack layers, between CS and PS domains, or
+// between the 3G and 4G systems.
+type Dimension uint8
+
+const (
+	CrossLayer Dimension = iota + 1
+	CrossDomain
+	CrossSystem
+)
+
+func (d Dimension) String() string {
+	switch d {
+	case CrossLayer:
+		return "cross-layer"
+	case CrossDomain:
+		return "cross-domain"
+	case CrossSystem:
+		return "cross-system"
+	default:
+		return fmt.Sprintf("Dimension(%d)", uint8(d))
+	}
+}
+
+// IssueType distinguishes design defects (rooted in the 3GPP standards)
+// from operational slips (rooted in carrier practice), per Table 1.
+type IssueType uint8
+
+const (
+	DesignIssue IssueType = iota + 1
+	OperationIssue
+)
+
+func (t IssueType) String() string {
+	switch t {
+	case DesignIssue:
+		return "design"
+	case OperationIssue:
+		return "operation"
+	default:
+		return fmt.Sprintf("IssueType(%d)", uint8(t))
+	}
+}
+
+// Protocol names the control-plane protocols studied by the paper
+// (Table 2). Each runs as a pair of FSMs: one on the device, one on the
+// serving network element.
+type Protocol uint8
+
+const (
+	ProtoNone  Protocol = iota
+	ProtoCM             // 3G CS connectivity management (CM/CC), TS 24.008, at MSC
+	ProtoSM             // 3G PS session management, TS 24.008, at 3G gateways
+	ProtoESM            // 4G session management, TS 24.301, at MME
+	ProtoMM             // 3G CS mobility management, TS 24.008, at MSC
+	ProtoGMM            // 3G PS mobility management, TS 24.008, at 3G gateways
+	ProtoEMM            // 4G mobility management, TS 24.301, at MME
+	ProtoRRC3G          // 3G radio resource control, TS 25.331, at 3G BS
+	ProtoRRC4G          // 4G radio resource control, TS 36.331, at 4G BS
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoNone:
+		return "-"
+	case ProtoCM:
+		return "CM"
+	case ProtoSM:
+		return "SM"
+	case ProtoESM:
+		return "ESM"
+	case ProtoMM:
+		return "MM"
+	case ProtoGMM:
+		return "GMM"
+	case ProtoEMM:
+		return "EMM"
+	case ProtoRRC3G:
+		return "3G-RRC"
+	case ProtoRRC4G:
+		return "4G-RRC"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// System returns the system a protocol belongs to.
+func (p Protocol) System() System {
+	switch p {
+	case ProtoCM, ProtoSM, ProtoMM, ProtoGMM, ProtoRRC3G:
+		return Sys3G
+	case ProtoESM, ProtoEMM, ProtoRRC4G:
+		return Sys4G
+	default:
+		return SysNone
+	}
+}
+
+// Domain returns the switching domain a protocol serves.
+func (p Protocol) Domain() Domain {
+	switch p {
+	case ProtoCM, ProtoMM:
+		return DomainCS
+	case ProtoSM, ProtoGMM, ProtoESM, ProtoEMM:
+		return DomainPS
+	default:
+		return DomainNone
+	}
+}
+
+// Standard returns the 3GPP specification defining the protocol.
+func (p Protocol) Standard() string {
+	switch p {
+	case ProtoCM, ProtoSM, ProtoMM, ProtoGMM:
+		return "TS24.008"
+	case ProtoESM, ProtoEMM:
+		return "TS24.301"
+	case ProtoRRC3G:
+		return "TS25.331"
+	case ProtoRRC4G:
+		return "TS36.331"
+	default:
+		return ""
+	}
+}
+
+// NetworkElement returns the core-network (or radio) element hosting the
+// network side of the protocol, per Table 2.
+func (p Protocol) NetworkElement() string {
+	switch p {
+	case ProtoCM, ProtoMM:
+		return "MSC"
+	case ProtoSM, ProtoGMM:
+		return "3G Gateways"
+	case ProtoESM, ProtoEMM:
+		return "MME"
+	case ProtoRRC3G:
+		return "3G BS"
+	case ProtoRRC4G:
+		return "4G BS"
+	default:
+		return ""
+	}
+}
+
+// AllProtocols lists every studied protocol in Table 2 order.
+func AllProtocols() []Protocol {
+	return []Protocol{ProtoCM, ProtoSM, ProtoESM, ProtoMM, ProtoGMM, ProtoEMM, ProtoRRC3G, ProtoRRC4G}
+}

@@ -1,0 +1,148 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemDomainStrings(t *testing.T) {
+	cases := map[string]string{
+		Sys3G.String():       "3G",
+		Sys4G.String():       "4G",
+		SysNone.String():     "none",
+		DomainCS.String():    "CS",
+		DomainPS.String():    "PS",
+		DomainNone.String():  "-",
+		CrossLayer.String():  "cross-layer",
+		CrossDomain.String(): "cross-domain",
+		CrossSystem.String(): "cross-system",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if System(99).String() == "" || Domain(99).String() == "" || Dimension(99).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+	if DesignIssue.String() != "design" || OperationIssue.String() != "operation" || IssueType(9).String() == "" {
+		t.Fatal("issue type strings wrong")
+	}
+}
+
+// Table 2: protocol associations — system, domain, standard, element.
+func TestProtocolTable2(t *testing.T) {
+	cases := []struct {
+		p        Protocol
+		sys      System
+		dom      Domain
+		standard string
+		element  string
+	}{
+		{ProtoCM, Sys3G, DomainCS, "TS24.008", "MSC"},
+		{ProtoSM, Sys3G, DomainPS, "TS24.008", "3G Gateways"},
+		{ProtoESM, Sys4G, DomainPS, "TS24.301", "MME"},
+		{ProtoMM, Sys3G, DomainCS, "TS24.008", "MSC"},
+		{ProtoGMM, Sys3G, DomainPS, "TS24.008", "3G Gateways"},
+		{ProtoEMM, Sys4G, DomainPS, "TS24.301", "MME"},
+		{ProtoRRC3G, Sys3G, DomainNone, "TS25.331", "3G BS"},
+		{ProtoRRC4G, Sys4G, DomainNone, "TS36.331", "4G BS"},
+	}
+	for _, c := range cases {
+		if c.p.System() != c.sys || c.p.Domain() != c.dom ||
+			c.p.Standard() != c.standard || c.p.NetworkElement() != c.element {
+			t.Errorf("%s: got (%s,%s,%s,%s)", c.p, c.p.System(), c.p.Domain(), c.p.Standard(), c.p.NetworkElement())
+		}
+		if c.p.String() == "" {
+			t.Errorf("%v: empty name", uint8(c.p))
+		}
+	}
+	if got := len(AllProtocols()); got != 8 {
+		t.Fatalf("AllProtocols = %d, want 8", got)
+	}
+	if ProtoNone.System() != SysNone || ProtoNone.Standard() != "" || ProtoNone.NetworkElement() != "" {
+		t.Fatal("ProtoNone associations wrong")
+	}
+}
+
+// Table 3 registry: six causes, correct originators, remedies present.
+func TestPDPDeactivationCauses(t *testing.T) {
+	rows := PDPDeactivationCauses()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	both := 0
+	for _, r := range rows {
+		if r.Cause == CauseNone || r.Remedy == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+		if r.Originator == OriginDevice|OriginNetwork {
+			both++
+		}
+		if r.Originator.String() == "" {
+			t.Error("empty originator string")
+		}
+	}
+	// Table 3: two dual-originator causes (low layer failure, regular
+	// deactivation).
+	if both != 2 {
+		t.Fatalf("dual-originator rows = %d, want 2", both)
+	}
+}
+
+func TestMessageHelpers(t *testing.T) {
+	m := NewMessage(MsgAttachRequest, ProtoEMM)
+	if m.System != Sys4G || m.Domain != DomainPS || m.Proto != ProtoEMM {
+		t.Fatalf("NewMessage defaults wrong: %+v", m)
+	}
+	withCause := m.WithCause(CauseCongestion)
+	if withCause.Cause != CauseCongestion || m.Cause != CauseNone {
+		t.Fatal("WithCause should copy")
+	}
+	if !strings.Contains(withCause.String(), "congestion") {
+		t.Fatalf("String = %q", withCause.String())
+	}
+	if MsgKind(60000).String() == "" || Cause(60000).String() == "" {
+		t.Fatal("unknown kinds/causes should still render")
+	}
+}
+
+func TestEventClassification(t *testing.T) {
+	if !MsgPowerOn.IsUserEvent() || MsgAttachRequest.IsUserEvent() {
+		t.Fatal("IsUserEvent wrong")
+	}
+	if !MsgNetDetachOrder.IsOperatorEvent() || MsgPowerOn.IsOperatorEvent() {
+		t.Fatal("IsOperatorEvent wrong")
+	}
+	rejects := []MsgKind{MsgAttachReject, MsgLocationUpdateReject, MsgRoutingAreaUpdateReject,
+		MsgTrackingAreaUpdateReject, MsgActivatePDPReject, MsgActivateBearerReject, MsgCMServiceReject}
+	for _, k := range rejects {
+		if !k.IsReject() {
+			t.Errorf("%s not classified as reject", k)
+		}
+	}
+	if MsgAttachAccept.IsReject() {
+		t.Fatal("accept classified as reject")
+	}
+}
+
+// Every named message kind has a distinct, non-empty name.
+func TestMsgKindNamesUnique(t *testing.T) {
+	seen := map[string]MsgKind{}
+	for k := MsgNone; k <= MsgShimAck; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d: empty name", k)
+		}
+		if strings.HasPrefix(name, "MsgKind(") {
+			continue // gaps in the enum are fine
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d named kinds", len(seen))
+	}
+}

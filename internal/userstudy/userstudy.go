@@ -1,0 +1,262 @@
+// Package userstudy reproduces the two-week, 20-volunteer user study
+// of §7 (Table 5) as a stochastic usage simulation.
+//
+// The paper instrumented real phones; here each virtual participant
+// generates calls, mobility, data usage and attaches over simulated
+// days, and each finding's occurrence is decided by its *mechanism*
+// wherever the mechanism is deterministic (S3: OP-II policy + mobile
+// data on; S5: concurrent data traffic during a 3G call), or by a rate
+// calibrated to the paper's measurement where the trigger is
+// environmental (S1: how often 3G deactivates a PDP context; S4: how
+// often a dial lands inside a location update; S6: how often a CSFB
+// location update fails; S2: how often attach signaling is lost under
+// good coverage).
+package userstudy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes the cohort and the calibrated environmental
+// rates. The defaults reproduce §7's observed event counts.
+type Config struct {
+	// Users4G and Users3G split the 20 volunteers (§7: 12 use
+	// 4G-capable phones, 8 use 3G-only phones).
+	Users4G, Users3G int
+	// Days is the study length (two weeks).
+	Days int
+
+	// CallsPerUserPerDay drives call volume. §7 observed 190 CSFB
+	// calls from 12 users and 146 3G CS calls from 8 users over 14
+	// days: ≈1.13 and ≈1.30 calls/user/day.
+	CallsPerUser4GPerDay float64
+	CallsPerUser3GPerDay float64
+
+	// PDataOnDuringCSFB is the probability mobile data is enabled
+	// during a CSFB call (§7: 103 of 190).
+	PDataOnDuringCSFB float64
+	// POPIIUser is the fraction of 4G users on OP-II (§7: 64 of the
+	// 103 data-on CSFB calls were OP-II's).
+	POPIIUser float64
+	// PDataTrafficDuringCall is the probability data traffic is
+	// actively flowing during a 3G CS call (§7: 113 of 146 → S5).
+	PDataTrafficDuringCall float64
+	// PPDPDeactInThreeG is the per-switch probability that 3G
+	// deactivates the PDP context before the return switch (§7: 4 of
+	// 129 data-on switches → S1).
+	PPDPDeactInThreeG float64
+	// PDialDuringLAU is the probability an outgoing 3G call lands
+	// inside an ongoing location-area update (§7: 6 of 79 → S4).
+	PDialDuringLAU float64
+	// PCSFBLUFailure is the per-CSFB-call probability that a location
+	// update fails and propagates (§7: 5 of 190 → S6).
+	PCSFBLUFailure float64
+	// PAttachSignalLoss is the per-attach probability of lost attach
+	// signaling under good coverage (§7: 0 of 30 → S2).
+	PAttachSignalLoss float64
+	// ExtraSwitchesPerUser4G adds the non-CSFB inter-system switches
+	// (§7: 436 total, 380 CSFB-caused; ≈56 from mobility/carrier).
+	ExtraSwitchesPerUser4G float64
+	// AttachesPerUser is device restarts/auto-recoveries per user over
+	// the study (§7: 30 attaches across 20 users).
+	AttachesPerUser float64
+}
+
+// DefaultConfig returns the §7-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		Users4G:                12,
+		Users3G:                8,
+		Days:                   14,
+		CallsPerUser4GPerDay:   190.0 / 12 / 14,
+		CallsPerUser3GPerDay:   146.0 / 8 / 14,
+		PDataOnDuringCSFB:      103.0 / 190,
+		POPIIUser:              64.0 / 103,
+		PDataTrafficDuringCall: 113.0 / 146,
+		PPDPDeactInThreeG:      4.0 / 129,
+		PDialDuringLAU:         6.0 / 79,
+		PCSFBLUFailure:         5.0 / 190,
+		PAttachSignalLoss:      0.001,
+		ExtraSwitchesPerUser4G: 56.0 / 12,
+		AttachesPerUser:        30.0 / 20,
+	}
+}
+
+// Occurrence is one Table 5 row.
+type Occurrence struct {
+	Finding  string
+	Observed bool
+	Events   int // numerator
+	Exposure int // denominator
+}
+
+// Rate returns the occurrence probability.
+func (o Occurrence) Rate() float64 {
+	if o.Exposure == 0 {
+		return 0
+	}
+	return float64(o.Events) / float64(o.Exposure)
+}
+
+func (o Occurrence) String() string {
+	return fmt.Sprintf("%s: %.1f%% (%d/%d)", o.Finding, o.Rate()*100, o.Events, o.Exposure)
+}
+
+// Result aggregates the study.
+type Result struct {
+	// Raw event counts mirroring §7's first paragraph.
+	CSFBCalls, CSCalls3G, InterSystemSwitches, Attaches int
+	// Occurrences are the S1–S6 rows of Table 5, in order.
+	Occurrences [6]Occurrence
+}
+
+// Table renders the result as a Table 5-style text table.
+func (r Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observed: %d CSFB calls, %d 3G CS calls, %d inter-system switches, %d attaches\n",
+		r.CSFBCalls, r.CSCalls3G, r.InterSystemSwitches, r.Attaches)
+	fmt.Fprintf(&b, "%-8s %-10s %-12s %s\n", "Problem", "Observed", "Occurrence", "(events/exposure)")
+	for _, o := range r.Occurrences {
+		obs := "no"
+		if o.Observed {
+			obs = "yes"
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %-12s (%d/%d)\n", o.Finding, obs,
+			fmt.Sprintf("%.1f%%", o.Rate()*100), o.Events, o.Exposure)
+	}
+	return b.String()
+}
+
+// poisson draws a Poisson variate via Knuth inversion (small means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// Run simulates the study with the configuration and seed.
+func Run(cfg Config, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+
+	var s1Events, s1Exposure int
+	var s2Events, s2Exposure int
+	var s3Events, s3Exposure int
+	var s4Events, s4Exposure int
+	var s5Events, s5Exposure int
+	var s6Events, s6Exposure int
+
+	// 4G users: CSFB calls, inter-system switches, S1/S3/S6 exposure.
+	for u := 0; u < cfg.Users4G; u++ {
+		onOPII := rng.Float64() < cfg.POPIIUser
+		for d := 0; d < cfg.Days; d++ {
+			calls := poisson(rng, cfg.CallsPerUser4GPerDay)
+			for c := 0; c < calls; c++ {
+				res.CSFBCalls++
+				res.InterSystemSwitches += 2 // fall to 3G and return
+				dataOn := rng.Float64() < cfg.PDataOnDuringCSFB
+
+				// S3: stuck in 3G after the call — mechanism: the
+				// reselection policy (OP-II) cannot leave a connected
+				// RRC state while data is on (§5.3).
+				if dataOn {
+					s3Exposure++
+					if onOPII {
+						s3Events++
+					}
+				}
+
+				// S1 exposure: a 4G→3G switch with mobile data on; the
+				// event fires when 3G deactivates the PDP context
+				// before the return (§5.1).
+				if dataOn {
+					s1Exposure++
+					if rng.Float64() < cfg.PPDPDeactInThreeG {
+						s1Events++
+					}
+				}
+
+				// S6: the CSFB location updates fail and the failure
+				// propagates (§6.3).
+				s6Exposure++
+				if rng.Float64() < cfg.PCSFBLUFailure {
+					s6Events++
+				}
+			}
+		}
+		// Mobility/carrier-initiated switches (no CSFB).
+		extra := poisson(rng, cfg.ExtraSwitchesPerUser4G)
+		res.InterSystemSwitches += extra
+		for i := 0; i < extra; i++ {
+			if rng.Float64() < cfg.PDataOnDuringCSFB {
+				s1Exposure++
+				if rng.Float64() < cfg.PPDPDeactInThreeG {
+					s1Events++
+				}
+			}
+		}
+	}
+
+	// 3G users: CS calls, S4/S5 exposure.
+	for u := 0; u < cfg.Users3G; u++ {
+		for d := 0; d < cfg.Days; d++ {
+			calls := poisson(rng, cfg.CallsPerUser3GPerDay)
+			for c := 0; c < calls; c++ {
+				res.CSCalls3G++
+				// S5: a CS call while data traffic flows shares the
+				// channel and downgrades the modulation (§6.2) —
+				// mechanism-deterministic given concurrent traffic, so
+				// the occurrence rate is the concurrency rate.
+				s5Exposure++
+				if rng.Float64() < cfg.PDataTrafficDuringCall {
+					s5Events++
+				}
+				// Roughly half the calls are outgoing (§7: 79 of 146).
+				if rng.Float64() < 79.0/146 {
+					s4Exposure++
+					if rng.Float64() < cfg.PDialDuringLAU {
+						s4Events++
+					}
+				}
+			}
+		}
+	}
+
+	// Attaches: restarts and out-of-service recoveries (S2 exposure).
+	totalUsers := cfg.Users4G + cfg.Users3G
+	for u := 0; u < totalUsers; u++ {
+		n := poisson(rng, cfg.AttachesPerUser)
+		res.Attaches += n
+		for i := 0; i < n; i++ {
+			s2Exposure++
+			if rng.Float64() < cfg.PAttachSignalLoss {
+				s2Events++
+			}
+		}
+	}
+
+	res.Occurrences = [6]Occurrence{
+		{Finding: "S1", Observed: s1Events > 0, Events: s1Events, Exposure: s1Exposure},
+		{Finding: "S2", Observed: s2Events > 0, Events: s2Events, Exposure: s2Exposure},
+		{Finding: "S3", Observed: s3Events > 0, Events: s3Events, Exposure: s3Exposure},
+		{Finding: "S4", Observed: s4Events > 0, Events: s4Events, Exposure: s4Exposure},
+		{Finding: "S5", Observed: s5Events > 0, Events: s5Events, Exposure: s5Exposure},
+		{Finding: "S6", Observed: s6Events > 0, Events: s6Events, Exposure: s6Exposure},
+	}
+	return res
+}

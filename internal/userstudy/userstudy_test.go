@@ -1,0 +1,116 @@
+package userstudy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Users4G != 12 || cfg.Users3G != 8 || cfg.Days != 14 {
+		t.Fatalf("cohort = %+v", cfg)
+	}
+	for name, p := range map[string]float64{
+		"PDataOnDuringCSFB":      cfg.PDataOnDuringCSFB,
+		"POPIIUser":              cfg.POPIIUser,
+		"PDataTrafficDuringCall": cfg.PDataTrafficDuringCall,
+		"PPDPDeactInThreeG":      cfg.PPDPDeactInThreeG,
+		"PDialDuringLAU":         cfg.PDialDuringLAU,
+		"PCSFBLUFailure":         cfg.PCSFBLUFailure,
+	} {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("%s = %v out of (0,1)", name, p)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(), 7)
+	b := Run(DefaultConfig(), 7)
+	if a != b {
+		t.Fatal("same seed, different results")
+	}
+	c := Run(DefaultConfig(), 8)
+	if a == c {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestRunEventVolumes(t *testing.T) {
+	r := Run(DefaultConfig(), 1)
+	// §7 volumes: 190 CSFB calls, 146 CS calls, 436 switches, 30
+	// attaches. Allow generous stochastic slack.
+	if r.CSFBCalls < 120 || r.CSFBCalls > 280 {
+		t.Fatalf("CSFB calls = %d, want ≈190", r.CSFBCalls)
+	}
+	if r.CSCalls3G < 90 || r.CSCalls3G > 220 {
+		t.Fatalf("CS calls = %d, want ≈146", r.CSCalls3G)
+	}
+	if r.InterSystemSwitches < 2*r.CSFBCalls {
+		t.Fatalf("switches = %d < 2×CSFB calls", r.InterSystemSwitches)
+	}
+	if r.Attaches < 10 || r.Attaches > 60 {
+		t.Fatalf("attaches = %d, want ≈30", r.Attaches)
+	}
+}
+
+// Averaged over many seeds, the occurrence rates reproduce Table 5:
+// S1 ≈3.1%, S2 ≈0%, S3 ≈62.1%, S4 ≈7.6%, S5 ≈77.4%, S6 ≈2.6%.
+func TestTable5Rates(t *testing.T) {
+	want := map[string]float64{
+		"S1": 0.031, "S2": 0.0, "S3": 0.621, "S4": 0.076, "S5": 0.774, "S6": 0.026,
+	}
+	tolerance := map[string]float64{
+		"S1": 0.02, "S2": 0.005, "S3": 0.10, "S4": 0.04, "S5": 0.05, "S6": 0.02,
+	}
+	events := map[string]int{}
+	exposure := map[string]int{}
+	const seeds = 40
+	for seed := int64(1); seed <= seeds; seed++ {
+		r := Run(DefaultConfig(), seed)
+		for _, o := range r.Occurrences {
+			events[o.Finding] += o.Events
+			exposure[o.Finding] += o.Exposure
+		}
+	}
+	for f, w := range want {
+		if exposure[f] == 0 {
+			t.Fatalf("%s: no exposure", f)
+		}
+		got := float64(events[f]) / float64(exposure[f])
+		if math.Abs(got-w) > tolerance[f] {
+			t.Errorf("%s rate = %.3f, want %.3f ± %.3f (%d/%d)",
+				f, got, w, tolerance[f], events[f], exposure[f])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	r := Run(DefaultConfig(), 3)
+	out := r.Table()
+	for _, s := range []string{"S1", "S2", "S3", "S4", "S5", "S6", "CSFB calls"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("table missing %q:\n%s", s, out)
+		}
+	}
+	for _, o := range r.Occurrences {
+		if o.String() == "" {
+			t.Fatal("empty occurrence string")
+		}
+	}
+}
+
+func TestOccurrenceRateZeroExposure(t *testing.T) {
+	o := Occurrence{Finding: "X", Events: 0, Exposure: 0}
+	if o.Rate() != 0 {
+		t.Fatal("zero-exposure rate should be 0")
+	}
+}
+
+func TestZeroConfig(t *testing.T) {
+	r := Run(Config{}, 1)
+	if r.CSFBCalls != 0 || r.CSCalls3G != 0 || r.Attaches != 0 {
+		t.Fatalf("zero config produced events: %+v", r)
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload provides the traffic generation and throughput
+// measurement used by the rate experiments: bulk (Speedtest-style)
+// transfers for Figure 9, VoIP-like small-packet flows for Figure 13,
+// and the per-call affected-volume accounting of §7's S5 row.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cnetverifier/internal/radio"
+)
+
+// Episode is an interval during which the channel offers a constant
+// rate to the flow.
+type Episode struct {
+	Dur  time.Duration
+	Rate radio.Mbps
+}
+
+// TransferredMB integrates the data moved over the episodes, in
+// megabytes.
+func TransferredMB(eps []Episode) float64 {
+	total := 0.0
+	for _, e := range eps {
+		total += e.Rate * e.Dur.Seconds() / 8 // Mbit/s × s → MB
+	}
+	return total
+}
+
+// AverageMbps returns the time-weighted mean rate over the episodes.
+func AverageMbps(eps []Episode) radio.Mbps {
+	var num, den float64
+	for _, e := range eps {
+		num += e.Rate * e.Dur.Seconds()
+		den += e.Dur.Seconds()
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SpeedtestResult is one §3.3-style uplink/downlink measurement.
+type SpeedtestResult struct {
+	AvgMbps radio.Mbps
+	MB      float64
+	Dur     time.Duration
+}
+
+func (r SpeedtestResult) String() string {
+	return fmt.Sprintf("%.2f Mbps over %v (%.1f MB)", r.AvgMbps, r.Dur, r.MB)
+}
+
+// Speedtest runs a saturating bulk transfer for dur, sampling the
+// channel capacity every step.
+func Speedtest(capacity func(at time.Duration) radio.Mbps, dur, step time.Duration) SpeedtestResult {
+	if step <= 0 {
+		step = time.Second
+	}
+	var eps []Episode
+	for at := time.Duration(0); at < dur; at += step {
+		d := step
+		if at+step > dur {
+			d = dur - at
+		}
+		eps = append(eps, Episode{Dur: d, Rate: capacity(at)})
+	}
+	return SpeedtestResult{AvgMbps: AverageMbps(eps), MB: TransferredMB(eps), Dur: dur}
+}
+
+// CBR describes a constant-bit-rate flow (the 200 kbps UDP session of
+// §5.3.2, or a 12.2 kbps AMR voice stream).
+type CBR struct {
+	RateMbps    radio.Mbps
+	PacketBytes int
+}
+
+// PacketInterval returns the inter-packet gap.
+func (c CBR) PacketInterval() time.Duration {
+	if c.RateMbps <= 0 || c.PacketBytes <= 0 {
+		return 0
+	}
+	bitsPerPacket := float64(c.PacketBytes * 8)
+	pps := c.RateMbps * 1e6 / bitsPerPacket
+	return time.Duration(float64(time.Second) / pps)
+}
+
+// Achieved returns the rate the flow actually achieves on a channel of
+// the given capacity: a CBR flow never exceeds its own rate.
+func (c CBR) Achieved(capacity radio.Mbps) radio.Mbps {
+	if capacity < c.RateMbps {
+		return capacity
+	}
+	return c.RateMbps
+}
+
+// VoiceFlow is the 3G CS voice stream (§6.2: best codec 12.2 kbps).
+func VoiceFlow() CBR {
+	return CBR{RateMbps: radio.CSVoiceRate, PacketBytes: 32}
+}
+
+// AffectedVolume computes §7's S5 accounting: the data volume
+// transferred at the degraded rate during a call of the given
+// duration, in kilobytes.
+func AffectedVolume(degradedRate radio.Mbps, callDur time.Duration) float64 {
+	return degradedRate * callDur.Seconds() / 8 * 1000 // Mbit/s × s → KB
+}
+
+// Jitter perturbs a rate by ±frac (uniform), modeling run-to-run
+// variance in the Figure 9 measurements.
+func Jitter(rate radio.Mbps, frac float64, rng *rand.Rand) radio.Mbps {
+	if frac <= 0 {
+		return rate
+	}
+	f := 1 + (rng.Float64()*2-1)*frac
+	if f < 0 {
+		f = 0
+	}
+	return rate * f
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cnetverifier/internal/radio"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTransferredMB(t *testing.T) {
+	eps := []Episode{
+		{Dur: 8 * time.Second, Rate: 1},  // 1 MB
+		{Dur: 4 * time.Second, Rate: 10}, // 5 MB
+	}
+	if got := TransferredMB(eps); !almost(got, 6, 1e-9) {
+		t.Fatalf("transferred = %v, want 6", got)
+	}
+	if TransferredMB(nil) != 0 {
+		t.Fatal("empty transfer != 0")
+	}
+}
+
+func TestAverageMbps(t *testing.T) {
+	eps := []Episode{
+		{Dur: time.Second, Rate: 10},
+		{Dur: 3 * time.Second, Rate: 2},
+	}
+	if got := AverageMbps(eps); !almost(got, 4, 1e-9) {
+		t.Fatalf("avg = %v, want 4", got)
+	}
+	if AverageMbps(nil) != 0 {
+		t.Fatal("empty avg != 0")
+	}
+}
+
+func TestSpeedtest(t *testing.T) {
+	// Capacity halves after 5 s.
+	capFn := func(at time.Duration) radio.Mbps {
+		if at < 5*time.Second {
+			return 20
+		}
+		return 10
+	}
+	r := Speedtest(capFn, 10*time.Second, time.Second)
+	if !almost(r.AvgMbps, 15, 1e-9) {
+		t.Fatalf("avg = %v, want 15", r.AvgMbps)
+	}
+	if !almost(r.MB, 15*10.0/8, 1e-9) {
+		t.Fatalf("MB = %v", r.MB)
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+	// Default step and a non-integral tail.
+	r2 := Speedtest(func(time.Duration) radio.Mbps { return 8 }, 2500*time.Millisecond, 0)
+	if !almost(r2.AvgMbps, 8, 1e-9) {
+		t.Fatalf("avg = %v", r2.AvgMbps)
+	}
+	if !almost(r2.MB, 2.5, 1e-9) {
+		t.Fatalf("MB = %v, want 2.5", r2.MB)
+	}
+}
+
+func TestCBR(t *testing.T) {
+	// §5.3.2's 200 kbps UDP session.
+	c := CBR{RateMbps: 0.2, PacketBytes: 1000}
+	// 0.2 Mbps / 8000 bits per packet = 25 pps → 40 ms.
+	if got := c.PacketInterval(); got != 40*time.Millisecond {
+		t.Fatalf("interval = %v, want 40ms", got)
+	}
+	if c.Achieved(10) != 0.2 {
+		t.Fatal("CBR exceeded its own rate")
+	}
+	if c.Achieved(0.1) != 0.1 {
+		t.Fatal("CBR not capacity-limited")
+	}
+	if (CBR{}).PacketInterval() != 0 {
+		t.Fatal("zero CBR interval != 0")
+	}
+}
+
+func TestVoiceFlow(t *testing.T) {
+	v := VoiceFlow()
+	if v.RateMbps != radio.CSVoiceRate {
+		t.Fatalf("voice rate = %v", v.RateMbps)
+	}
+	if v.PacketInterval() <= 0 {
+		t.Fatal("voice packet interval invalid")
+	}
+	// Voice always fits any realistic channel.
+	if v.Achieved(radio.QAM16.PeakDL()) != radio.CSVoiceRate {
+		t.Fatal("voice throttled on a normal channel")
+	}
+}
+
+// §7 S5 accounting: a 67 s call at a degraded rate moving ≈368 KB
+// implies an effective degraded rate ≈44 kbps of affected traffic.
+func TestAffectedVolume(t *testing.T) {
+	kb := AffectedVolume(0.044, 67*time.Second)
+	if kb < 300 || kb > 450 {
+		t.Fatalf("affected volume = %.0f KB, want ≈368", kb)
+	}
+	if AffectedVolume(0, time.Minute) != 0 {
+		t.Fatal("zero rate affected != 0")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		r := Jitter(10, 0.2, rng)
+		if r < 8-1e-9 || r > 12+1e-9 {
+			t.Fatalf("jittered rate %v out of ±20%%", r)
+		}
+	}
+	if Jitter(10, 0, rng) != 10 {
+		t.Fatal("zero jitter changed rate")
+	}
+	// Mean preserved.
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		sum += Jitter(10, 0.3, rng)
+	}
+	if mean := sum / 20000; !almost(mean, 10, 0.1) {
+		t.Fatalf("jitter mean = %v", mean)
+	}
+}

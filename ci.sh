@@ -1,0 +1,37 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1+ gate. Runs formatting, vet, build,
+# the full test suite, the lint CLI over every registered spec and
+# standard world, and the race detector on the packages that use real
+# concurrency (the emulators drive goroutine-per-process stacks).
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . 2>&1)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== cnetlint (specs + standard worlds, defective and fixed) =="
+go run ./cmd/cnetlint -fail-on error >/dev/null
+go run ./cmd/cnetlint -fixed -fail-on error >/dev/null
+echo ok
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/netemu ./internal/emu ./internal/fixes
+
+echo "CI gate passed."

@@ -1,0 +1,169 @@
+// Command cnetlint runs the internal/lint static analyzer over the
+// registered protocol specs and the standard scenario worlds, and
+// prints the findings as text, JSON or annotated DOT.
+//
+// Usage:
+//
+//	cnetlint [-spec all|<name>|none] [-world all|<name>|none] [-fixed]
+//	         [-json] [-dot <spec>] [-fail-on info|warn|error]
+//	         [-suppress RULE1,RULE2] [-rules]
+//
+// Exit status is 1 when any finding reaches the -fail-on severity
+// (default error), 2 on usage errors, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/lint"
+)
+
+func main() {
+	var (
+		specName  = flag.String("spec", "all", "spec to lint: all, none, or a registry name (see -rules for IDs, cnetlint -spec none -world none to list)")
+		worldName = flag.String("world", "all", "world to lint: all, none, or one of "+strings.Join(core.WorldNames(), ", "))
+		fixed     = flag.Bool("fixed", false, "lint the §8-fixed variants of the standard worlds")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		dotSpec   = flag.String("dot", "", "print the lint-annotated DOT graph for one spec and exit")
+		failOn    = flag.String("fail-on", "error", "exit nonzero when a finding reaches this severity: info, warn, error")
+		suppress  = flag.String("suppress", "", "comma-separated rule IDs to disable everywhere")
+		rules     = flag.Bool("rules", false, "print the rule catalog and exit")
+	)
+	flag.Parse()
+
+	if *rules {
+		printRules(*jsonOut)
+		return
+	}
+
+	minSev, err := lint.ParseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnetlint:", err)
+		os.Exit(2)
+	}
+
+	opts := lint.Options{}
+	if *suppress != "" {
+		opts.Suppress = map[string][]string{"*": strings.Split(*suppress, ",")}
+	}
+
+	if *dotSpec != "" {
+		s, ok := core.AllSpecs()[*dotSpec]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cnetlint: unknown spec %q (known: %s)\n", *dotSpec, strings.Join(core.SpecNames(), ", "))
+			os.Exit(2)
+		}
+		fmt.Print(lint.DOT(s, lint.Spec(s, opts)))
+		return
+	}
+
+	type target struct {
+		Target   string         `json:"target"`
+		Findings []lint.Finding `json:"findings"`
+	}
+	var targets []target
+	total := &lint.Report{}
+
+	specs := core.AllSpecs()
+	for _, name := range selectNames(*specName, core.SpecNames(), "spec") {
+		rep := lint.Spec(specs[name], opts)
+		targets = append(targets, target{"spec " + name, rep.Findings})
+		total.Merge(rep)
+	}
+
+	worlds := core.StandardWorlds(*fixed)
+	for _, name := range selectNames(*worldName, core.WorldNames(), "world") {
+		sc := worlds[name]
+		rep := core.LintWorld(sc, worldOptions(opts, sc.Options.LintSuppress))
+		targets = append(targets, target{"world " + name, rep.Findings})
+		total.Merge(rep)
+	}
+
+	if *jsonOut {
+		for i := range targets {
+			if targets[i].Findings == nil {
+				targets[i].Findings = []lint.Finding{}
+			}
+		}
+		out, err := json.MarshalIndent(targets, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetlint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, tg := range targets {
+			if len(tg.Findings) == 0 {
+				continue
+			}
+			fmt.Printf("== %s ==\n", tg.Target)
+			for _, f := range tg.Findings {
+				fmt.Println(f.String())
+			}
+		}
+		fmt.Printf("linted %d targets: %d findings (%d errors, %d warnings, %d info)\n",
+			len(targets), len(total.Findings),
+			len(total.ByRuleSeverity(lint.Error)),
+			len(total.ByRuleSeverity(lint.Warn)),
+			len(total.ByRuleSeverity(lint.Info)))
+	}
+
+	if !total.Clean(minSev) {
+		os.Exit(1)
+	}
+}
+
+// selectNames resolves a -spec/-world flag value against the registry:
+// "all" means every name, "none" means none, anything else one name.
+func selectNames(value string, known []string, kind string) []string {
+	switch strings.ToLower(value) {
+	case "all":
+		return known
+	case "none", "":
+		return nil
+	}
+	for _, n := range known {
+		if n == value {
+			return []string{n}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cnetlint: unknown %s %q (known: %s)\n", kind, value, strings.Join(known, ", "))
+	os.Exit(2)
+	return nil
+}
+
+// worldOptions layers a world's own per-process suppressions (the same
+// ones check.Run honors) on top of the command-line options.
+func worldOptions(o lint.Options, extra map[string][]string) lint.Options {
+	if len(extra) == 0 {
+		return o
+	}
+	merged := make(map[string][]string, len(o.Suppress)+len(extra))
+	for k, v := range o.Suppress {
+		merged[k] = append(merged[k], v...)
+	}
+	for k, v := range extra {
+		merged[k] = append(merged[k], v...)
+	}
+	o.Suppress = merged
+	return o
+}
+
+func printRules(asJSON bool) {
+	rules := lint.Rules()
+	if asJSON {
+		out, _ := json.MarshalIndent(rules, "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for _, r := range rules {
+		fmt.Printf("%-8s %-5s %-5s %s\n", r.ID, r.Severity, r.Scope, r.Summary)
+	}
+}

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6] [-fixed] [-strategy dfs|bfs|walk]
-//	           [-depth N] [-states N] [-verbose]
+//	           [-depth N] [-states N] [-verbose] [-skip-lint]
+//
+// Each world passes through the internal/lint structural gate before
+// exploration; -skip-lint bypasses the gate (see cmd/cnetlint for the
+// standalone analyzer).
 //
 // Exit status is 2 when a property violation is found in a fixed world
 // (the §8 solutions must be clean), 0 otherwise.
@@ -35,6 +39,7 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "print full counterexamples")
 		doValid  = flag.Bool("validate", false, "run the phase-2 validation campaign (replay counterexamples on the emulator)")
 		coverage = flag.Bool("coverage", false, "print per-process transition coverage of each screening run")
+		skipLint = flag.Bool("skip-lint", false, "skip the structural lint gate and explore the world even with error-severity findings")
 	)
 	flag.Parse()
 
@@ -77,6 +82,9 @@ func main() {
 		}
 		if *states > 0 {
 			opt.MaxStates = *states
+		}
+		if *skipLint {
+			opt.SkipLint = true
 		}
 		r, err := core.Screen(s, opt)
 		if err != nil {

@@ -1,0 +1,79 @@
+// Command lintdemo shows the internal/lint analyzer catching two
+// classic spec bugs on a deliberately broken toy protocol:
+//
+//   - a shadowed transition (SPEC002): a catch-all power-off rule early
+//     in the table makes a later, more specific power-off rule dead
+//     under the runtime engine's first-match priority;
+//   - a dead-letter send (MSG001): the device requests a session with a
+//     message kind the server handles in no state, so the request rots
+//     in the inbox forever.
+//
+// Both defects are invisible to the model checker — exploration simply
+// never branches into the dead code — which is exactly why check.Run
+// refuses to screen a world that fails the lint gate. Run it with:
+//
+//	go run ./examples/lintdemo
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/lint"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/types"
+)
+
+func deviceSpec() *fsm.Spec {
+	return &fsm.Spec{
+		Name: "TOY-UE",
+		Init: "OFF",
+		Transitions: []fsm.Transition{
+			{Name: "power-on", From: "OFF", On: types.MsgPowerOn, To: "IDLE"},
+			// The catch-all comes first, so the "graceful-off" rule below
+			// can never fire: first match wins at runtime.
+			{Name: "hard-off", From: fsm.Any, On: types.MsgPowerOff, To: "OFF"},
+			{Name: "graceful-off", From: "CONNECTED", On: types.MsgPowerOff, To: "OFF",
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send("server", types.Message{Kind: types.MsgDetachRequest})
+				}},
+			{Name: "dial", From: "IDLE", On: types.MsgUserDialCall, To: "CONNECTED",
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					// The server's table has no row for CMServiceRequest:
+					// this send is a dead letter.
+					c.Send("server", types.Message{Kind: types.MsgCMServiceRequest})
+				}},
+		},
+	}
+}
+
+func serverSpec() *fsm.Spec {
+	return &fsm.Spec{
+		Name: "TOY-SERVER",
+		Init: "LISTEN",
+		Transitions: []fsm.Transition{
+			{Name: "detach", From: "LISTEN", On: types.MsgDetachRequest, To: "LISTEN"},
+		},
+	}
+}
+
+func main() {
+	w, err := model.New(model.Config{Procs: []model.ProcConfig{
+		{Name: "phone", Spec: deviceSpec()},
+		{Name: "server", Spec: serverSpec()},
+	}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdemo:", err)
+		os.Exit(1)
+	}
+
+	rep := lint.World(w, lint.Options{})
+	fmt.Println("lint findings for the broken toy world:")
+	fmt.Println()
+	fmt.Print(rep.Text())
+	fmt.Println()
+	fmt.Println("annotated transition graph (shadowed transition in red):")
+	fmt.Println()
+	fmt.Print(lint.DOT(deviceSpec(), rep))
+}

@@ -85,6 +85,18 @@ type Options struct {
 	MaxStates int
 	// StopAtFirst stops the entire run at the first violation.
 	StopAtFirst bool
+	// SkipLint disables the pre-screening structural lint
+	// (internal/lint). By default Run refuses to explore a world whose
+	// lint report carries error-severity findings — exploring a
+	// structurally broken world silently shrinks the state space and
+	// can mask real property violations.
+	SkipLint bool
+	// LintSuppress disables individual lint rules per process name
+	// during the pre-screening gate (key "*" disables a rule
+	// everywhere); values are rule IDs like "MSG003". Scoped worlds
+	// that deliberately project away a layer use this instead of
+	// SkipLint so every other rule still gates.
+	LintSuppress map[string][]string
 	// Paranoid stores full state encodings and fails on any hash
 	// collision instead of silently merging states. Slower; used by
 	// tests to validate the hashing scheme.
@@ -93,6 +105,15 @@ type Options struct {
 	// and the RNG seed (defaults 1000 and 1).
 	Walks int
 	Seed  int64
+}
+
+// IsZero reports whether the options are entirely unset. Callers use
+// the zero value to mean "use suggested defaults"; the LintSuppress map
+// makes Options non-comparable, so == is not available for this.
+func (o Options) IsZero() bool {
+	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
+		!o.StopAtFirst && !o.Paranoid && !o.SkipLint && o.LintSuppress == nil &&
+		o.Walks == 0 && o.Seed == 0
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +201,11 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 	opt = opt.withDefaults()
 	if sc == nil {
 		sc = ScenarioFunc(func(*model.World) []model.EnvEvent { return nil })
+	}
+	if !opt.SkipLint {
+		if err := prescreen(w, sc, opt.LintSuppress); err != nil {
+			return nil, err
+		}
 	}
 	switch opt.Strategy {
 	case DFS, BFS:

@@ -1,0 +1,32 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"cnetverifier/internal/lint"
+	"cnetverifier/internal/model"
+)
+
+// prescreen runs the structural lint over the world before exploration
+// and fails on error-severity findings. The scenario's events on the
+// initial world feed the dead-letter pass as environment hints (those
+// kinds have a sender: the environment itself).
+func prescreen(w *model.World, sc Scenario, suppress map[string][]string) error {
+	var hints []lint.EnvHint
+	for _, e := range sc.Events(w) {
+		hints = append(hints, lint.EnvHint{Proc: e.Proc, Kind: uint16(e.Msg.Kind)})
+	}
+	rep := lint.World(w, lint.Options{Env: hints, Suppress: suppress})
+	errs := rep.At(lint.Error)
+	if len(errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range errs {
+		b.WriteString("\n  ")
+		b.WriteString(f.String())
+	}
+	return fmt.Errorf("check: world fails pre-screening lint with %d error finding(s) (set Options.SkipLint to explore anyway):%s",
+		len(errs), b.String())
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/lint"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/protocols/cm"
+	"cnetverifier/internal/protocols/emm"
+	"cnetverifier/internal/protocols/esm"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/mm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/rrc4g"
+	"cnetverifier/internal/protocols/sm"
+)
+
+// AllSpecs enumerates every spec variant the repository ships — device
+// and network side, defective and fixed — keyed by a short stable name.
+// The conformance tests and the cnetlint CLI iterate this registry so a
+// new spec variant only has to be registered once.
+func AllSpecs() map[string]*fsm.Spec {
+	return map[string]*fsm.Spec{
+		"emm-ue":        emm.DeviceSpec(emm.DeviceOptions{}),
+		"emm-ue-fixed":  emm.DeviceSpec(emm.DeviceOptions{FixReactivateBearer: true}),
+		"emm-mme":       emm.MMESpec(emm.MMEOptions{PropagateLUFailure: true}),
+		"emm-mme-fixed": emm.MMESpec(emm.MMEOptions{FixReactivateBearer: true, FixLUFailureRecovery: true}),
+		"esm-ue":        esm.DeviceSpec(esm.DeviceOptions{}),
+		"esm-mme":       esm.MMESpec(esm.MMEOptions{}),
+		"gmm-ue":        gmm.DeviceSpec(gmm.DeviceOptions{}),
+		"gmm-ue-fixed":  gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: true}),
+		"gmm-sgsn":      gmm.SGSNSpec(gmm.SGSNOptions{}),
+		"sm-ue":         sm.DeviceSpec(sm.DeviceOptions{}),
+		"sm-ue-fixed":   sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: true, FixKeepContext: true}),
+		"sm-sgsn":       sm.SGSNSpec(sm.SGSNOptions{}),
+		"sm-sgsn-fixed": sm.SGSNSpec(sm.SGSNOptions{FixKeepContext: true}),
+		"mm-ue":         mm.DeviceSpec(mm.DeviceOptions{}),
+		"mm-ue-fixed":   mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: true}),
+		"mm-msc":        mm.MSCSpec(mm.MSCOptions{}),
+		"cm-ue":         cm.DeviceSpec(cm.DeviceOptions{}),
+		"cm-ue-direct":  cm.DeviceSpec(cm.DeviceOptions{DirectToMSC: true}),
+		"cm-msc":        cm.MSCSpec(cm.MSCOptions{}),
+		"rrc3g-ue":      rrc3g.DeviceSpec(rrc3g.DeviceOptions{}),
+		"rrc3g-fixed":   rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: true, FixDecoupleChannels: true}),
+		"rrc4g-ue":      rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
+	}
+}
+
+// SpecNames returns the registry keys in sorted order.
+func SpecNames() []string {
+	specs := AllSpecs()
+	out := make([]string, 0, len(specs))
+	for name := range specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StandardWorlds returns the standard scenario worlds keyed by a short
+// name: the scoped S1–S6 worlds plus the combined full world (built
+// with a deterministic scenario space, SamplePerStep=0, so lint's
+// environment hints do not depend on sampler randomness).
+func StandardWorlds(fixed bool) map[string]Scoped {
+	return map[string]Scoped{
+		"s1":   S1World(fixed),
+		"s2":   S2World(fixed),
+		"s3":   S3World(fixed, names.SwitchReselect),
+		"s4cs": S4CSWorld(fixed),
+		"s4ps": S4PSWorld(fixed),
+		"s6":   S6World(fixed),
+		"full": FullWorld(FullConfig{Fixed: fixed}),
+	}
+}
+
+// WorldNames returns the StandardWorlds keys in sorted order.
+func WorldNames() []string {
+	worlds := StandardWorlds(false)
+	out := make([]string, 0, len(worlds))
+	for name := range worlds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LintWorld lints a scoped world with its own scenario's events on the
+// initial state as environment hints — the same view check.Run's
+// pre-screening gate uses.
+func LintWorld(sc Scoped, o lint.Options) *lint.Report {
+	for _, e := range sc.Scenario.Events(sc.World) {
+		o.Env = append(o.Env, lint.EnvHint{Proc: e.Proc, Kind: uint16(e.Msg.Kind)})
+	}
+	return lint.World(sc.World, o)
+}

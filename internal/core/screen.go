@@ -22,7 +22,7 @@ func (r ScreenResult) Violated() bool { return len(r.Result.Violations) > 0 }
 // suggested bounds (callers may override via opt; zero-value opt uses
 // the world's own Options).
 func Screen(s Scoped, opt check.Options) (ScreenResult, error) {
-	if opt == (check.Options{}) {
+	if opt.IsZero() {
 		opt = s.Options
 	}
 	res, err := check.Run(s.World, s.Props, s.Scenario, opt)

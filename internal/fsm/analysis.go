@@ -8,21 +8,25 @@ import (
 	"cnetverifier/internal/types"
 )
 
-// edge is one transition viewed structurally (guards ignored).
-type edge struct {
-	from, to State
-	on       types.MsgKind
-	name     string
-	guarded  bool
+// Edge is one transition viewed structurally (guards ignored), after
+// wildcard expansion: Any sources expand over all concrete states and
+// Same targets resolve to the source. Index points back at the row of
+// Spec.Transitions the edge came from.
+type Edge struct {
+	From, To State
+	On       types.MsgKind
+	Name     string
+	Guarded  bool
+	Index    int
 }
 
-// edges expands the spec's transition table: wildcard sources are
-// expanded over all concrete states and Same targets resolve to the
-// source.
-func (s *Spec) edges() []edge {
+// Edges expands the spec's transition table into concrete edges. This
+// is the structural graph the reachability helpers and the internal/lint
+// passes operate on.
+func (s *Spec) Edges() []Edge {
 	states := s.States()
-	var out []edge
-	for _, t := range s.Transitions {
+	var out []Edge
+	for i, t := range s.Transitions {
 		froms := []State{t.From}
 		if t.From == Any {
 			froms = states
@@ -32,19 +36,29 @@ func (s *Spec) edges() []edge {
 			if to == Same {
 				to = f
 			}
-			out = append(out, edge{from: f, to: to, on: t.On, name: t.Name, guarded: t.Guard != nil})
+			out = append(out, Edge{From: f, To: to, On: t.On, Name: t.Name, Guarded: t.Guard != nil, Index: i})
 		}
 	}
 	return out
 }
 
+// edge and edges are the historical private aliases, kept so the
+// existing helpers below read unchanged.
+type edge = Edge
+
+func (s *Spec) edges() []edge { return s.Edges() }
+
 // Reachable returns the states reachable from Init through the
 // transition structure, ignoring guards (an over-approximation: a
 // guarded edge is assumed traversable).
+//
+// Deprecated: internal/lint reports unreachable states as rule SPEC004
+// with location and severity attached; prefer lint.Spec for diagnostics
+// and keep this only as the raw graph query.
 func (s *Spec) Reachable() map[State]bool {
 	adj := make(map[State][]State)
 	for _, e := range s.edges() {
-		adj[e.from] = append(adj[e.from], e.to)
+		adj[e.From] = append(adj[e.From], e.To)
 	}
 	seen := map[State]bool{s.Init: true}
 	stack := []State{s.Init}
@@ -63,6 +77,9 @@ func (s *Spec) Reachable() map[State]bool {
 
 // UnreachableStates lists declared states the structure can never
 // enter — usually a spec bug.
+//
+// Deprecated: superseded by internal/lint rule SPEC004, which carries
+// severity and location; kept as a thin query for existing callers.
 func (s *Spec) UnreachableStates() []State {
 	reach := s.Reachable()
 	var out []State
@@ -76,10 +93,13 @@ func (s *Spec) UnreachableStates() []State {
 
 // DeadEndStates lists reachable states with no outgoing transitions at
 // all (not even wildcards) — a machine stuck forever once there.
+//
+// Deprecated: superseded by internal/lint rule SPEC005, which carries
+// severity and location; kept as a thin query for existing callers.
 func (s *Spec) DeadEndStates() []State {
 	outdeg := make(map[State]int)
 	for _, e := range s.edges() {
-		outdeg[e.from]++
+		outdeg[e.From]++
 	}
 	var out []State
 	for st, ok := range s.Reachable() {
@@ -108,6 +128,10 @@ func (s *Spec) Events() []types.MsgKind {
 // DOT renders the machine as a Graphviz digraph: states as nodes
 // (initial state doubled), transitions as labeled edges; guarded
 // transitions render dashed.
+//
+// Deprecated: internal/lint's annotated DOT additionally colors
+// unreachable, dead-end and shadowed elements from its findings; kept
+// for callers that want the plain graph.
 func (s *Spec) DOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
@@ -115,11 +139,11 @@ func (s *Spec) DOT() string {
 	fmt.Fprintf(&b, "  %q [peripheries=2];\n", string(s.Init))
 	for _, e := range s.edges() {
 		style := ""
-		if e.guarded {
+		if e.Guarded {
 			style = ", style=dashed"
 		}
 		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n",
-			string(e.from), string(e.to), fmt.Sprintf("%s\\n%s", e.on, e.name), style)
+			string(e.From), string(e.To), fmt.Sprintf("%s\\n%s", e.On, e.Name), style)
 	}
 	b.WriteString("}\n")
 	return b.String()

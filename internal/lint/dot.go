@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"cnetverifier/internal/fsm"
+)
+
+// DOT renders the spec as a Graphviz digraph annotated with the
+// report's findings: unreachable states fill gray (SPEC004), dead-end
+// states orange (SPEC005), shadowed transitions draw red (SPEC002), and
+// guarded transitions render dashed as in the plain fsm.Spec.DOT.
+func DOT(s *fsm.Spec, r *Report) string {
+	unreachable := make(map[string]bool)
+	deadEnd := make(map[string]bool)
+	shadowed := make(map[string]bool)
+	if r != nil {
+		for _, f := range r.Findings {
+			if f.Spec != s.Name {
+				continue
+			}
+			switch f.Rule {
+			case RuleUnreachableState:
+				unreachable[f.State] = true
+			case RuleDeadEndState:
+				deadEnd[f.State] = true
+			case RuleShadowed:
+				shadowed[f.Transition] = true
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  %q [peripheries=2];\n", string(s.Init))
+	for _, st := range s.States() {
+		switch {
+		case unreachable[string(st)]:
+			fmt.Fprintf(&b, "  %q [style=filled, fillcolor=gray80, color=gray50];\n", string(st))
+		case deadEnd[string(st)]:
+			fmt.Fprintf(&b, "  %q [style=filled, fillcolor=orange];\n", string(st))
+		}
+	}
+	for _, e := range s.Edges() {
+		var attrs []string
+		if e.Guarded {
+			attrs = append(attrs, "style=dashed")
+		}
+		if shadowed[e.Name] {
+			attrs = append(attrs, "color=red", "fontcolor=red")
+		}
+		extra := ""
+		if len(attrs) > 0 {
+			extra = ", " + strings.Join(attrs, ", ")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n",
+			string(e.From), string(e.To), fmt.Sprintf("%s\\n%s", e.On, e.Name), extra)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

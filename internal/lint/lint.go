@@ -1,0 +1,354 @@
+// Package lint is a multi-pass static analyzer over fsm.Spec transition
+// tables and composed model.World wirings — the specification-level
+// complement to the screening phase (internal/check).
+//
+// The model checker only finds property violations that its usage
+// scenarios happen to reach; structural defects in the protocol models
+// themselves (shadowed transitions, unhandled message kinds, dead
+// cross-layer wiring) silently shrink the explored state space and can
+// mask real S1–S6-style interaction bugs. The lint passes detect those
+// defects directly on the spec artifacts:
+//
+//   - transition passes (SPEC*): shadowed/unreachable transitions,
+//     nondeterminism between overlapping guarded rules, dead-end
+//     states, guard-aware reachability;
+//   - message-flow passes (MSG*): every message kind a process sends or
+//     outputs must be handled by the addressed process, and every
+//     declared handler must have a possible sender (dead letters);
+//   - wiring passes (WIRE*): OutputTo targets exist and are co-located,
+//     inbox channels match processes, capacity/lossiness flags are
+//     coherent;
+//   - variable passes (VAR*, GVAR*): variables set but never read and
+//     vice versa, locally and for the "g."-prefixed globals shared
+//     across machines.
+//
+// Guards and actions are opaque Go functions, so the message-flow and
+// variable passes instrument them with a recording fsm.Ctx (see
+// record.go). Facts discovered that way are conservative: a send hidden
+// behind an unexplored branch is missed, never invented, and rules that
+// depend on probing alone are capped at Warn severity unless the
+// consequence is structural (an addressed process that cannot handle a
+// kind in any state).
+//
+// Findings carry a stable rule ID, a severity, and a spec/state/
+// transition location; reports render as text, JSON and annotated DOT.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a finding.
+type Severity uint8
+
+const (
+	// Info marks observations worth reviewing but expected in healthy
+	// specs (e.g. a state reachable only through guarded transitions).
+	Info Severity = iota
+	// Warn marks likely defects that do not invalidate exploration.
+	Warn
+	// Error marks structural defects: the spec or world is broken and
+	// screening results over it are not trustworthy.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", uint8(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// ParseSeverity parses "info", "warn" or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	default:
+		return Info, fmt.Errorf("lint: unknown severity %q", s)
+	}
+}
+
+// Rule IDs, stable across releases. Numbering gaps are reserved.
+const (
+	RuleSpecInvalid      = "SPEC001" // Spec.Validate failure
+	RuleShadowed         = "SPEC002" // transition dead under first-match priority
+	RuleOverlap          = "SPEC003" // overlapping guarded transitions (nondeterminism)
+	RuleUnreachableState = "SPEC004" // state unreachable from Init
+	RuleDeadEndState     = "SPEC005" // reachable state with no way out
+	RuleGuardedReach     = "SPEC006" // state reachable only through guarded transitions
+	RuleDupTransition    = "SPEC007" // duplicate transition name
+
+	RuleVarWriteOnly = "VAR001" // local variable set but never read
+	RuleVarReadOnly  = "VAR002" // local variable read but never set or declared
+	RuleVarUnused    = "VAR003" // declared variable never referenced
+
+	RuleDeadLetterSend   = "MSG001"  // sent kind unhandled by the addressed process
+	RuleHandlerNoSender  = "MSG002"  // handler with no possible sender
+	RuleOutputUnhandled  = "MSG003"  // Output kind unhandled by every OutputTo target
+	RuleOutputNoTargets  = "WIRE002" // Output() used but OutputTo is empty
+	RuleOutputTargetGone = "WIRE001" // OutputTo names a process absent from the world
+	RuleOutputNotLocal   = "WIRE003" // OutputTo target hosted on a different element
+	RuleChannelMismatch  = "WIRE004" // inbox channel table does not match processes
+	RuleSendTargetGone   = "WIRE005" // send addressed to a process absent from the world
+	RuleNegativeCap      = "WIRE006" // negative channel capacity
+	RuleReorderNotLossy  = "WIRE007" // Reorder set without Lossy
+
+	RuleGlobalWriteOnly = "GVAR001" // global set but never read by any machine
+	RuleGlobalReadOnly  = "GVAR002" // global read but never set or initialized
+)
+
+// Rule describes one lint pass for the catalog (cnetlint -rules and
+// DESIGN.md).
+type Rule struct {
+	// ID is the stable identifier findings carry.
+	ID string `json:"id"`
+	// Severity is the rule's default/maximum severity; individual
+	// findings may be reported one grade lower (e.g. a partial shadow).
+	Severity Severity `json:"severity"`
+	// Scope is "spec" for single-machine passes, "world" for passes
+	// needing the composed system.
+	Scope string `json:"scope"`
+	// Summary is a one-line description.
+	Summary string `json:"summary"`
+}
+
+// Rules returns the full rule catalog, sorted by ID.
+func Rules() []Rule {
+	rules := []Rule{
+		{RuleSpecInvalid, Error, "spec", "spec fails structural validation (fsm.Spec.Validate)"},
+		{RuleShadowed, Error, "spec", "transition is dead under first-match priority: an earlier unguarded rule on the same (state, kind) always wins"},
+		{RuleOverlap, Warn, "spec", "two guarded transitions on the same (state, kind) are enabled together on a probe context: nondeterministic under the checker, priority-resolved at runtime"},
+		{RuleUnreachableState, Error, "spec", "declared state unreachable from the initial state through the transition structure"},
+		{RuleDeadEndState, Warn, "spec", "reachable state with no outgoing transitions: the machine is stuck forever once there"},
+		{RuleGuardedReach, Info, "spec", "state reachable only through guarded transitions; if no guard is satisfiable the state is dead"},
+		{RuleDupTransition, Warn, "spec", "duplicate transition name: coverage accounting merges the homonyms"},
+		{RuleVarWriteOnly, Warn, "spec", "local variable written but never read on any probed path"},
+		{RuleVarReadOnly, Info, "spec", "local variable read but never written or declared: reads always yield zero"},
+		{RuleVarUnused, Warn, "spec", "variable declared in Vars but never referenced by any guard or action"},
+		{RuleDeadLetterSend, Error, "world", "a process sends a message kind the addressed process handles in no state (dead letter)"},
+		{RuleHandlerNoSender, Warn, "world", "handler for a kind no process sends/outputs and no environment event injects (dead inbox)"},
+		{RuleOutputUnhandled, Error, "world", "a cross-layer Output kind is handled by none of the process's OutputTo targets"},
+		{RuleOutputTargetGone, Error, "world", "OutputTo names a process that does not exist in the world"},
+		{RuleOutputNoTargets, Warn, "world", "a process emits Output() but has no OutputTo targets: the output vanishes"},
+		{RuleOutputNotLocal, Error, "world", "OutputTo target lives on a different element: Output models co-located cross-layer delivery only"},
+		{RuleChannelMismatch, Error, "world", "inbox channel table does not match the process table one-to-one"},
+		{RuleSendTargetGone, Warn, "world", "send addressed to a process absent from this world: the backend drops it"},
+		{RuleNegativeCap, Error, "world", "negative inbox capacity"},
+		{RuleReorderNotLossy, Warn, "world", "inbox reorders but is not lossy: the §5.2 multi-BS relay regime implies both"},
+		{RuleGlobalWriteOnly, Info, "world", "global written but read by no machine (may be a property observable)"},
+		{RuleGlobalReadOnly, Warn, "world", "global read by a machine but never written by any machine nor initialized"},
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	return rules
+}
+
+// RuleByID returns the catalog entry for an ID.
+func RuleByID(id string) (Rule, bool) {
+	for _, r := range Rules() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	// Rule is the stable rule ID (e.g. "SPEC002").
+	Rule string `json:"rule"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Spec names the machine definition the finding is about.
+	Spec string `json:"spec,omitempty"`
+	// Proc names the world process, when linting a composed world.
+	Proc string `json:"proc,omitempty"`
+	// State locates the finding at a control state, when applicable.
+	State string `json:"state,omitempty"`
+	// Transition locates the finding at a named transition.
+	Transition string `json:"transition,omitempty"`
+	// Detail is the human explanation.
+	Detail string `json:"detail"`
+}
+
+// Location renders the spec/proc/state/transition coordinates.
+func (f Finding) Location() string {
+	var parts []string
+	switch {
+	case f.Proc != "" && f.Spec != "" && f.Proc != f.Spec:
+		parts = append(parts, f.Proc+"("+f.Spec+")")
+	case f.Proc != "":
+		parts = append(parts, f.Proc)
+	case f.Spec != "":
+		parts = append(parts, f.Spec)
+	}
+	if f.State != "" {
+		parts = append(parts, "state "+f.State)
+	}
+	if f.Transition != "" {
+		parts = append(parts, "transition "+f.Transition)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (f Finding) String() string {
+	loc := f.Location()
+	if loc != "" {
+		loc += ": "
+	}
+	return fmt.Sprintf("%-5s %s %s%s", f.Severity, f.Rule, loc, f.Detail)
+}
+
+// Options configure a lint run.
+type Options struct {
+	// Suppress disables rules per spec or process name; the key "*"
+	// disables a rule everywhere. Values are rule IDs.
+	Suppress map[string][]string
+	// Env lists the environment events the driving scenario can inject,
+	// so the dead-letter pass (MSG002) treats their kinds as having a
+	// sender. Kinds for which types.MsgKind reports IsUserEvent or
+	// IsOperatorEvent are always treated as injectable.
+	Env []EnvHint
+}
+
+// EnvHint is one environment event a scenario may inject.
+type EnvHint struct {
+	// Proc is the targeted process name ("" = any process).
+	Proc string
+	// Kind is the injected message kind (as uint16 of types.MsgKind;
+	// typed loosely to keep Options construction dependency-free).
+	Kind uint16
+}
+
+// suppressed reports whether the rule is disabled for the named spec or
+// process.
+func (o Options) suppressed(rule string, names ...string) bool {
+	match := func(key string) bool {
+		for _, id := range o.Suppress[key] {
+			if id == rule {
+				return true
+			}
+		}
+		return false
+	}
+	if match("*") {
+		return true
+	}
+	for _, n := range names {
+		if n != "" && match(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report collects findings of one lint run.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// add appends a finding unless its rule is suppressed for its location.
+func (r *Report) add(o Options, f Finding) {
+	if o.suppressed(f.Rule, f.Spec, f.Proc) {
+		return
+	}
+	r.Findings = append(r.Findings, f)
+}
+
+// Merge appends the other report's findings.
+func (r *Report) Merge(other *Report) {
+	if other != nil {
+		r.Findings = append(r.Findings, other.Findings...)
+	}
+}
+
+// Sort orders findings by severity (most severe first), then rule ID,
+// then location — a stable presentation order.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Location() < b.Location()
+	})
+}
+
+// At returns the findings at or above the severity.
+func (r *Report) At(min Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Count returns how many findings sit at or above the severity.
+func (r *Report) Count(min Severity) int { return len(r.At(min)) }
+
+// Clean reports whether no finding reaches the severity.
+func (r *Report) Clean(min Severity) bool { return r.Count(min) == 0 }
+
+// ByRule returns the findings carrying the rule ID.
+func (r *Report) ByRule(id string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Text renders the report as one line per finding plus a summary.
+func (r *Report) Text() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d findings (%d errors, %d warnings, %d info)\n",
+		len(r.Findings),
+		len(r.ByRuleSeverity(Error)), len(r.ByRuleSeverity(Warn)), len(r.ByRuleSeverity(Info)))
+	return b.String()
+}
+
+// ByRuleSeverity returns the findings at exactly the severity.
+func (r *Report) ByRuleSeverity(s Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	return json.MarshalIndent(r, "", "  ")
+}

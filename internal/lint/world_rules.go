@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/types"
+)
+
+// World runs every pass over a composed world: the single-machine
+// passes for each process's spec, then the wiring, message-flow and
+// global-variable passes that need the full system. The world is only
+// read, never mutated (probing runs against recording contexts).
+func World(w *model.World, o Options) *Report {
+	r := &Report{}
+
+	// Per-spec passes, attributed to the hosting process. A spec shared
+	// by several processes is linted once.
+	seen := make(map[*fsm.Spec]bool)
+	facts := make(map[string]*specFacts, len(w.Procs))
+	for _, p := range w.Procs {
+		s := p.M.Spec()
+		facts[p.Name] = probeSpec(s)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		sub := Spec(s, o)
+		for i := range sub.Findings {
+			sub.Findings[i].Proc = p.Name
+		}
+		r.Merge(sub)
+	}
+
+	lintWiring(r, o, w)
+	lintMessageFlow(r, o, w, facts)
+	lintGlobals(r, o, w, facts)
+	r.Sort()
+	return r
+}
+
+// element returns the hosting element of a process name: the prefix
+// before the first '.' ("ue.emm" → "ue"), or the whole name.
+func element(proc string) string {
+	if i := strings.IndexByte(proc, '.'); i >= 0 {
+		return proc[:i]
+	}
+	return proc
+}
+
+// lintWiring reports WIRE001/WIRE002 (partly)/WIRE003/WIRE004/WIRE006/
+// WIRE007: the structural health of the channel table and the
+// cross-layer OutputTo graph.
+func lintWiring(r *Report, o Options, w *model.World) {
+	procs := make(map[string]*model.Proc, len(w.Procs))
+	for _, p := range w.Procs {
+		if _, dup := procs[p.Name]; dup {
+			r.add(o, Finding{Rule: RuleChannelMismatch, Severity: Error, Proc: p.Name,
+				Detail: "duplicate process name in the world"})
+		}
+		procs[p.Name] = p
+	}
+
+	chans := make(map[string]bool, len(w.Chans))
+	for _, c := range w.Chans {
+		if chans[c.Name] {
+			r.add(o, Finding{Rule: RuleChannelMismatch, Severity: Error, Proc: c.Name,
+				Detail: "duplicate inbox channel name"})
+		}
+		chans[c.Name] = true
+		if _, ok := procs[c.Name]; !ok {
+			r.add(o, Finding{Rule: RuleChannelMismatch, Severity: Error, Proc: c.Name,
+				Detail: "inbox channel has no matching process"})
+		}
+		if c.Cap < 0 {
+			r.add(o, Finding{Rule: RuleNegativeCap, Severity: Error, Proc: c.Name,
+				Detail: fmt.Sprintf("inbox capacity %d is negative", c.Cap)})
+		}
+		if c.Reorder && !c.Lossy {
+			r.add(o, Finding{Rule: RuleReorderNotLossy, Severity: Warn, Proc: c.Name,
+				Detail: "inbox reorders but is not lossy: the multi-BS relay regime of §5.2 implies unreliable delivery too"})
+		}
+	}
+	for _, p := range w.Procs {
+		if !chans[p.Name] {
+			r.add(o, Finding{Rule: RuleChannelMismatch, Severity: Error, Proc: p.Name,
+				Detail: "process has no inbox channel"})
+		}
+		for _, dst := range p.OutputTo {
+			tgt, ok := procs[dst]
+			if !ok {
+				r.add(o, Finding{Rule: RuleOutputTargetGone, Severity: Error, Proc: p.Name,
+					Spec:   p.M.Spec().Name,
+					Detail: fmt.Sprintf("OutputTo names %q, which does not exist in this world", dst)})
+				continue
+			}
+			if element(p.Name) != element(tgt.Name) {
+				r.add(o, Finding{Rule: RuleOutputNotLocal, Severity: Error, Proc: p.Name,
+					Spec: p.M.Spec().Name,
+					Detail: fmt.Sprintf("OutputTo target %q lives on element %q, not %q: Output models co-located cross-layer delivery only",
+						dst, element(tgt.Name), element(p.Name))})
+			}
+		}
+	}
+}
+
+// lintMessageFlow reports MSG001/MSG002/MSG003/WIRE002/WIRE005: every
+// kind a process sends or outputs must be handled (in at least one
+// state) by the addressed process, and every declared handler needs a
+// possible sender. Send/Output facts come from probing; handler sets
+// are exact (the spec's On column).
+func lintMessageFlow(r *Report, o Options, w *model.World, facts map[string]*specFacts) {
+	procs := make(map[string]*model.Proc, len(w.Procs))
+	handled := make(map[string]map[types.MsgKind]bool, len(w.Procs))
+	for _, p := range w.Procs {
+		procs[p.Name] = p
+		set := make(map[types.MsgKind]bool)
+		for _, k := range p.M.Spec().Events() {
+			set[k] = true
+		}
+		handled[p.Name] = set
+	}
+
+	// feeders[proc][kind] is true when some process can send or output
+	// kind into proc's inbox.
+	feeders := make(map[string]map[types.MsgKind]bool, len(w.Procs))
+	feed := func(proc string, kind types.MsgKind) {
+		if feeders[proc] == nil {
+			feeders[proc] = make(map[types.MsgKind]bool)
+		}
+		feeders[proc][kind] = true
+	}
+
+	for _, p := range w.Procs {
+		f := facts[p.Name]
+		spec := p.M.Spec().Name
+		for _, s := range f.Sends {
+			tgt, ok := procs[s.To]
+			if !ok {
+				r.add(o, Finding{Rule: RuleSendTargetGone, Severity: Warn, Proc: p.Name, Spec: spec,
+					Detail: fmt.Sprintf("sends %s to %q, which is absent from this world: the backend drops it", s.Kind, s.To)})
+				continue
+			}
+			feed(s.To, s.Kind)
+			if !handled[tgt.Name][s.Kind] {
+				r.add(o, Finding{Rule: RuleDeadLetterSend, Severity: Error, Proc: p.Name, Spec: spec,
+					Detail: fmt.Sprintf("sends %s to %q, which handles that kind in no state (dead letter)", s.Kind, s.To)})
+			}
+		}
+		if len(f.Outputs) > 0 && len(p.OutputTo) == 0 {
+			r.add(o, Finding{Rule: RuleOutputNoTargets, Severity: Warn, Proc: p.Name, Spec: spec,
+				Detail: fmt.Sprintf("emits Output(%s) but has no OutputTo targets: the output vanishes", kindList(f.Outputs))})
+		}
+		for _, k := range f.Outputs {
+			anyHandles := false
+			for _, dst := range p.OutputTo {
+				feed(dst, k)
+				if handled[dst][k] {
+					anyHandles = true
+				}
+			}
+			if len(p.OutputTo) > 0 && !anyHandles {
+				r.add(o, Finding{Rule: RuleOutputUnhandled, Severity: Error, Proc: p.Name, Spec: spec,
+					Detail: fmt.Sprintf("outputs %s but none of its OutputTo targets (%s) handles that kind",
+						k, strings.Join(p.OutputTo, ", "))})
+			}
+		}
+	}
+
+	// Environment hints: scenario-injectable kinds count as senders.
+	for _, h := range o.Env {
+		if h.Proc == "" {
+			for name := range procs {
+				feed(name, types.MsgKind(h.Kind))
+			}
+		} else {
+			feed(h.Proc, types.MsgKind(h.Kind))
+		}
+	}
+
+	for _, p := range w.Procs {
+		var dead []types.MsgKind
+		for _, k := range p.M.Spec().Events() {
+			if k.IsUserEvent() || k.IsOperatorEvent() {
+				continue // always injectable by the environment
+			}
+			if feeders[p.Name][k] {
+				continue
+			}
+			dead = append(dead, k)
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		for _, k := range dead {
+			r.add(o, Finding{Rule: RuleHandlerNoSender, Severity: Warn, Proc: p.Name,
+				Spec:   p.M.Spec().Name,
+				Detail: fmt.Sprintf("handles %s but no process in this world sends or outputs it and no environment event injects it (dead inbox)", k)})
+		}
+	}
+}
+
+// lintGlobals reports GVAR001/GVAR002 over the "g."-prefixed shared
+// variables: cross-machine dataflow that no single spec can see.
+func lintGlobals(r *Report, o Options, w *model.World, facts map[string]*specFacts) {
+	readers := make(map[string][]string)
+	writers := make(map[string][]string)
+	for _, p := range w.Procs {
+		f := facts[p.Name]
+		for name := range f.Reads {
+			if isGlobalName(name) {
+				readers[name] = append(readers[name], p.Name)
+			}
+		}
+		for name := range f.Writes {
+			if isGlobalName(name) {
+				writers[name] = append(writers[name], p.Name)
+			}
+		}
+	}
+	for _, name := range sortedNames(boolKeys(writers)) {
+		if len(readers[name]) > 0 {
+			continue
+		}
+		sort.Strings(writers[name])
+		r.add(o, Finding{Rule: RuleGlobalWriteOnly, Severity: Info,
+			Detail: fmt.Sprintf("global %q is written by %s but read by no machine (it may still be a property observable)",
+				name, strings.Join(writers[name], ", "))})
+	}
+	for _, name := range sortedNames(boolKeys(readers)) {
+		if len(writers[name]) > 0 {
+			continue
+		}
+		if _, initialized := w.Globals[name]; initialized {
+			continue
+		}
+		sort.Strings(readers[name])
+		r.add(o, Finding{Rule: RuleGlobalReadOnly, Severity: Warn,
+			Detail: fmt.Sprintf("global %q is read by %s but written by no machine and not initialized in the world",
+				name, strings.Join(readers[name], ", "))})
+	}
+}
+
+func boolKeys[V any](m map[string]V) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func kindList(kinds []types.MsgKind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ", ")
+}

@@ -8,45 +8,17 @@ import (
 	"strings"
 	"testing"
 
+	"cnetverifier/internal/core"
 	"cnetverifier/internal/fsm"
-	"cnetverifier/internal/protocols/cm"
-	"cnetverifier/internal/protocols/emm"
-	"cnetverifier/internal/protocols/esm"
-	"cnetverifier/internal/protocols/gmm"
-	"cnetverifier/internal/protocols/mm"
-	"cnetverifier/internal/protocols/rrc3g"
-	"cnetverifier/internal/protocols/rrc4g"
-	"cnetverifier/internal/protocols/sm"
+	"cnetverifier/internal/lint"
 	"cnetverifier/internal/types"
 )
 
 // specsUnderTest enumerates every spec variant the repository ships:
-// device and network side, defective and fixed.
+// device and network side, defective and fixed. The set lives in
+// core.AllSpecs so the cnetlint CLI and these tests stay in lockstep.
 func specsUnderTest() map[string]*fsm.Spec {
-	return map[string]*fsm.Spec{
-		"emm-ue":        emm.DeviceSpec(emm.DeviceOptions{}),
-		"emm-ue-fixed":  emm.DeviceSpec(emm.DeviceOptions{FixReactivateBearer: true}),
-		"emm-mme":       emm.MMESpec(emm.MMEOptions{PropagateLUFailure: true}),
-		"emm-mme-fixed": emm.MMESpec(emm.MMEOptions{FixReactivateBearer: true, FixLUFailureRecovery: true}),
-		"esm-ue":        esm.DeviceSpec(esm.DeviceOptions{}),
-		"esm-mme":       esm.MMESpec(esm.MMEOptions{}),
-		"gmm-ue":        gmm.DeviceSpec(gmm.DeviceOptions{}),
-		"gmm-ue-fixed":  gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: true}),
-		"gmm-sgsn":      gmm.SGSNSpec(gmm.SGSNOptions{}),
-		"sm-ue":         sm.DeviceSpec(sm.DeviceOptions{}),
-		"sm-ue-fixed":   sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: true, FixKeepContext: true}),
-		"sm-sgsn":       sm.SGSNSpec(sm.SGSNOptions{}),
-		"sm-sgsn-fixed": sm.SGSNSpec(sm.SGSNOptions{FixKeepContext: true}),
-		"mm-ue":         mm.DeviceSpec(mm.DeviceOptions{}),
-		"mm-ue-fixed":   mm.DeviceSpec(mm.DeviceOptions{FixParallelUpdate: true}),
-		"mm-msc":        mm.MSCSpec(mm.MSCOptions{}),
-		"cm-ue":         cm.DeviceSpec(cm.DeviceOptions{}),
-		"cm-ue-direct":  cm.DeviceSpec(cm.DeviceOptions{DirectToMSC: true}),
-		"cm-msc":        cm.MSCSpec(cm.MSCOptions{}),
-		"rrc3g-ue":      rrc3g.DeviceSpec(rrc3g.DeviceOptions{}),
-		"rrc3g-fixed":   rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: true, FixDecoupleChannels: true}),
-		"rrc4g-ue":      rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
-	}
+	return core.AllSpecs()
 }
 
 func TestAllSpecsValidate(t *testing.T) {
@@ -127,6 +99,53 @@ func TestDeclaredEventsAreUsable(t *testing.T) {
 		for _, tr := range s.Transitions {
 			if tr.Name == "" {
 				t.Errorf("%s: unnamed transition on %s", name, tr.On)
+			}
+		}
+	}
+}
+
+// No transition in any shipped spec may be dead under the runtime
+// engine's first-match priority (lint rule SPEC002, at any severity —
+// even a partial shadow means some state silently lost a behavior).
+func TestNoShadowedTransitions(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		for _, f := range lint.Spec(s, lint.Options{}).ByRule(lint.RuleShadowed) {
+			t.Errorf("%s: %s", name, f)
+		}
+	}
+}
+
+// Every message kind a process of a standard world can send or output
+// must be handled by the addressed process, and cross-layer outputs
+// must land on a capable target (rules MSG001/MSG003) — in both the
+// defective and the fixed configuration.
+func TestNoDeadLetters(t *testing.T) {
+	for _, fixed := range []bool{false, true} {
+		for name, sc := range core.StandardWorlds(fixed) {
+			rep := core.LintWorld(sc, lint.Options{Suppress: sc.Options.LintSuppress})
+			for _, f := range rep.ByRule(lint.RuleDeadLetterSend) {
+				t.Errorf("%s (fixed=%v): %s", name, fixed, f)
+			}
+			for _, f := range rep.ByRule(lint.RuleOutputUnhandled) {
+				t.Errorf("%s (fixed=%v): %s", name, fixed, f)
+			}
+		}
+	}
+}
+
+// Every shipped spec and every standard world stays lint-clean at
+// error severity — the same gate check.Run applies before screening.
+func TestLintCleanAllSpecs(t *testing.T) {
+	for name, s := range specsUnderTest() {
+		for _, f := range lint.Spec(s, lint.Options{}).At(lint.Error) {
+			t.Errorf("spec %s: %s", name, f)
+		}
+	}
+	for _, fixed := range []bool{false, true} {
+		for name, sc := range core.StandardWorlds(fixed) {
+			rep := core.LintWorld(sc, lint.Options{Suppress: sc.Options.LintSuppress})
+			for _, f := range rep.At(lint.Error) {
+				t.Errorf("world %s (fixed=%v): %s", name, fixed, f)
 			}
 		}
 	}

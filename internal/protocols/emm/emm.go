@@ -205,6 +205,11 @@ func DeviceSpec(o DeviceOptions) *fsm.Spec {
 					c.Trace("EMM detached on network order: %s", e.Msg.Cause)
 				}},
 
+			// Acknowledgment of the UE-initiated detach (sent below on
+			// power-off); it arrives while already deregistered and
+			// changes nothing.
+			{Name: "detach-accept", From: UEDeregistered, On: types.MsgDetachAccept, To: fsm.Same},
+
 			// User power-off from any state.
 			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEDeregistered,
 				Action: func(c fsm.Ctx, e fsm.Event) {
@@ -339,6 +344,10 @@ func MMESpec(o MMEOptions) *fsm.Spec {
 					c.Set(names.GEPS, 0)
 					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoEMM))
 				}},
+
+			// Acknowledgment of the network-initiated detach below; it
+			// arrives after the MME already deregistered the device.
+			{Name: "detach-accept", From: MMEDeregistered, On: types.MsgDetachAccept, To: fsm.Same},
 
 			// Operator-scenario event: network-initiated detach
 			// (e.g. under resource constraints, §2).

@@ -90,6 +90,13 @@ func DeviceSpec(o DeviceOptions) *fsm.Spec {
 					c.Send(peer, types.NewMessage(types.MsgDeactivateBearerAccept, types.ProtoESM))
 					c.Trace("ESM bearer deactivated: %s", e.Msg.Cause)
 				}},
+			// MME acknowledged a deactivation: the bearer is finally
+			// gone on both sides.
+			{Name: "deact-ack", From: fsm.Any, On: types.MsgDeactivateBearerAccept, To: UEInactive,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Set(names.GEPS, 0)
+				}},
+
 			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEInactive,
 				Action: func(c fsm.Ctx, e fsm.Event) {
 					c.Set(names.GEPS, 0)

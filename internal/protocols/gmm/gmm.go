@@ -147,6 +147,10 @@ func DeviceSpec(o DeviceOptions) *fsm.Spec {
 					c.Trace("GMM detached on network order: %s", e.Msg.Cause)
 				}},
 
+			// Acknowledgment of the UE-initiated detach (sent below on
+			// power-off); it arrives while already deregistered.
+			{Name: "detach-accept", From: UEDeregistered, On: types.MsgDetachAccept, To: fsm.Same},
+
 			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEDeregistered,
 				Action: func(c fsm.Ctx, e fsm.Event) {
 					c.Set(names.GReg3GPS, 0)
@@ -202,6 +206,9 @@ func SGSNSpec(o SGSNOptions) *fsm.Spec {
 				Action: func(c fsm.Ctx, e fsm.Event) {
 					c.Send(peer, types.NewMessage(types.MsgDetachAccept, types.ProtoGMM))
 				}},
+
+			// Acknowledgment of the network-initiated detach above.
+			{Name: "detach-accept", From: SGSNDeregistered, On: types.MsgDetachAccept, To: fsm.Same},
 		},
 	}
 }

@@ -174,6 +174,9 @@ func DeviceSpec(o DeviceOptions) *fsm.Spec {
 					c.Output(types.NewMessage(types.MsgCMServiceReject, types.ProtoCM))
 				}},
 
+			// The MSC acknowledges a detach; nothing left to do.
+			{Name: "detach-accept", From: UEIdle, On: types.MsgDetachAccept, To: fsm.Same},
+
 			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEIdle,
 				Action: func(c fsm.Ctx, e fsm.Event) {
 					c.Set(names.GReg3GCS, 0)

@@ -164,6 +164,13 @@ func DeviceSpec(o DeviceOptions) *fsm.Spec {
 			// Modification accepted: context retained.
 			{Name: "modify-accept", From: UEActive, On: types.MsgModifyPDPAccept, To: fsm.Same},
 
+			// Network-originated modification (the SGSN-side keep-context
+			// remedy): accept it, retaining the context.
+			{Name: "modify-from-net", From: fsm.Any, On: types.MsgModifyPDPRequest, To: fsm.Same,
+				Action: func(c fsm.Ctx, e fsm.Event) {
+					c.Send(peer, types.NewMessage(types.MsgModifyPDPAccept, types.ProtoSM))
+				}},
+
 			{Name: "power-off", From: fsm.Any, On: types.MsgPowerOff, To: UEInactive,
 				Action: func(c fsm.Ctx, e fsm.Event) {
 					c.Set(names.GPDP, 0)
@@ -235,6 +242,9 @@ func SGSNSpec(o SGSNOptions) *fsm.Spec {
 					c.Send(peer, types.NewMessage(types.MsgModifyPDPAccept, types.ProtoSM))
 				}},
 			{Name: "modify-inactive", From: SGSNInactive, On: types.MsgModifyPDPRequest, To: fsm.Same},
+
+			// Device accepted a network-originated modification.
+			{Name: "modify-accept", From: fsm.Any, On: types.MsgModifyPDPAccept, To: fsm.Same},
 		},
 	}
 }

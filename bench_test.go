@@ -10,6 +10,7 @@
 package cnetverifier_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -331,6 +332,64 @@ func BenchmarkAblation_ShimRTO(b *testing.B) {
 			}
 			b.ReportMetric(float64(retx), "retransmissions")
 			b.ReportMetric(elapsed.Seconds(), "virtual_s")
+		})
+	}
+}
+
+// BenchmarkChecker_ParallelWorkers measures the work-stealing frontier
+// engine on the S6 world (the largest scoped state space) as the worker
+// count grows — the headline scaling number for the parallel engine.
+// Workers=1 is the sequential baseline.
+func BenchmarkChecker_ParallelWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := core.S6World(false)
+			opt := w.Options
+			opt.Workers = workers
+			var states int
+			for i := 0; i < b.N; i++ {
+				r, err := core.Screen(w, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = r.Result.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkWalk_ParallelWorkers measures random-walk screening of the
+// full composite world with walks distributed over workers. Walk w
+// draws its schedule from a seed derived from (Seed, w), so every
+// worker count samples the identical set of walks.
+func BenchmarkWalk_ParallelWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := core.FullWorld(core.FullConfig{SwitchOpt: names.SwitchReselect, LossyAir: true})
+			opt := w.Options
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Screen(w, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScreenCampaign runs the whole phase-1 screening sweep
+// sequentially and with campaign-level parallelism (one goroutine per
+// world) — the end-to-end speedup a multi-scenario campaign sees.
+func BenchmarkScreenCampaign(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ScreenWorlds(core.ScopedModels(), nil,
+					core.CampaignOptions{Parallel: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -34,4 +34,10 @@ echo ok
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/netemu ./internal/emu ./internal/fixes
 
+echo "== go test -race (parallel engine + determinism suite) =="
+go test -race ./internal/check ./internal/core
+
+echo "== benchmarks (smoke, 1 iteration each) =="
+go test -run '^$' -bench . -benchtime=1x . >/dev/null
+
 echo "CI gate passed."

@@ -6,6 +6,14 @@
 //
 //	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
+//	           [-workers N] [-parallel N] [-budget N] [-first]
+//
+// -workers sets the exploration goroutines per world (the work-stealing
+// engine; 1 = sequential). -parallel screens that many worlds
+// concurrently. -budget shares one pool of distinct-state tokens across
+// the whole campaign. -first cancels everything at the first violation.
+// Parallel runs report the same violation sets and coverage as
+// sequential runs (see DESIGN.md, determinism contract).
 //
 // Each world passes through the internal/lint structural gate before
 // exploration; -skip-lint bypasses the gate (see cmd/cnetlint for the
@@ -40,6 +48,10 @@ func main() {
 		doValid  = flag.Bool("validate", false, "run the phase-2 validation campaign (replay counterexamples on the emulator)")
 		coverage = flag.Bool("coverage", false, "print per-process transition coverage of each screening run")
 		skipLint = flag.Bool("skip-lint", false, "skip the structural lint gate and explore the world even with error-severity findings")
+		workers  = flag.Int("workers", 1, "exploration workers per world (>1 = parallel engine)")
+		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
+		budget   = flag.Int("budget", 0, "shared distinct-state budget across the campaign (0 = none)")
+		first    = flag.Bool("first", false, "cancel the whole campaign at the first violation")
 	)
 	flag.Parse()
 
@@ -61,8 +73,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	var results []core.ScreenResult
-	for _, s := range scoped {
+	perWorld := func(s core.Scoped) check.Options {
 		opt := s.Options
 		switch strings.ToLower(*strategy) {
 		case "dfs":
@@ -86,12 +97,17 @@ func main() {
 		if *skipLint {
 			opt.SkipLint = true
 		}
-		r, err := core.Screen(s, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cnetverify:", err)
-			os.Exit(1)
-		}
-		results = append(results, r)
+		return opt
+	}
+	results, err := core.ScreenWorlds(scoped, perWorld, core.CampaignOptions{
+		Parallel:          *parallel,
+		Workers:           *workers,
+		StateBudget:       *budget,
+		CancelOnViolation: *first,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnetverify:", err)
+		os.Exit(1)
 	}
 
 	fmt.Print(core.Report(results, *verbose))

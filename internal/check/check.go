@@ -102,9 +102,28 @@ type Options struct {
 	// tests to validate the hashing scheme.
 	Paranoid bool
 	// Walks and Seed configure RandomWalk: number of schedules sampled
-	// and the RNG seed (defaults 1000 and 1).
+	// and the RNG seed (defaults 1000 and 1). Each walk derives its own
+	// RNG stream from (Seed, walk index), so the sampled schedule set —
+	// and therefore the violation set — is identical however the walks
+	// are scheduled across workers.
 	Walks int
 	Seed  int64
+	// Workers sets the number of exploration goroutines. 0 or 1 runs
+	// the sequential engine; >1 runs the work-stealing frontier search
+	// (DFS/BFS) or splits the walks (RandomWalk). Parallel runs report
+	// the same state count, violation set and transition coverage as
+	// sequential runs of the same world (see the determinism contract
+	// in DESIGN.md); counterexample paths are re-verified with Replay
+	// before being reported.
+	Workers int
+	// Budget optionally shares a pool of distinct-state tokens across
+	// several runs (a screening campaign's global bound). When the pool
+	// dries up the run truncates, exactly like MaxStates.
+	Budget *Budget
+	// Cancel optionally aborts the run cooperatively from outside (or
+	// from a sibling run in a campaign). A cancelled run returns its
+	// partial result with Truncated set.
+	Cancel *Cancel
 }
 
 // IsZero reports whether the options are entirely unset. Callers use
@@ -113,7 +132,8 @@ type Options struct {
 func (o Options) IsZero() bool {
 	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
 		!o.StopAtFirst && !o.Paranoid && !o.SkipLint && o.LintSuppress == nil &&
-		o.Walks == 0 && o.Seed == 0
+		o.Walks == 0 && o.Seed == 0 &&
+		o.Workers == 0 && o.Budget == nil && o.Cancel == nil
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +148,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -159,7 +182,13 @@ type Result struct {
 	// exploration short.
 	Truncated bool
 	// Violations holds one entry per distinct (property, description)
-	// pair, each with the first counterexample found.
+	// pair, each with a replayable counterexample. Sequential runs list
+	// them in discovery order; parallel runs (Workers > 1) in canonical
+	// order (property, description, path length, path). The set of
+	// entries is deterministic for a given world+options; the
+	// counterexample chosen for an entry may differ between parallel
+	// runs (whichever worker reached the violating state first), but
+	// is always re-verified with Replay before being reported.
 	Violations []Violation
 	// Covered counts, per "proc/transition-label", how often each
 	// protocol transition fired during exploration — the model-side
@@ -207,34 +236,46 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 			return nil, err
 		}
 	}
+	var res *Result
+	var err error
 	switch opt.Strategy {
 	case DFS, BFS:
-		return runSearch(w, props, sc, opt)
+		if opt.Workers > 1 {
+			res, err = runParallelSearch(w, props, sc, opt)
+		} else {
+			res, err = runSearch(w, props, sc, opt)
+		}
 	case RandomWalk:
-		return runRandomWalk(w, props, sc, opt)
+		if opt.Workers > 1 {
+			res, err = runParallelWalk(w, props, sc, opt)
+		} else {
+			res, err = runRandomWalk(w, props, sc, opt)
+		}
 	default:
 		return nil, fmt.Errorf("check: unknown strategy %v", opt.Strategy)
 	}
+	return res, err
 }
 
 func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	res := &Result{Covered: make(map[string]int)}
-	visited := make(map[uint64]struct{})
-	var paranoid map[uint64][]byte
-	if opt.Paranoid {
-		paranoid = make(map[uint64][]byte)
-	}
+	visited := newVisitedSet(opt)
 	seenViol := make(map[string]struct{})
+	var buf []byte
 
 	root := &node{w: w0.Clone()}
-	if err := markVisited(root.w, visited, paranoid); err != nil {
+	var err error
+	if _, buf, err = markVisited(visited, root.w, 0, buf); err != nil {
 		return nil, err
 	}
-	res.States = 1
 
 	// frontier is used as a LIFO stack for DFS and FIFO queue for BFS.
 	frontier := []*node{root}
 	for len(frontier) > 0 {
+		if opt.Cancel.Cancelled() {
+			res.Truncated = true
+			break
+		}
 		var n *node
 		if opt.Strategy == BFS {
 			n = frontier[0]
@@ -263,81 +304,101 @@ func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Re
 			}
 			path := appendPath(n.path, applied)
 			if violated := checkProps(child, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
+				res.States = visited.size()
 				return res, nil
 			}
-			if res.States >= opt.MaxStates {
+			var mark markResult
+			if mark, buf, err = markVisited(visited, child, n.depth+1, buf); err != nil {
+				return nil, err
+			}
+			if mark.capped {
 				res.Truncated = true
 				continue
 			}
-			h := child.Hash()
-			if _, ok := visited[h]; ok {
-				if paranoid != nil {
-					if err := verifyNoCollision(child, h, paranoid); err != nil {
-						return nil, err
-					}
-				}
-				continue
+			if mark.expand {
+				frontier = append(frontier, &node{w: child, path: path, depth: n.depth + 1})
 			}
-			visited[h] = struct{}{}
-			if paranoid != nil {
-				paranoid[h] = child.Encode(nil)
-			}
-			res.States++
-			frontier = append(frontier, &node{w: child, path: path, depth: n.depth + 1})
 		}
 	}
+	res.States = visited.size()
 	return res, nil
+}
+
+// walkSeed derives an independent RNG seed for one walk from the run
+// seed (SplitMix64 finalizer), so walk w samples the same schedule
+// whether it runs first, last, or on another goroutine.
+func walkSeed(seed int64, walk int) int64 {
+	z := uint64(seed) + uint64(walk+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	res := &Result{Covered: make(map[string]int)}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	seenViol := make(map[string]struct{})
-	visited := make(map[uint64]struct{})
-	visited[w0.Hash()] = struct{}{}
-	res.States = 1
+	visited := newVisitedSet(opt)
+	var buf []byte
+	var err error
+	if _, buf, err = markVisited(visited, w0, 0, buf); err != nil {
+		return nil, err
+	}
 
 	for walk := 0; walk < opt.Walks; walk++ {
-		w := w0.Clone()
-		var path []model.Step
-		for depth := 0; depth < opt.MaxDepth; depth++ {
-			steps := w.Steps(sc.Events(w))
-			if len(steps) == 0 {
-				break
-			}
-			s := steps[rng.Intn(len(steps))]
-			applied, err := w.Apply(s)
-			if err != nil {
-				return nil, fmt.Errorf("check: walk %d apply %v: %w", walk, s, err)
-			}
-			res.Transitions++
-			if applied.Label != "" {
-				res.Covered[applied.Proc+"/"+applied.Label]++
-			}
-			if depth+1 > res.MaxDepth {
-				res.MaxDepth = depth + 1
-			}
-			path = appendPath(path, applied)
-			h := w.Hash()
-			if _, ok := visited[h]; !ok {
-				visited[h] = struct{}{}
-				res.States++
-			}
-			if violated := checkProps(w, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
-				return res, nil
-			}
+		if opt.Cancel.Cancelled() {
+			res.Truncated = true
+			break
+		}
+		stop, err := oneWalk(w0, props, sc, opt, walk, visited, &buf, seenViol, res)
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			break
 		}
 	}
+	res.States = visited.size()
 	return res, nil
 }
 
-// appendPath copies-on-append so sibling branches never share backing
-// arrays.
-func appendPath(path []model.Step, s model.Step) []model.Step {
-	out := make([]model.Step, len(path)+1)
-	copy(out, path)
-	out[len(path)] = s
-	return out
+// oneWalk samples one maximal schedule with the walk's own RNG stream,
+// accumulating into res (the caller owns any locking; the sequential
+// engine passes its private result). It reports whether the run should
+// stop (StopAtFirst hit a violation).
+func oneWalk(w0 *model.World, props []Property, sc Scenario, opt Options, walk int, visited *visitedSet, buf *[]byte, seenViol map[string]struct{}, res *Result) (bool, error) {
+	rng := rand.New(rand.NewSource(walkSeed(opt.Seed, walk)))
+	w := w0.Clone()
+	var path []model.Step
+	for depth := 0; depth < opt.MaxDepth; depth++ {
+		steps := w.Steps(sc.Events(w))
+		if len(steps) == 0 {
+			break
+		}
+		s := steps[rng.Intn(len(steps))]
+		applied, err := w.Apply(s)
+		if err != nil {
+			return false, fmt.Errorf("check: walk %d apply %v: %w", walk, s, err)
+		}
+		res.Transitions++
+		if applied.Label != "" {
+			res.Covered[applied.Proc+"/"+applied.Label]++
+		}
+		if depth+1 > res.MaxDepth {
+			res.MaxDepth = depth + 1
+		}
+		path = appendPath(path, applied)
+		var mark markResult
+		if mark, *buf, err = markVisited(visited, w, depth+1, *buf); err != nil {
+			return false, err
+		}
+		if mark.capped {
+			res.Truncated = true
+		}
+		if violated := checkProps(w, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 func checkProps(w *model.World, last model.Step, path []model.Step, props []Property, seen map[string]struct{}, res *Result) bool {
@@ -356,28 +417,10 @@ func checkProps(w *model.World, last model.Step, path []model.Step, props []Prop
 		res.Violations = append(res.Violations, Violation{
 			Property: p.Name(),
 			Desc:     desc,
-			Path:     path,
+			Path:     clonePath(path),
 		})
 	}
 	return violated
-}
-
-func markVisited(w *model.World, visited map[uint64]struct{}, paranoid map[uint64][]byte) error {
-	h := w.Hash()
-	visited[h] = struct{}{}
-	if paranoid != nil {
-		paranoid[h] = w.Encode(nil)
-	}
-	return nil
-}
-
-func verifyNoCollision(w *model.World, h uint64, paranoid map[uint64][]byte) error {
-	enc := w.Encode(nil)
-	prev := paranoid[h]
-	if string(prev) != string(enc) {
-		return fmt.Errorf("check: hash collision at %#x: %d-byte vs %d-byte states", h, len(prev), len(enc))
-	}
-	return nil
 }
 
 // Replay applies a counterexample path to a fresh world, returning the

@@ -1,0 +1,185 @@
+package check_test
+
+// External test package: the determinism suite drives the checker
+// through the standard scoped worlds of internal/core, which itself
+// imports internal/check.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+)
+
+// violationKeys extracts the sorted (property, description) set of a
+// result — the part of the violation list the determinism contract
+// promises, independent of which counterexample path each engine
+// happened to capture first.
+func violationKeys(res *check.Result) []string {
+	keys := make([]string, len(res.Violations))
+	for i, v := range res.Violations {
+		keys[i] = v.Property + "\x00" + v.Desc
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestParallelDeterminism asserts the engine's determinism contract on
+// every standard world: a sequential run and parallel runs with 1, 2
+// and 8 workers agree on the distinct-state count, the violation set
+// and the per-process spec coverage.
+func TestParallelDeterminism(t *testing.T) {
+	for _, name := range core.WorldNames() {
+		s := core.StandardWorlds(false)[name]
+		t.Run(name, func(t *testing.T) {
+			base, err := core.Screen(s, check.Options{})
+			if err != nil {
+				t.Fatalf("sequential screen: %v", err)
+			}
+			wantKeys := violationKeys(base.Result)
+			wantCov := check.SpecCoverage(s.World, base.Result)
+
+			for _, workers := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					opt := s.Options
+					opt.Workers = workers
+					r, err := core.Screen(s, opt)
+					if err != nil {
+						t.Fatalf("screen with %d workers: %v", workers, err)
+					}
+					if got := violationKeys(r.Result); !reflect.DeepEqual(got, wantKeys) {
+						t.Errorf("violation set mismatch:\n got %q\nwant %q", got, wantKeys)
+					}
+					if r.Result.States != base.Result.States {
+						t.Errorf("states = %d, want %d", r.Result.States, base.Result.States)
+					}
+					if got := check.SpecCoverage(s.World, r.Result); !reflect.DeepEqual(got, wantCov) {
+						t.Errorf("spec coverage mismatch:\n got %+v\nwant %+v", got, wantCov)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelRunsAgreeWithEachOther re-runs the widest world twice at
+// the same worker count and asserts the violation lists are identical
+// entry-for-entry (canonical order makes repeated parallel runs
+// reproducible, not merely set-equal).
+func TestParallelRunsAgreeWithEachOther(t *testing.T) {
+	s := core.StandardWorlds(false)["s6"]
+	opt := s.Options
+	opt.Workers = 4
+
+	a, err := core.Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(violationKeys(a.Result), violationKeys(b.Result)) {
+		t.Errorf("two parallel runs disagree:\n a=%q\n b=%q",
+			violationKeys(a.Result), violationKeys(b.Result))
+	}
+	for i := range a.Result.Violations {
+		va, vb := a.Result.Violations[i], b.Result.Violations[i]
+		if va.Property != vb.Property || va.Desc != vb.Desc {
+			t.Errorf("violation %d ordering differs: (%s,%s) vs (%s,%s)",
+				i, va.Property, va.Desc, vb.Property, vb.Desc)
+		}
+	}
+}
+
+// TestCampaignParallelMatchesSequential runs the whole phase-1 sweep
+// sequentially and with campaign parallelism and compares per-world
+// outcomes.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	seq, err := core.ScreenWorlds(core.ScopedModels(), nil, core.CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.ScreenWorlds(core.ScopedModels(), nil, core.CampaignOptions{Parallel: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Finding != par[i].Finding {
+			t.Fatalf("result %d order differs: %s vs %s", i, seq[i].Finding, par[i].Finding)
+		}
+		if got, want := violationKeys(par[i].Result), violationKeys(seq[i].Result); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: violation set mismatch:\n got %q\nwant %q", seq[i].Finding, got, want)
+		}
+		if par[i].Result.States != seq[i].Result.States {
+			t.Errorf("%s: states = %d, want %d", seq[i].Finding, par[i].Result.States, seq[i].Result.States)
+		}
+	}
+}
+
+// TestCampaignBudgetTruncates shares a tiny state budget across the
+// sweep and asserts the pool is exhausted and every world truncates
+// rather than overshooting it.
+func TestCampaignBudgetTruncates(t *testing.T) {
+	results, err := core.ScreenWorlds(core.ScopedModels(), nil, core.CampaignOptions{StateBudget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Result.States
+	}
+	if total > 50 {
+		t.Errorf("campaign explored %d states, budget was 50", total)
+	}
+	truncated := 0
+	for _, r := range results {
+		if r.Result.Truncated {
+			truncated++
+		}
+	}
+	if truncated == 0 {
+		t.Error("no world reported truncation under a 50-state budget")
+	}
+}
+
+// TestCampaignCancelOnViolation asserts the first-violation switch
+// stops the campaign early: at least one later world must be cut short
+// (the scoped defective worlds all violate, so without cancellation
+// every result would be complete).
+func TestCampaignCancelOnViolation(t *testing.T) {
+	results, err := core.ScreenWorlds(core.ScopedModels(), nil, core.CampaignOptions{CancelOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for _, r := range results {
+		if r.Violated() {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("campaign found no violation at all")
+	}
+	// The first world already violates, so everything after it must
+	// have been cancelled before completing its exploration.
+	full, err := core.ScreenWorlds(core.ScopedModels(), nil, core.CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := 0
+	for i := range results {
+		if results[i].Result.States < full[i].Result.States {
+			saved++
+		}
+	}
+	if saved == 0 {
+		t.Error("CancelOnViolation explored every world in full")
+	}
+}

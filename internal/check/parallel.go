@@ -1,0 +1,438 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cnetverifier/internal/model"
+)
+
+// This file implements the parallel exploration engines (Options.
+// Workers > 1): a work-stealing frontier search for DFS/BFS and a
+// walk-splitting driver for RandomWalk.
+//
+// Determinism contract (asserted by TestParallelDeterminism): for the
+// same world and options, parallel and sequential runs agree on the
+// distinct-state count, the violation set (property, description
+// pairs) and the set of covered transitions, because
+//
+//   - the visited set tracks the minimal discovery depth of every
+//     state and re-expands on shallower rediscovery, so the set of
+//     states expanded within MaxDepth is an order-independent fixpoint;
+//   - random walks derive their RNG stream from (Seed, walk index),
+//     not from a shared stream, so the sampled schedules are the same
+//     however walks land on workers.
+//
+// Quantities that tally work rather than describe the state space
+// (Transitions, Covered counts, MaxDepth under truncation) may vary
+// with scheduling. Every reported counterexample is re-verified with
+// Replay before the result is returned.
+
+// localQueueCap bounds each worker's private frontier queue. When an
+// expansion pushes past the cap, the oldest (shallowest) half moves to
+// the shared overflow queue where idle workers pick it up — bounding
+// per-worker memory spikes and spreading work without fine-grained
+// stealing traffic on every push.
+const localQueueCap = 1024
+
+// deque is a mutex-guarded double-ended work queue. The owner pushes
+// and pops at the tail (depth-first order, keeping its cache hot);
+// thieves steal from the head, taking the shallowest — widest — nodes.
+type deque struct {
+	mu    sync.Mutex
+	items []*node
+}
+
+// push appends at the tail and returns the overflow batch (oldest
+// half) when the queue exceeds localQueueCap.
+func (d *deque) push(n *node) []*node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.items = append(d.items, n)
+	if len(d.items) <= localQueueCap {
+		return nil
+	}
+	half := len(d.items) / 2
+	over := append([]*node(nil), d.items[:half]...)
+	d.items = append(d.items[:0], d.items[half:]...)
+	return over
+}
+
+// pop removes from the tail (owner side).
+func (d *deque) pop() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	n := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return n
+}
+
+// steal removes from the head (thief side).
+func (d *deque) steal() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	n := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return n
+}
+
+// pushAll appends a batch at the tail.
+func (d *deque) pushAll(ns []*node) {
+	d.mu.Lock()
+	d.items = append(d.items, ns...)
+	d.mu.Unlock()
+}
+
+// lockedScenario serializes Events calls so stochastic scenarios (the
+// random sampler carries RNG state) are safe under concurrent workers.
+// Deterministic scenarios — required for search strategies anyway —
+// are unaffected beyond the mutex.
+type lockedScenario struct {
+	mu   sync.Mutex
+	base Scenario
+}
+
+func (l *lockedScenario) Events(w *model.World) []model.EnvEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.Events(w)
+}
+
+// engine is the shared state of one parallel frontier search.
+type engine struct {
+	opt     Options
+	sc      Scenario
+	props   []Property
+	visited *visitedSet
+
+	queues   []*deque
+	overflow deque
+	// pending counts nodes queued or being expanded; the search is
+	// complete when it reaches zero.
+	pending atomic.Int64
+	stop    atomic.Bool
+
+	transitions atomic.Int64
+	maxDepth    atomic.Int64
+	truncated   atomic.Bool
+
+	violMu     sync.Mutex
+	seenViol   map[string]struct{}
+	violations []Violation
+
+	errMu sync.Mutex
+	err   error
+}
+
+func (e *engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+}
+
+func (e *engine) noteDepth(d int) {
+	for {
+		cur := e.maxDepth.Load()
+		if int64(d) <= cur || e.maxDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// enqueue makes a node available to the pool.
+func (e *engine) enqueue(id int, n *node) {
+	e.pending.Add(1)
+	if over := e.queues[id].push(n); over != nil {
+		e.overflow.pushAll(over)
+	}
+}
+
+// next finds work for worker id: own queue first, then the overflow
+// queue, then stealing round-robin from the other workers.
+func (e *engine) next(id int) *node {
+	if n := e.queues[id].pop(); n != nil {
+		return n
+	}
+	if n := e.overflow.steal(); n != nil {
+		return n
+	}
+	for i := 1; i < len(e.queues); i++ {
+		if n := e.queues[(id+i)%len(e.queues)].steal(); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func (e *engine) worker(id int, covered map[string]int) {
+	var buf []byte
+	for {
+		if e.stop.Load() {
+			return
+		}
+		n := e.next(id)
+		if n == nil {
+			if e.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		e.expand(id, n, covered, &buf)
+		e.pending.Add(-1)
+	}
+}
+
+func (e *engine) expand(id int, n *node, covered map[string]int, buf *[]byte) {
+	e.noteDepth(n.depth)
+	if e.opt.Cancel.Cancelled() {
+		e.truncated.Store(true)
+		e.stop.Store(true)
+		return
+	}
+	if n.depth >= e.opt.MaxDepth {
+		e.truncated.Store(true)
+		return
+	}
+	for _, s := range n.w.Steps(e.sc.Events(n.w)) {
+		if e.stop.Load() {
+			return
+		}
+		child := n.w.Clone()
+		applied, err := child.Apply(s)
+		if err != nil {
+			e.setErr(fmt.Errorf("check: apply %v: %w", s, err))
+			return
+		}
+		e.transitions.Add(1)
+		if applied.Label != "" {
+			covered[applied.Proc+"/"+applied.Label]++
+		}
+		path := appendPath(n.path, applied)
+		if e.checkProps(child, applied, path) && e.opt.StopAtFirst {
+			e.stop.Store(true)
+			return
+		}
+		var mark markResult
+		if mark, *buf, err = markVisited(e.visited, child, n.depth+1, *buf); err != nil {
+			e.setErr(err)
+			return
+		}
+		if mark.capped {
+			e.truncated.Store(true)
+			continue
+		}
+		if mark.expand {
+			e.enqueue(id, &node{w: child, path: path, depth: n.depth + 1})
+		}
+	}
+}
+
+// checkProps evaluates the monitors on a worker-private world and
+// records new violations under the shared lock. The lock is taken only
+// on an actual violation, so the monitor evaluations themselves run
+// fully in parallel.
+func (e *engine) checkProps(w *model.World, last model.Step, path []model.Step) bool {
+	violated := false
+	for _, p := range e.props {
+		desc := p.Check(w, last)
+		if desc == "" {
+			continue
+		}
+		violated = true
+		key := p.Name() + "\x00" + desc
+		e.violMu.Lock()
+		if _, dup := e.seenViol[key]; !dup {
+			e.seenViol[key] = struct{}{}
+			e.violations = append(e.violations, Violation{Property: p.Name(), Desc: desc, Path: clonePath(path)})
+		}
+		e.violMu.Unlock()
+	}
+	return violated
+}
+
+func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	e := &engine{
+		opt:      opt,
+		sc:       &lockedScenario{base: sc},
+		props:    props,
+		visited:  newVisitedSet(opt),
+		queues:   make([]*deque, opt.Workers),
+		seenViol: make(map[string]struct{}),
+	}
+	for i := range e.queues {
+		e.queues[i] = &deque{}
+	}
+
+	root := &node{w: w0.Clone()}
+	if _, _, err := markVisited(e.visited, root.w, 0, nil); err != nil {
+		return nil, err
+	}
+	e.enqueue(0, root)
+
+	coveredPer := make([]map[string]int, opt.Workers)
+	var wg sync.WaitGroup
+	for id := 0; id < opt.Workers; id++ {
+		coveredPer[id] = make(map[string]int)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.worker(id, coveredPer[id])
+		}(id)
+	}
+	wg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	res := &Result{
+		States:      e.visited.size(),
+		Transitions: int(e.transitions.Load()),
+		MaxDepth:    int(e.maxDepth.Load()),
+		Truncated:   e.truncated.Load(),
+		Violations:  e.violations,
+		Covered:     mergeCovered(coveredPer),
+	}
+	sortViolations(res.Violations)
+	if err := reverify(w0, props, res.Violations); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runParallelWalk(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	visited := newVisitedSet(opt)
+	if _, _, err := markVisited(visited, w0, 0, nil); err != nil {
+		return nil, err
+	}
+	locked := &lockedScenario{base: sc}
+
+	var nextWalk atomic.Int64
+	var stop atomic.Bool
+	results := make([]*Result, opt.Workers)
+	errs := make([]error, opt.Workers)
+	var wg sync.WaitGroup
+	for id := 0; id < opt.Workers; id++ {
+		results[id] = &Result{Covered: make(map[string]int)}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var buf []byte
+			seen := make(map[string]struct{})
+			for !stop.Load() && !opt.Cancel.Cancelled() {
+				walk := int(nextWalk.Add(1)) - 1
+				if walk >= opt.Walks {
+					return
+				}
+				halt, err := oneWalk(w0, props, locked, opt, walk, visited, &buf, seen, results[id])
+				if err != nil {
+					errs[id] = err
+					stop.Store(true)
+					return
+				}
+				if halt {
+					stop.Store(true)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Covered: make(map[string]int)}
+	coveredPer := make([]map[string]int, 0, len(results))
+	for _, r := range results {
+		res.Transitions += r.Transitions
+		if r.MaxDepth > res.MaxDepth {
+			res.MaxDepth = r.MaxDepth
+		}
+		res.Truncated = res.Truncated || r.Truncated
+		res.Violations = append(res.Violations, r.Violations...)
+		coveredPer = append(coveredPer, r.Covered)
+	}
+	if opt.Cancel.Cancelled() {
+		res.Truncated = true
+	}
+	res.Covered = mergeCovered(coveredPer)
+	res.States = visited.size()
+	// Workers deduplicate violations only against their own walks;
+	// collapse cross-worker duplicates to the canonically smallest
+	// counterexample per (property, description).
+	res.Violations = dedupeViolations(res.Violations)
+	if err := reverify(w0, props, res.Violations); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func mergeCovered(per []map[string]int) map[string]int {
+	out := make(map[string]int)
+	for _, m := range per {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func dedupeViolations(vs []Violation) []Violation {
+	sortViolations(vs)
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) > 0 && out[len(out)-1].Property == v.Property && out[len(out)-1].Desc == v.Desc {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// reverify replays every counterexample against the initial world and
+// confirms the violated property reports the same description on the
+// replayed state. Parallel workers hand over paths across goroutines;
+// this is the engine's proof to the caller that no captured path was
+// corrupted by frontier reuse and that each violation is reproducible
+// before it leaves the package (mirroring the paper's screening →
+// validation hand-off, §3.2.3).
+func reverify(w0 *model.World, props []Property, vs []Violation) error {
+	byName := make(map[string]Property, len(props))
+	for _, p := range props {
+		byName[p.Name()] = p
+	}
+	for _, v := range vs {
+		end, err := Replay(w0, v.Path)
+		if err != nil {
+			return fmt.Errorf("check: counterexample for %s failed replay re-verification: %w", v.Property, err)
+		}
+		p, ok := byName[v.Property]
+		if !ok {
+			return fmt.Errorf("check: violation of unknown property %q", v.Property)
+		}
+		var last model.Step
+		if len(v.Path) > 0 {
+			last = v.Path[len(v.Path)-1]
+		}
+		if got := p.Check(end, last); got != v.Desc {
+			return fmt.Errorf("check: counterexample for %s does not reproduce on replay: got %q, want %q", v.Property, got, v.Desc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cnetverifier/internal/model"
+)
+
+// Budget is a token budget of distinct states shared by several
+// checking runs (the campaign-level bound of a screening sweep: N
+// scenarios drawing from one pool instead of N private caps). Each
+// newly discovered state consumes one token; when the pool is dry every
+// participating run truncates. The zero value has no tokens; share one
+// *Budget across runs via Options.Budget.
+type Budget struct {
+	left atomic.Int64
+}
+
+// NewBudget returns a budget holding the given number of state tokens.
+func NewBudget(states int) *Budget {
+	b := &Budget{}
+	b.left.Store(int64(states))
+	return b
+}
+
+// take consumes one token, reporting false when the pool is exhausted.
+func (b *Budget) take() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.left.Load()
+		if cur <= 0 {
+			return false
+		}
+		if b.left.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Remaining returns the tokens left in the pool.
+func (b *Budget) Remaining() int { return int(b.left.Load()) }
+
+// Cancel is a cooperative cancellation flag shared by several checking
+// runs. Once set, every participating run stops expanding, marks its
+// result truncated and returns what it has — the campaign-level
+// "stop everything at the first violation" switch.
+type Cancel struct {
+	flag atomic.Bool
+}
+
+// Cancel sets the flag.
+func (c *Cancel) Cancel() { c.flag.Store(true) }
+
+// Cancelled reports whether the flag is set. A nil receiver is never
+// cancelled.
+func (c *Cancel) Cancelled() bool { return c != nil && c.flag.Load() }
+
+// visitedShards is the number of stripes of the visited set. A power of
+// two well above any sane worker count keeps the probability of two
+// workers serializing on one mutex negligible.
+const visitedShards = 64
+
+// visitedSet is the deduplication structure shared by the sequential
+// and parallel engines: a striped-mutex hash set keyed by the canonical
+// state hash, tracking for each state the shallowest depth at which it
+// was discovered.
+//
+// Min-depth tracking is what makes bounded exploration deterministic:
+// a state first reached through a long path is re-expanded if a
+// shorter path to it is found later, so the set of states expanded
+// within MaxDepth is a fixpoint — every state whose true minimal depth
+// is below the bound — independent of exploration order or worker
+// interleaving. (Plain first-visit marking makes the truncated frontier
+// depend on discovery order, which is exactly the nondeterminism a
+// parallel engine cannot afford.)
+type visitedSet struct {
+	paranoid bool
+	limit    int64 // MaxStates
+	budget   *Budget
+	states   atomic.Int64
+	shards   [visitedShards]struct {
+		mu    sync.Mutex
+		depth map[uint64]int
+		enc   map[uint64][]byte // full encodings, paranoid mode only
+	}
+}
+
+func newVisitedSet(opt Options) *visitedSet {
+	v := &visitedSet{paranoid: opt.Paranoid, limit: int64(opt.MaxStates), budget: opt.Budget}
+	for i := range v.shards {
+		v.shards[i].depth = make(map[uint64]int)
+		if v.paranoid {
+			v.shards[i].enc = make(map[uint64][]byte)
+		}
+	}
+	return v
+}
+
+// size returns the number of distinct states recorded.
+func (v *visitedSet) size() int { return int(v.states.Load()) }
+
+// markResult reports the outcome of recording one state.
+type markResult struct {
+	// isNew: the state hash had never been seen.
+	isNew bool
+	// expand: the caller should (re-)expand the state — it is new, or
+	// it was rediscovered strictly shallower than every earlier visit.
+	expand bool
+	// capped: the state was new but MaxStates or the shared Budget is
+	// exhausted; it was not recorded and the run is truncated.
+	capped bool
+}
+
+// markVisited records the world at the given depth, using buf as
+// encoding scratch (pass the previous call's return to avoid
+// reallocating). In paranoid mode a hash hit is verified byte-for-byte
+// against the stored encoding and a genuine collision is an error.
+func markVisited(v *visitedSet, w *model.World, depth int, buf []byte) (markResult, []byte, error) {
+	h, buf := w.AppendHash(buf)
+	s := &v.shards[h&(visitedShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if best, seen := s.depth[h]; seen {
+		if v.paranoid {
+			if prev := s.enc[h]; string(prev) != string(buf) {
+				return markResult{}, buf, fmt.Errorf("check: hash collision at %#x: %d-byte vs %d-byte states", h, len(prev), len(buf))
+			}
+		}
+		if depth < best {
+			s.depth[h] = depth
+			return markResult{expand: true}, buf, nil
+		}
+		return markResult{}, buf, nil
+	}
+	// New state: reserve a token against the cap and the shared budget
+	// before recording, so the state count never overshoots MaxStates
+	// even under concurrent discovery.
+	for {
+		cur := v.states.Load()
+		if v.limit > 0 && cur >= v.limit {
+			return markResult{capped: true}, buf, nil
+		}
+		if v.states.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	if !v.budget.take() {
+		v.states.Add(-1)
+		return markResult{capped: true}, buf, nil
+	}
+	s.depth[h] = depth
+	if v.paranoid {
+		s.enc[h] = append([]byte(nil), buf...)
+	}
+	return markResult{isNew: true, expand: true}, buf, nil
+}
+
+// appendPath copies-on-append so sibling branches never share backing
+// arrays.
+func appendPath(path []model.Step, s model.Step) []model.Step {
+	out := make([]model.Step, len(path)+1)
+	copy(out, path)
+	out[len(path)] = s
+	return out
+}
+
+// clonePath deep-copies a counterexample path, including each step's
+// Notes slice. Violations must own their paths outright: the engines
+// keep extending and recycling frontier paths (and parallel workers do
+// so concurrently), so a captured path that aliases frontier backing
+// arrays could be rewritten after the fact.
+func clonePath(path []model.Step) []model.Step {
+	out := make([]model.Step, len(path))
+	copy(out, path)
+	for i := range out {
+		if out[i].Notes != nil {
+			out[i].Notes = append([]string(nil), out[i].Notes...)
+		}
+	}
+	return out
+}
+
+// sortViolations orders violations canonically — by property, then
+// description, then path length, then the rendered path — so results
+// are stable regardless of discovery order. Sequential and parallel
+// runs of the same world therefore report the same violation list in
+// the same order.
+func sortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Property != b.Property {
+			return a.Property < b.Property
+		}
+		if a.Desc != b.Desc {
+			return a.Desc < b.Desc
+		}
+		if len(a.Path) != len(b.Path) {
+			return len(a.Path) < len(b.Path)
+		}
+		return renderPath(a.Path) < renderPath(b.Path)
+	})
+}
+
+func renderPath(path []model.Step) string {
+	s := ""
+	for _, st := range path {
+		s += st.String() + "\n"
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cnetverifier/internal/check"
 )
@@ -36,13 +37,113 @@ func Screen(s Scoped, opt check.Options) (ScreenResult, error) {
 // (the CNetVerifier phase-1 of Figure 2) and returns the per-finding
 // results in order.
 func ScreenAll() ([]ScreenResult, error) {
-	var out []ScreenResult
-	for _, s := range ScopedModels() {
-		r, err := Screen(s, check.Options{})
+	return ScreenWorlds(ScopedModels(), nil, CampaignOptions{})
+}
+
+// CampaignOptions configures a screening campaign over several scoped
+// worlds (ScreenWorlds) — the paper's phase 1 run over hundreds of
+// sampled usage scenarios, which is embarrassingly parallel across
+// scenarios on top of whatever per-world engine parallelism is set.
+type CampaignOptions struct {
+	// Parallel is the number of worlds screened concurrently (one
+	// goroutine per in-flight scenario world). 0 or 1 screens
+	// sequentially in order.
+	Parallel int
+	// Workers overrides check.Options.Workers for every world whose
+	// options leave it unset — the per-world engine parallelism.
+	Workers int
+	// StateBudget, when positive, caps the total number of distinct
+	// states across the whole campaign with one shared token pool
+	// (check.Budget) instead of per-world MaxStates alone. Worlds
+	// truncate when the pool dries up.
+	StateBudget int
+	// CancelOnViolation cancels every in-flight and queued world as
+	// soon as one world reports a property violation — the "stop the
+	// campaign at the first finding" mode. Results of cancelled worlds
+	// are partial and marked Truncated.
+	CancelOnViolation bool
+}
+
+// ScreenWorlds screens the given scoped worlds — concurrently when
+// opts.Parallel > 1 — and returns the results in input order. The
+// optional perWorld hook supplies checker options for each world
+// (nil, or a zero Options, uses the world's own suggested bounds),
+// exactly like Screen; campaign-level knobs (shared budget, engine
+// workers, early cancel) are layered on top.
+func ScreenWorlds(scoped []Scoped, perWorld func(Scoped) check.Options, opts CampaignOptions) ([]ScreenResult, error) {
+	var budget *check.Budget
+	if opts.StateBudget > 0 {
+		budget = check.NewBudget(opts.StateBudget)
+	}
+	var cancel *check.Cancel
+	if opts.CancelOnViolation {
+		cancel = &check.Cancel{}
+	}
+
+	optFor := func(s Scoped) check.Options {
+		var opt check.Options
+		if perWorld != nil {
+			opt = perWorld(s)
+		}
+		if opt.IsZero() {
+			opt = s.Options
+		}
+		if opt.Workers == 0 {
+			opt.Workers = opts.Workers
+		}
+		if opt.Budget == nil {
+			opt.Budget = budget
+		}
+		if opt.Cancel == nil {
+			opt.Cancel = cancel
+		}
+		return opt
+	}
+
+	out := make([]ScreenResult, len(scoped))
+	errs := make([]error, len(scoped))
+
+	if opts.Parallel <= 1 {
+		for i, s := range scoped {
+			r, err := Screen(s, optFor(s))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+			if opts.CancelOnViolation && r.Violated() {
+				cancel.Cancel()
+			}
+		}
+		return out, nil
+	}
+
+	sem := make(chan struct{}, opts.Parallel)
+	var wg sync.WaitGroup
+	for i := range scoped {
+		wg.Add(1)
+		go func(i int, s Scoped) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := Screen(s, optFor(s))
+			if err != nil {
+				errs[i] = err
+				if cancel != nil {
+					cancel.Cancel()
+				}
+				return
+			}
+			out[i] = r
+			if opts.CancelOnViolation && r.Violated() {
+				cancel.Cancel()
+			}
+		}(i, scoped[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

@@ -206,7 +206,12 @@ func (m *Machine) Var(name string) int { return m.vars[name] }
 // SetVar assigns a local variable.
 func (m *Machine) SetVar(name string, v int) {
 	if _, ok := m.vars[name]; !ok {
-		m.varNames = append(m.varNames, name)
+		// Rebuild rather than append in place: clones share the
+		// varNames slice, so growing it must never touch the shared
+		// backing array.
+		names := make([]string, len(m.varNames), len(m.varNames)+1)
+		copy(names, m.varNames)
+		m.varNames = append(names, name)
 		sort.Strings(m.varNames)
 	}
 	m.vars[name] = v
@@ -258,12 +263,13 @@ func (m *Machine) Step(c Ctx, e Event) (Transition, bool) {
 }
 
 // Clone returns a deep copy of the machine sharing the immutable spec.
+// The sorted name cache is shared too — SetVar copies on growth — so a
+// clone costs one map copy.
 func (m *Machine) Clone() *Machine {
-	n := &Machine{spec: m.spec, state: m.state, vars: make(map[string]int, len(m.vars))}
+	n := &Machine{spec: m.spec, state: m.state, vars: make(map[string]int, len(m.vars)), varNames: m.varNames}
 	for k, v := range m.vars {
 		n.vars[k] = v
 	}
-	n.varNames = append([]string(nil), m.varNames...)
 	return n
 }
 

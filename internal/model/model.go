@@ -13,7 +13,6 @@ package model
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"cnetverifier/internal/fsm"
@@ -58,6 +57,10 @@ type World struct {
 
 	procIdx map[string]int
 	chanIdx map[string]int
+	// gkeys caches the sorted global names for canonical encoding.
+	// Shared across clones and rebuilt (never mutated in place) when a
+	// global is added, so the hot Encode path does not re-sort.
+	gkeys []string
 }
 
 // Config declares the construction of a World.
@@ -135,7 +138,10 @@ func (w *World) Global(name string) int { return w.Globals[name] }
 // SetGlobal writes a shared variable.
 func (w *World) SetGlobal(name string, v int) { w.Globals[name] = v }
 
-// Clone deep-copies the world. Specs are shared (immutable).
+// Clone deep-copies the world. Specs are shared (immutable), as are
+// the name-index tables and the cached sorted key slices (both are
+// copy-on-write). Clone sits on the checker's hottest path — one call
+// per explored transition — so it avoids every avoidable allocation.
 func (w *World) Clone() *World {
 	n := &World{
 		Procs:   make([]*Proc, len(w.Procs)),
@@ -143,6 +149,7 @@ func (w *World) Clone() *World {
 		Globals: make(map[string]int, len(w.Globals)),
 		procIdx: w.procIdx,
 		chanIdx: w.chanIdx,
+		gkeys:   w.gkeys,
 	}
 	for i, p := range w.Procs {
 		n.Procs[i] = &Proc{Name: p.Name, M: p.M.Clone(), OutputTo: p.OutputTo}
@@ -183,12 +190,7 @@ func (w *World) Encode(buf []byte) []byte {
 		}
 		buf = append(buf, ']')
 	}
-	keys := make([]string, 0, len(w.Globals))
-	for k := range w.Globals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range w.globalKeys() {
 		buf = append(buf, k...)
 		buf = append(buf, '=')
 		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(w.Globals[k])))
@@ -197,11 +199,44 @@ func (w *World) Encode(buf []byte) []byte {
 	return buf
 }
 
+// globalKeys returns the sorted global names, rebuilding the shared
+// cache only when a machine introduced a new global since the last
+// encode. Globals are never deleted, so a length match means the key
+// set is current; a rebuild allocates a fresh slice so clones sharing
+// the old one are unaffected.
+func (w *World) globalKeys() []string {
+	if len(w.gkeys) != len(w.Globals) {
+		keys := make([]string, 0, len(w.Globals))
+		for k := range w.Globals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.gkeys = keys
+	}
+	return w.gkeys
+}
+
 // Hash returns an FNV-64a digest of the canonical encoding.
 func (w *World) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write(w.Encode(nil))
-	return h.Sum64()
+	h, _ := w.AppendHash(nil)
+	return h
+}
+
+// AppendHash encodes the world into buf[:0] and returns the FNV-64a
+// digest together with the (re)used buffer. Callers on hot paths keep
+// the returned buffer as scratch for the next call, eliminating the
+// per-state encoding allocation.
+func (w *World) AppendHash(buf []byte) (uint64, []byte) {
+	buf = w.Encode(buf[:0])
+	// Inline FNV-64a over buf (hash/fnv forces a heap-allocated state
+	// through the hash.Hash64 interface).
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h, buf
 }
 
 // ctx implements fsm.Ctx for a process executing inside the world.

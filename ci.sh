@@ -37,6 +37,19 @@ go test -race ./internal/netemu ./internal/emu ./internal/fixes
 echo "== go test -race (parallel engine + determinism suite) =="
 go test -race ./internal/check ./internal/core
 
+echo "== go test -race (sweep campaign engine) =="
+go test -race ./internal/validate
+
+echo "== fuzz smoke (trace line codec, 30s) =="
+go test ./internal/trace -fuzz FuzzRecordLine -fuzztime 30s >/dev/null
+
+echo "== sweep smoke (single cell, S1, both worker counts) =="
+go run ./cmd/cnetsim -sweep -findings S1 -loss 0.2 -seeds 4 -workers 1 -format csv >/tmp/sweep1.csv
+go run ./cmd/cnetsim -sweep -findings S1 -loss 0.2 -seeds 4 -workers 8 -format csv >/tmp/sweep8.csv
+cmp /tmp/sweep1.csv /tmp/sweep8.csv
+rm -f /tmp/sweep1.csv /tmp/sweep8.csv
+echo ok
+
 echo "== benchmarks (smoke, 1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x . >/dev/null
 

@@ -11,16 +11,32 @@
 //	cnetsim -role bs    [-listen 127.0.0.1:7802] [-core 127.0.0.1:7801] [-drop 0.05] [-seed 1]
 //	cnetsim -role device [-bs 127.0.0.1:7802] [-shim] [-taus 3]
 //	cnetsim -role all   [-drop 0.05] [-shim] [-taus 3]
+//
+// With -sweep it instead runs a loss-sweep validation campaign on the
+// in-process emulator (no sockets): each screened S1–S6 counterexample
+// is replayed across a grid of air-interface loss rates and seeds, with
+// the NAS retransmission layer keeping lossy runs terminating.
+//
+//	cnetsim -sweep [-loss 0:0.5:0.05] [-seeds 32] [-workers N]
+//	        [-findings S1,S4] [-profile OP-II] [-fixes reliable,parallel]
+//	        [-noreliab] [-format table|json|csv] [-seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"cnetverifier/internal/core"
 	"cnetverifier/internal/emu"
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/validate"
 )
 
 func main() {
@@ -30,11 +46,26 @@ func main() {
 		coreAt = flag.String("core", "127.0.0.1:7801", "core TCP address (bs role)")
 		bsAt   = flag.String("bs", "127.0.0.1:7802", "BS UDP address (device role)")
 		drop   = flag.Float64("drop", 0, "air-interface drop rate (bs role)")
-		seed   = flag.Int64("seed", 1, "dropper seed")
+		seed   = flag.Int64("seed", 1, "dropper seed (socket roles) / base trial seed (-sweep)")
 		shim   = flag.Bool("shim", false, "enable the §8 reliable-transfer shim")
 		taus   = flag.Int("taus", 3, "tracking-area updates after attach (device role)")
+
+		sweep    = flag.Bool("sweep", false, "run a loss-sweep validation campaign instead of a socket role")
+		loss     = flag.String("loss", "0:0.5:0.1", "loss grid: start:end:step or comma list (sweep)")
+		seeds    = flag.Int("seeds", 8, "trials per (finding, loss) cell (sweep)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent emulator runs (sweep)")
+		findings = flag.String("findings", "", "comma-separated subset of S1..S6; empty = all (sweep)")
+		profile  = flag.String("profile", "OP-II", "operator profile: OP-I or OP-II (sweep)")
+		fixesF   = flag.String("fixes", "", "§8 fixes: comma list of reliable,parallel,decouple,crosssys or 'all' (sweep)")
+		noReliab = flag.Bool("noreliab", false, "disable the NAS retransmission layer (sweep)")
+		format   = flag.String("format", "table", "sweep output: table, json, or csv")
 	)
 	flag.Parse()
+
+	if *sweep {
+		runSweep(*loss, *seeds, *workers, *findings, *profile, *fixesF, *noReliab, *format, *seed)
+		return
+	}
 
 	switch *role {
 	case "core":
@@ -98,6 +129,139 @@ func runDevice(bsAddr string, shim bool, taus int) {
 		fmt.Printf("device: TAU %d ok, still registered\n", i)
 	}
 	fmt.Println("device: done")
+}
+
+// runSweep parses the sweep flags and runs the campaign.
+func runSweep(lossSpec string, seeds, workers int, findingsSpec, profileName, fixesSpec string, noReliab bool, format string, seed int64) {
+	rates, err := parseLossGrid(lossSpec)
+	fatal(err)
+	ids, err := parseFindings(findingsSpec)
+	fatal(err)
+	prof, err := parseProfile(profileName)
+	fatal(err)
+	fixes, err := parseFixes(fixesSpec)
+	fatal(err)
+
+	res, err := validate.Sweep(validate.SweepConfig{
+		Findings:      ids,
+		LossRates:     rates,
+		Seeds:         seeds,
+		Workers:       workers,
+		Profile:       prof,
+		Fixes:         fixes,
+		NoReliability: noReliab,
+		Seed:          seed,
+	})
+	fatal(err)
+
+	switch format {
+	case "table":
+		fmt.Print(res.Table())
+	case "json":
+		b, err := res.JSON()
+		fatal(err)
+		fmt.Println(string(b))
+	case "csv":
+		fmt.Print(res.CSV())
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want table, json, or csv)", format))
+	}
+}
+
+// parseLossGrid accepts "start:end:step" or a comma-separated list.
+func parseLossGrid(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	bad := func() error { return fmt.Errorf("bad -loss %q (want start:end:step or a comma list in [0,1))", spec) }
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		var v [3]float64
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, bad()
+			}
+			v[i] = f
+		}
+		start, end, step := v[0], v[1], v[2]
+		if step <= 0 || start < 0 || end < start || end >= 1 {
+			return nil, bad()
+		}
+		var out []float64
+		// Round to micro precision so 0.1+0.1+0.1 style accumulation
+		// never produces a stray 0.30000000000000004 grid point.
+		for x := start; x <= end+step/1e6; x += step {
+			out = append(out, math.Round(x*1e6)/1e6)
+		}
+		return out, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(spec, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f < 0 || f >= 1 {
+			return nil, bad()
+		}
+		out = append(out, math.Round(f*1e6)/1e6)
+	}
+	return out, nil
+}
+
+func parseFindings(spec string) ([]core.FindingID, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := map[string]core.FindingID{
+		"S1": core.S1, "S2": core.S2, "S3": core.S3,
+		"S4": core.S4, "S5": core.S5, "S6": core.S6,
+	}
+	var out []core.FindingID
+	for _, p := range strings.Split(spec, ",") {
+		id, ok := known[strings.ToUpper(strings.TrimSpace(p))]
+		if !ok {
+			return nil, fmt.Errorf("unknown finding %q (want S1..S6)", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func parseProfile(name string) (*netemu.OperatorProfile, error) {
+	for _, p := range netemu.Operators() {
+		if strings.EqualFold(p.Name, name) {
+			p := p
+			return &p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown -profile %q (want OP-I or OP-II)", name)
+}
+
+func parseFixes(spec string) (netemu.FixSet, error) {
+	var fs netemu.FixSet
+	if spec == "" {
+		return fs, nil
+	}
+	if strings.EqualFold(spec, "all") {
+		return netemu.AllFixes(), nil
+	}
+	for _, p := range strings.Split(spec, ",") {
+		switch strings.ToLower(strings.TrimSpace(p)) {
+		case "reliable":
+			fs.ReliableSignaling = true
+		case "parallel":
+			fs.ParallelUpdate = true
+		case "decouple":
+			fs.DomainDecoupling = true
+		case "crosssys":
+			fs.CrossSystem = true
+		default:
+			return fs, fmt.Errorf("unknown fix %q (want reliable, parallel, decouple, crosssys, or all)", p)
+		}
+	}
+	return fs, nil
 }
 
 func orDefault(v, def string) string {

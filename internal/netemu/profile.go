@@ -50,6 +50,15 @@ type OperatorProfile struct {
 	// spends in MM-WAIT-FOR-NET-CMD after a location update during
 	// which call requests stay blocked (≈4.3 s measured).
 	WaitNetCmdExtra time.Duration
+
+	// NASRetrans is the carrier's NAS retransmission discipline
+	// (T3410/T3310-style ack-or-timeout with exponential backoff),
+	// scaled to the emulator's signaling latencies. The §3.3 validation
+	// runs over lossy links depend on it: without retransmission a
+	// dropped frame is a silent stall instead of a degraded-but-
+	// terminating run. OP-II's core answers more slowly (Figure 4), so
+	// its initial RTO is set larger.
+	NASRetrans ReliabilityConfig
 }
 
 // OPI returns the OP-I profile.
@@ -77,6 +86,12 @@ func OPI() OperatorProfile {
 		VoiceOverheadUL: 0.024,
 		CallSetupBase:   Uniform{Min: 10 * time.Second, Max: 12800 * time.Millisecond},
 		WaitNetCmdExtra: 4300 * time.Millisecond,
+		NASRetrans: ReliabilityConfig{
+			RTO:        400 * time.Millisecond,
+			Backoff:    2,
+			MaxRTO:     6400 * time.Millisecond,
+			MaxRetries: 4,
+		},
 	}
 }
 
@@ -111,6 +126,12 @@ func OPII() OperatorProfile {
 		VoiceOverheadUL: 0.922,
 		CallSetupBase:   Uniform{Min: 10 * time.Second, Max: 12800 * time.Millisecond},
 		WaitNetCmdExtra: 4300 * time.Millisecond,
+		NASRetrans: ReliabilityConfig{
+			RTO:        600 * time.Millisecond,
+			Backoff:    2,
+			MaxRTO:     9600 * time.Millisecond,
+			MaxRetries: 4,
+		},
 	}
 }
 

@@ -86,12 +86,41 @@ type World struct {
 	// Delivered counts messages delivered; Dropped counts messages
 	// lost on the air interface.
 	Delivered, Dropped int
+	// Stats carries the link-layer counters that campaigns assert on:
+	// misrouted frames and the reliable-delivery bookkeeping.
+	Stats Stats
+	// reliab, when non-nil, is the ack-or-timeout retransmission layer
+	// wrapped around the air interface (see reliab.go).
+	reliab *reliabService
 	// perProc counts deliveries per destination process — the
 	// operator-side signaling-load observability the paper notes its
 	// phone-based method lacks (§3.1: "It may not uncover all issues
 	// at base stations and in the core network which operators are
 	// interested in").
 	perProc map[string]int
+}
+
+// Stats counts link-layer events of one emulation run. Unlike the
+// paper's phone-side vantage point (§3.1), these counters also expose
+// what the infrastructure saw: frames to nonexistent processes and the
+// retransmission service's activity.
+type Stats struct {
+	// Misrouted counts frames addressed to a proc absent from the
+	// world. Silent misrouting wedges validation campaigns, so it is
+	// counted loudly in addition to the trace line.
+	Misrouted int
+	// Retransmits, Expiries and Aborts count the reliable-delivery
+	// layer's timer activity (reliab.go).
+	Retransmits int
+	Expiries    int
+	Aborts      int
+	// Duplicates counts retransmitted frames suppressed at the receiver
+	// because their original was already stepped into the machine.
+	Duplicates int
+	// Acks counts link-layer acknowledgments that reached the sender;
+	// AcksLost counts those the reverse link dropped.
+	Acks     int
+	AcksLost int
 }
 
 // NewWorld returns an empty world with the given seed and default
@@ -174,6 +203,7 @@ func (c *rtCtx) Trace(format string, args ...any) {
 func (w *World) route(src *procRT, to string, msg types.Message) {
 	dst, ok := w.procs[to]
 	if !ok {
+		w.Stats.Misrouted++
 		w.Collector.Addf(w.Sim.Now(), trace.TypeError, msg.System, src.m.Spec().Name,
 			"send to unknown proc %q dropped", to)
 		return
@@ -181,6 +211,10 @@ func (w *World) route(src *procRT, to string, msg types.Message) {
 	msg.To = to
 	if src.node == dst.node {
 		w.Sim.At(w.Sim.Now(), func() { w.deliver(to, msg) })
+		return
+	}
+	if w.reliab != nil {
+		w.reliab.send(src, to, msg)
 		return
 	}
 	link := w.Uplink

@@ -84,6 +84,36 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// Z95 is the standard-normal quantile for a two-sided 95% confidence
+// interval.
+const Z95 = 1.959964
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// the [lo, hi] range the true reproduction rate lies in with the
+// confidence implied by z (use Z95), after observing successes out of
+// n trials. Unlike the normal approximation it behaves sensibly at the
+// boundaries (0/n and n/n), which loss-sweep cells hit routinely. An
+// empty sample (n == 0) returns the vacuous interval [0, 1].
+func Wilson(successes, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := p + z*z/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // CDF is an empirical cumulative distribution function.
 type CDF struct {
 	sorted []float64

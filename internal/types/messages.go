@@ -94,6 +94,17 @@ const (
 	// MsgShimAck is the acknowledgment of the §8 reliable-transfer
 	// shim inserted between EMM and RRC (internal/fixes).
 	MsgShimAck
+
+	// MsgLinkAck is the link-layer acknowledgment of the netemu
+	// reliable-delivery service (ack-or-timeout retransmission modeled
+	// on the NAS T3410/T3310 timers). It never reaches a protocol FSM:
+	// the link layer consumes it to cancel the pending retransmission.
+	MsgLinkAck
+	// MsgLinkFailure is the synthesized failure indication the
+	// reliable-delivery service delivers to the *sender's* machine when
+	// the retry budget for a frame is exhausted — the graceful
+	// degradation path that replaces an otherwise silent stall.
+	MsgLinkFailure
 )
 
 var msgKindNames = map[MsgKind]string{
@@ -160,6 +171,8 @@ var msgKindNames = map[MsgKind]string{
 	MsgNetSwitchOrder:               "NetSwitchOrder",
 	MsgLUFailureSignal:              "LUFailureSignal",
 	MsgShimAck:                      "ShimAck",
+	MsgLinkAck:                      "LinkAck",
+	MsgLinkFailure:                  "LinkFailure",
 }
 
 func (k MsgKind) String() string {

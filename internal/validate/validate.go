@@ -70,6 +70,13 @@ type Config struct {
 	EventSpacings []time.Duration
 	// Seed seeds the emulator.
 	Seed int64
+
+	// prepare, when set, mutates every freshly built replay world after
+	// the standard staging (stack assembly, globals, counterexample
+	// drops). The sweep engine uses it to inject random air-interface
+	// loss and the reliable-delivery layer into each attempt without
+	// duplicating the replay machinery.
+	prepare func(*netemu.World)
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,9 @@ func newReplayWorld(cfg Config, v check.Violation, procedures bool) *netemu.Worl
 	// §5.2.2). The reliable shim retransmits through any such loss, so
 	// with that fix enabled the staging is moot and skipped.
 	if cfg.Fixes.ReliableSignaling {
+		if cfg.prepare != nil {
+			cfg.prepare(w)
+		}
 		return w
 	}
 	toDrop := make(map[types.MsgKind]int)
@@ -190,6 +200,9 @@ func newReplayWorld(cfg Config, v check.Violation, procedures bool) *netemu.Worl
 		}
 		w.Uplink.DropFilter = filter
 		w.Downlink.DropFilter = filter
+	}
+	if cfg.prepare != nil {
+		cfg.prepare(w)
 	}
 	return w
 }

@@ -1,0 +1,71 @@
+// Screening hot-path benchmarks: raw checker throughput on each scoped
+// S1–S6 world, sequential and with the parallel frontier engine. These
+// are the numbers BENCH_screen.json and the EXPERIMENTS.md perf table
+// track (states/sec, B/op, allocs/op) — run with:
+//
+//	go test -bench=Screen -benchmem
+package cnetverifier_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/names"
+)
+
+// screenWorlds are the scoped worlds benchmarked by BenchmarkScreen*,
+// mirroring the golden-trace set.
+func screenWorlds() []struct {
+	name string
+	s    core.Scoped
+} {
+	return []struct {
+		name string
+		s    core.Scoped
+	}{
+		{"S1", core.S1World(false)},
+		{"S2", core.S2World(false)},
+		{"S3", core.S3World(false, names.SwitchReselect)},
+		{"S4CS", core.S4CSWorld(false)},
+		{"S4PS", core.S4PSWorld(false)},
+		{"S6", core.S6World(false)},
+	}
+}
+
+func benchScreen(b *testing.B, s core.Scoped, workers int) {
+	opt := s.Options
+	opt.Workers = workers
+	b.ReportAllocs()
+	states := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.Screen(s, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = r.Result.States
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(states)*float64(b.N)/sec, "states/s")
+	}
+}
+
+// BenchmarkScreenWorlds measures sequential screening of every scoped
+// world — the per-transition cost of the clone/apply/encode/hash loop.
+func BenchmarkScreenWorlds(b *testing.B) {
+	for _, pw := range screenWorlds() {
+		b.Run(pw.name, func(b *testing.B) { benchScreen(b, pw.s, 1) })
+	}
+}
+
+// BenchmarkScreenWorkers measures the widest scoped world (S6) under
+// the work-stealing frontier engine as the worker count grows.
+func BenchmarkScreenWorkers(b *testing.B) {
+	s := core.S6World(false)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchScreen(b, s, workers)
+		})
+	}
+}

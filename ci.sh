@@ -50,6 +50,9 @@ cmp /tmp/sweep1.csv /tmp/sweep8.csv
 rm -f /tmp/sweep1.csv /tmp/sweep8.csv
 echo ok
 
+echo "== screening bench smoke (alloc-counted, 1 iteration) =="
+go test -run '^$' -bench Screen -benchtime=1x -benchmem . >/dev/null
+
 echo "== benchmarks (smoke, 1 iteration each) =="
 go test -run '^$' -bench . -benchtime=1x . >/dev/null
 

@@ -25,10 +25,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate)")
-		runs = flag.Int("runs", 100, "runs per distribution-style experiment")
-		seed = flag.Int64("seed", 1, "base RNG seed")
-		out  = flag.String("o", "", "write the report to FILE instead of stdout")
+		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf)")
+		runs    = flag.Int("runs", 100, "runs per distribution-style experiment")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		out     = flag.String("o", "", "write the report to FILE instead of stdout")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
+		perfLbl = flag.String("perf-label", "current", "label stored in the perf JSON report")
 	)
 	flag.Parse()
 
@@ -141,6 +143,27 @@ func main() {
 		}
 		return b.String(), nil
 	})
+	if want == "perf" {
+		// Screening throughput (ISSUE 4): not part of -exp all — it
+		// reruns every scoped world many times under testing.Benchmark.
+		ran = true
+		prs, err := experiments.PerfScreen(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench: perf:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetbench: perf:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, s)
+		} else {
+			fmt.Fprintln(w, experiments.RenderPerfTable(prs))
+		}
+	}
+
 	section("inflation", func() (string, error) {
 		rates := []float64{1, 5, 10, 30, 60}
 		return experiments.RenderInflation(

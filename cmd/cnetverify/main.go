@@ -7,6 +7,11 @@
 //	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
 //	           [-workers N] [-parallel N] [-budget N] [-first]
+//	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write pprof profiles of the campaign (the
+// heap profile is taken after the run, post-GC); feed them to
+// `go tool pprof` when hunting screening hot spots.
 //
 // -workers sets the exploration goroutines per world (the work-stealing
 // engine; 1 = sequential). -parallel screens that many worlds
@@ -27,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cnetverifier/internal/check"
@@ -52,25 +59,41 @@ func main() {
 		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
 		budget   = flag.Int("budget", 0, "shared distinct-state budget across the campaign (0 = none)")
 		first    = flag.Bool("first", false, "cancel the whole campaign at the first violation")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			os.Exit(1)
+		}
+		cpuProfiling = true
+	}
+	memProfile = *memProf
 
 	if *doValid {
 		outcomes, err := validate.Campaign(validate.Config{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cnetverify:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		for _, o := range outcomes {
 			fmt.Println(o)
 		}
-		return
+		exit(0)
 	}
 
 	scoped, err := selectWorlds(*world, *fixed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnetverify:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	perWorld := func(s core.Scoped) check.Options {
@@ -86,7 +109,7 @@ func main() {
 			opt.Seed = *seed
 		default:
 			fmt.Fprintf(os.Stderr, "cnetverify: unknown strategy %q\n", *strategy)
-			os.Exit(1)
+			exit(1)
 		}
 		if *depth > 0 {
 			opt.MaxDepth = *depth
@@ -107,7 +130,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnetverify:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	fmt.Print(core.Report(results, *verbose))
@@ -121,10 +144,38 @@ func main() {
 		for _, r := range results {
 			if r.Violated() {
 				fmt.Fprintln(os.Stderr, "cnetverify: fixed world still violates properties")
-				os.Exit(2)
+				exit(2)
 			}
 		}
 	}
+	exit(0)
+}
+
+// cpuProfiling and memProfile record the -cpuprofile/-memprofile state
+// so exit can finalize the profiles on every termination path (os.Exit
+// skips deferred calls).
+var (
+	cpuProfiling bool
+	memProfile   string
+)
+
+// exit flushes any active profiles and terminates with code.
+func exit(code int) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		if f, err := os.Create(memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+		} else {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			}
+			f.Close()
+		}
+	}
+	os.Exit(code)
 }
 
 func selectWorlds(name string, fixed bool) ([]core.Scoped, error) {

@@ -195,6 +195,13 @@ type Result struct {
 	// coverage metric (a transition never exercised means the scenario
 	// space misses part of the spec).
 	Covered map[string]int
+	// Misrouted and Dropped count messages lost while applying steps:
+	// sends to a process absent from the (scoped) world and sends
+	// discarded at a full inbox (model.Stats). Like Transitions they
+	// tally work, not state-space structure, so parallel runs may count
+	// a transition's losses once per exploration of it.
+	Misrouted int
+	Dropped   int
 }
 
 // Violated reports whether the named property was violated.
@@ -240,9 +247,12 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 	var err error
 	switch opt.Strategy {
 	case DFS, BFS:
-		if opt.Workers > 1 {
+		switch {
+		case opt.Workers > 1:
 			res, err = runParallelSearch(w, props, sc, opt)
-		} else {
+		case opt.Strategy == DFS:
+			res, err = runDFS(w, props, sc, opt)
+		default:
 			res, err = runSearch(w, props, sc, opt)
 		}
 	case RandomWalk:
@@ -255,6 +265,161 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 		return nil, fmt.Errorf("check: unknown strategy %v", opt.Strategy)
 	}
 	return res, err
+}
+
+// coverage tallies fired transitions by (process index, transition
+// index) so the exploration hot path never builds a "proc/label"
+// string key; the counters materialize into a Result.Covered map once
+// per run.
+type coverage struct {
+	w      *model.World
+	counts [][]int
+}
+
+func newCoverage(w *model.World) *coverage {
+	c := &coverage{w: w, counts: make([][]int, len(w.Procs))}
+	for i, p := range w.Procs {
+		c.counts[i] = make([]int, len(p.M.Spec().Transitions))
+	}
+	return c
+}
+
+// note records an applied step (no-op for drops/discards, which fire
+// no transition).
+func (c *coverage) note(s model.Step) {
+	if s.Label == "" {
+		return
+	}
+	if i, ok := c.w.ProcIndex(s.Proc); ok && s.TransIdx < len(c.counts[i]) {
+		c.counts[i][s.TransIdx]++
+	}
+}
+
+// into materializes the counters into a Covered map.
+func (c *coverage) into(m map[string]int) map[string]int {
+	for i, p := range c.w.Procs {
+		spec := p.M.Spec()
+		for ti, n := range c.counts[i] {
+			if n > 0 {
+				m[p.Name+"/"+spec.Transitions[ti].Name] += n
+			}
+		}
+	}
+	return m
+}
+
+// runDFS is the sequential depth-first engine, exploring in place with
+// the model layer's apply/undo discipline: the world is snapshotted
+// once per search node (Save) and rewound after each child (Restore)
+// instead of cloned per transition — Spin's state-vector restore. The
+// node order replicates the frontier-stack engine exactly (children
+// are property-checked in step order, then descended in reverse push
+// order, i.e. LIFO), so discovery order — and with it the first
+// counterexample found under StopAtFirst and the golden traces — is
+// unchanged. Steady-state exploration allocates nothing: per-depth
+// frames (undo record, steps buffer, expand list) are reused across
+// the whole run and grow only while the search deepens.
+func runDFS(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
+	res := &Result{Covered: make(map[string]int)}
+	visited := newVisitedSet(opt)
+	seenViol := make(map[string]struct{})
+	cov := newCoverage(w0)
+	var buf []byte
+
+	w := w0.Clone()
+	var err error
+	if _, buf, err = markVisited(visited, w, 0, buf); err != nil {
+		return nil, err
+	}
+
+	type frame struct {
+		undo   model.Undo
+		steps  []model.Step
+		expand []model.Step
+	}
+	var frames []*frame
+	frameAt := func(depth int) *frame {
+		for len(frames) <= depth {
+			frames = append(frames, &frame{})
+		}
+		return frames[depth]
+	}
+	var path []model.Step
+	stop := false
+
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if opt.Cancel.Cancelled() {
+			res.Truncated = true
+			stop = true
+			return nil
+		}
+		if depth > res.MaxDepth {
+			res.MaxDepth = depth
+		}
+		if depth >= opt.MaxDepth {
+			res.Truncated = true
+			return nil
+		}
+		f := frameAt(depth)
+		f.steps = w.StepsAppend(f.steps[:0], sc.Events(w))
+		f.expand = f.expand[:0]
+		w.Save(&f.undo)
+		for _, s := range f.steps {
+			applied, err := w.Apply(s)
+			if err != nil {
+				return fmt.Errorf("check: apply %v: %w", s, err)
+			}
+			res.Transitions++
+			res.Misrouted += applied.Misrouted
+			res.Dropped += applied.Dropped
+			cov.note(applied)
+			path = append(path, applied)
+			violated := checkProps(w, applied, path, props, seenViol, res)
+			path = path[:len(path)-1]
+			if violated && opt.StopAtFirst {
+				stop = true
+				w.Restore(&f.undo)
+				return nil
+			}
+			var mark markResult
+			if mark, buf, err = markVisited(visited, w, depth+1, buf); err != nil {
+				return err
+			}
+			w.Restore(&f.undo)
+			if mark.capped {
+				res.Truncated = true
+				continue
+			}
+			if mark.expand {
+				f.expand = append(f.expand, applied)
+			}
+		}
+		// Descend in reverse order: the frontier-stack engine pushed
+		// expandable children in step order and popped the last one
+		// first. Each descent re-applies the already-annotated step
+		// (not counted again — the check loop above owns the tally).
+		for i := len(f.expand) - 1; i >= 0; i-- {
+			s := f.expand[i]
+			if _, err := w.Apply(s); err != nil {
+				return fmt.Errorf("check: apply %v: %w", s, err)
+			}
+			path = append(path, s)
+			err := rec(depth + 1)
+			path = path[:len(path)-1]
+			w.Restore(&f.undo)
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	cov.into(res.Covered)
+	res.States = visited.size()
+	return res, nil
 }
 
 func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
@@ -299,6 +464,8 @@ func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Re
 				return nil, fmt.Errorf("check: apply %v: %w", s, err)
 			}
 			res.Transitions++
+			res.Misrouted += applied.Misrouted
+			res.Dropped += applied.Dropped
 			if applied.Label != "" {
 				res.Covered[applied.Proc+"/"+applied.Label]++
 			}
@@ -344,12 +511,13 @@ func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) 
 		return nil, err
 	}
 
+	var wk walker
 	for walk := 0; walk < opt.Walks; walk++ {
 		if opt.Cancel.Cancelled() {
 			res.Truncated = true
 			break
 		}
-		stop, err := oneWalk(w0, props, sc, opt, walk, visited, &buf, seenViol, res)
+		stop, err := oneWalk(w0, &wk, props, sc, opt, walk, visited, &buf, seenViol, res)
 		if err != nil {
 			return nil, err
 		}
@@ -361,16 +529,32 @@ func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) 
 	return res, nil
 }
 
+// walker is per-goroutine scratch for random walks: a reusable world
+// refreshed with CloneInto at the start of each walk plus steps/path
+// buffers, so sampling thousands of schedules reuses one allocation
+// footprint.
+type walker struct {
+	w     *model.World
+	steps []model.Step
+	path  []model.Step
+}
+
 // oneWalk samples one maximal schedule with the walk's own RNG stream,
 // accumulating into res (the caller owns any locking; the sequential
 // engine passes its private result). It reports whether the run should
 // stop (StopAtFirst hit a violation).
-func oneWalk(w0 *model.World, props []Property, sc Scenario, opt Options, walk int, visited *visitedSet, buf *[]byte, seenViol map[string]struct{}, res *Result) (bool, error) {
+func oneWalk(w0 *model.World, wk *walker, props []Property, sc Scenario, opt Options, walk int, visited *visitedSet, buf *[]byte, seenViol map[string]struct{}, res *Result) (bool, error) {
 	rng := rand.New(rand.NewSource(walkSeed(opt.Seed, walk)))
-	w := w0.Clone()
-	var path []model.Step
+	if wk.w == nil {
+		wk.w = &model.World{}
+	}
+	w := wk.w
+	w0.CloneInto(w)
+	path := wk.path[:0]
+	defer func() { wk.path = path[:0] }()
 	for depth := 0; depth < opt.MaxDepth; depth++ {
-		steps := w.Steps(sc.Events(w))
+		wk.steps = w.StepsAppend(wk.steps[:0], sc.Events(w))
+		steps := wk.steps
 		if len(steps) == 0 {
 			break
 		}
@@ -380,13 +564,18 @@ func oneWalk(w0 *model.World, props []Property, sc Scenario, opt Options, walk i
 			return false, fmt.Errorf("check: walk %d apply %v: %w", walk, s, err)
 		}
 		res.Transitions++
+		res.Misrouted += applied.Misrouted
+		res.Dropped += applied.Dropped
 		if applied.Label != "" {
 			res.Covered[applied.Proc+"/"+applied.Label]++
 		}
 		if depth+1 > res.MaxDepth {
 			res.MaxDepth = depth + 1
 		}
-		path = appendPath(path, applied)
+		// Plain append is safe here (unlike the search engines'
+		// appendPath): a walk has no sibling branches sharing the
+		// buffer, and checkProps deep-copies any captured path.
+		path = append(path, applied)
 		var mark markResult
 		if mark, *buf, err = markVisited(visited, w, depth+1, *buf); err != nil {
 			return false, err

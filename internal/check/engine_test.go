@@ -1,6 +1,8 @@
 package check
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -19,6 +21,44 @@ func TestBudgetTake(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		if !nilBudget.take() {
 			t.Fatal("nil budget must be unlimited")
+		}
+	}
+}
+
+// TestBudgetTakeRace hammers a one-token budget from 64 goroutines.
+// The take fast path is a bare atomic Add with overshoot repair, so the
+// invariants under contention are: exactly one winner, no double grant,
+// and Remaining settles at 0 (never negative) once the dust clears.
+// Run with -race to let the detector see the contention too.
+func TestBudgetTakeRace(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		b := NewBudget(1)
+		var (
+			granted atomic.Int64
+			start   sync.WaitGroup
+			done    sync.WaitGroup
+		)
+		start.Add(1)
+		for g := 0; g < 64; g++ {
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.take() {
+					granted.Add(1)
+				}
+				if r := b.Remaining(); r < 0 {
+					t.Errorf("Remaining = %d mid-flight, want >= 0", r)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if n := granted.Load(); n != 1 {
+			t.Fatalf("round %d: %d goroutines took the single token", round, n)
+		}
+		if r := b.Remaining(); r != 0 {
+			t.Fatalf("round %d: Remaining = %d after exhaustion, want 0", round, r)
 		}
 	}
 }

@@ -123,8 +123,15 @@ type engine struct {
 	stop    atomic.Bool
 
 	transitions atomic.Int64
+	misrouted   atomic.Int64
+	dropped     atomic.Int64
 	maxDepth    atomic.Int64
 	truncated   atomic.Bool
+
+	// pool recycles worlds between expansions: a dequeued node's world
+	// goes back once expanded, and children draw from the pool and are
+	// refreshed with CloneInto, reusing slabs and queue capacity.
+	pool sync.Pool
 
 	violMu     sync.Mutex
 	seenViol   map[string]struct{}
@@ -141,6 +148,22 @@ func (e *engine) setErr(err error) {
 	}
 	e.errMu.Unlock()
 	e.stop.Store(true)
+}
+
+func (e *engine) getWorld() *model.World {
+	if w, ok := e.pool.Get().(*model.World); ok {
+		return w
+	}
+	return &model.World{}
+}
+
+// putWorld returns a world whose node is done. Safe on any exit path:
+// violation paths are deep-copied and the visited set stores only
+// hashes/encodings, so nothing outlives the node that references it.
+func (e *engine) putWorld(w *model.World) {
+	if w != nil {
+		e.pool.Put(w)
+	}
 }
 
 func (e *engine) noteDepth(d int) {
@@ -177,7 +200,7 @@ func (e *engine) next(id int) *node {
 	return nil
 }
 
-func (e *engine) worker(id int, covered map[string]int) {
+func (e *engine) worker(id int, covered *coverage) {
 	var buf []byte
 	for {
 		if e.stop.Load() {
@@ -196,7 +219,8 @@ func (e *engine) worker(id int, covered map[string]int) {
 	}
 }
 
-func (e *engine) expand(id int, n *node, covered map[string]int, buf *[]byte) {
+func (e *engine) expand(id int, n *node, covered *coverage, buf *[]byte) {
+	defer e.putWorld(n.w)
 	e.noteDepth(n.depth)
 	if e.opt.Cancel.Cancelled() {
 		e.truncated.Store(true)
@@ -211,32 +235,43 @@ func (e *engine) expand(id int, n *node, covered map[string]int, buf *[]byte) {
 		if e.stop.Load() {
 			return
 		}
-		child := n.w.Clone()
+		child := e.getWorld()
+		n.w.CloneInto(child)
 		applied, err := child.Apply(s)
 		if err != nil {
+			e.putWorld(child)
 			e.setErr(fmt.Errorf("check: apply %v: %w", s, err))
 			return
 		}
 		e.transitions.Add(1)
-		if applied.Label != "" {
-			covered[applied.Proc+"/"+applied.Label]++
+		if applied.Misrouted > 0 {
+			e.misrouted.Add(int64(applied.Misrouted))
 		}
+		if applied.Dropped > 0 {
+			e.dropped.Add(int64(applied.Dropped))
+		}
+		covered.note(applied)
 		path := appendPath(n.path, applied)
 		if e.checkProps(child, applied, path) && e.opt.StopAtFirst {
+			e.putWorld(child)
 			e.stop.Store(true)
 			return
 		}
 		var mark markResult
 		if mark, *buf, err = markVisited(e.visited, child, n.depth+1, *buf); err != nil {
+			e.putWorld(child)
 			e.setErr(err)
 			return
 		}
 		if mark.capped {
+			e.putWorld(child)
 			e.truncated.Store(true)
 			continue
 		}
 		if mark.expand {
 			e.enqueue(id, &node{w: child, path: path, depth: n.depth + 1})
+		} else {
+			e.putWorld(child)
 		}
 	}
 }
@@ -283,10 +318,10 @@ func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Optio
 	}
 	e.enqueue(0, root)
 
-	coveredPer := make([]map[string]int, opt.Workers)
+	coveredPer := make([]*coverage, opt.Workers)
 	var wg sync.WaitGroup
 	for id := 0; id < opt.Workers; id++ {
-		coveredPer[id] = make(map[string]int)
+		coveredPer[id] = newCoverage(w0)
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -298,13 +333,20 @@ func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Optio
 		return nil, e.err
 	}
 
+	covered := make(map[string]int)
+	for _, c := range coveredPer {
+		c.into(covered)
+	}
+
 	res := &Result{
 		States:      e.visited.size(),
 		Transitions: int(e.transitions.Load()),
 		MaxDepth:    int(e.maxDepth.Load()),
 		Truncated:   e.truncated.Load(),
 		Violations:  e.violations,
-		Covered:     mergeCovered(coveredPer),
+		Covered:     covered,
+		Misrouted:   int(e.misrouted.Load()),
+		Dropped:     int(e.dropped.Load()),
 	}
 	sortViolations(res.Violations)
 	if err := reverify(w0, props, res.Violations); err != nil {
@@ -331,13 +373,14 @@ func runParallelWalk(w0 *model.World, props []Property, sc Scenario, opt Options
 		go func(id int) {
 			defer wg.Done()
 			var buf []byte
+			var wk walker
 			seen := make(map[string]struct{})
 			for !stop.Load() && !opt.Cancel.Cancelled() {
 				walk := int(nextWalk.Add(1)) - 1
 				if walk >= opt.Walks {
 					return
 				}
-				halt, err := oneWalk(w0, props, locked, opt, walk, visited, &buf, seen, results[id])
+				halt, err := oneWalk(w0, &wk, props, locked, opt, walk, visited, &buf, seen, results[id])
 				if err != nil {
 					errs[id] = err
 					stop.Store(true)
@@ -361,6 +404,8 @@ func runParallelWalk(w0 *model.World, props []Property, sc Scenario, opt Options
 	coveredPer := make([]map[string]int, 0, len(results))
 	for _, r := range results {
 		res.Transitions += r.Transitions
+		res.Misrouted += r.Misrouted
+		res.Dropped += r.Dropped
 		if r.MaxDepth > res.MaxDepth {
 			res.MaxDepth = r.MaxDepth
 		}

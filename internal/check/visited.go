@@ -27,23 +27,31 @@ func NewBudget(states int) *Budget {
 }
 
 // take consumes one token, reporting false when the pool is exhausted.
+// A single fetch-and-add with overshoot repair replaces a CAS retry
+// loop: contended takers never spin, and a failed take restores the
+// token it briefly over-drew. The counter can therefore dip negative
+// transiently, but only by the number of concurrently failing takers —
+// a take succeeds only when the pre-decrement value was positive, so
+// the pool never over-grants.
 func (b *Budget) take() bool {
 	if b == nil {
 		return true
 	}
-	for {
-		cur := b.left.Load()
-		if cur <= 0 {
-			return false
-		}
-		if b.left.CompareAndSwap(cur, cur-1) {
-			return true
-		}
+	if b.left.Add(-1) < 0 {
+		b.left.Add(1)
+		return false
 	}
+	return true
 }
 
-// Remaining returns the tokens left in the pool.
-func (b *Budget) Remaining() int { return int(b.left.Load()) }
+// Remaining returns the tokens left in the pool (0 when exhausted; the
+// raw counter may be transiently negative mid-repair).
+func (b *Budget) Remaining() int {
+	if n := b.left.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
 
 // Cancel is a cooperative cancellation flag shared by several checking
 // runs. Once set, every participating run stops expanding, marks its
@@ -139,15 +147,13 @@ func markVisited(v *visitedSet, w *model.World, depth int, buf []byte) (markResu
 	}
 	// New state: reserve a token against the cap and the shared budget
 	// before recording, so the state count never overshoots MaxStates
-	// even under concurrent discovery.
-	for {
-		cur := v.states.Load()
-		if v.limit > 0 && cur >= v.limit {
-			return markResult{capped: true}, buf, nil
-		}
-		if v.states.CompareAndSwap(cur, cur+1) {
-			break
-		}
+	// even under concurrent discovery. Like Budget.take, this is an
+	// optimistic fetch-and-add with rollback rather than a CAS loop: a
+	// reservation that lands past the limit backs itself out, and a
+	// successful one is exactly the pre-increment-below-limit case.
+	if cur := v.states.Add(1); v.limit > 0 && cur > v.limit {
+		v.states.Add(-1)
+		return markResult{capped: true}, buf, nil
 	}
 	if !v.budget.take() {
 		v.states.Add(-1)

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// maxAllocsPerState is the checked-in steady-state allocation budget
+// for sequential screening, in heap allocations per distinct state
+// reached. The interned-slab engine screens S1 at ~9.4 allocs/state
+// (the residue is scenario event construction, protocol action
+// closures and violation bookkeeping — the clone/encode/hash hot path
+// itself is allocation-free after warm-up); the pre-slab engine sat
+// near 178. The budget leaves ~2x headroom for runtime and toolchain
+// drift while still catching any reintroduction of per-state cloning
+// or map-based encoding.
+const maxAllocsPerState = 20.0
+
+// TestScreenAllocBudget is the allocation regression guard: a warm
+// sequential screen of the S1 world must stay under the checked-in
+// allocs-per-state budget. It complements the BenchmarkScreen* suite —
+// benchmarks report drift, this test fails the build on it.
+func TestScreenAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := S1World(false)
+	opt := s.Options
+	opt.SkipLint = true // lint probing is one-shot work, not steady state
+
+	// Warm run: populates the fsm layout caches and the per-spec lint
+	// probe memo so AllocsPerRun sees steady state only.
+	r, err := Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.States == 0 {
+		t.Fatal("S1 screen explored no states")
+	}
+
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Screen(s, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perState := avg / float64(r.Result.States)
+	t.Logf("S1: %d states, %.0f allocs/run, %.2f allocs/state (budget %.0f)",
+		r.Result.States, avg, perState, maxAllocsPerState)
+	if perState > maxAllocsPerState {
+		t.Fatalf("screening allocates %.2f allocs/state, budget is %.0f: the clone-free hot path regressed",
+			perState, maxAllocsPerState)
+	}
+}

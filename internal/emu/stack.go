@@ -134,6 +134,11 @@ type liveCtx struct {
 func (c *liveCtx) Get(name string) int    { return c.s.globals[name] }
 func (c *liveCtx) Set(name string, v int) { c.s.globals[name] = v }
 
+// GetI/SetI are only resolved by the machine wrapper; the live stack
+// context never receives indexed calls.
+func (c *liveCtx) GetI(int32) int32  { return 0 }
+func (c *liveCtx) SetI(int32, int32) {}
+
 func (c *liveCtx) Send(to string, m types.Message) {
 	m.From = c.proc
 	m.To = to

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/names"
+)
+
+// PerfRun is one screening throughput measurement: a scoped world
+// explored to fixpoint at a given worker count, with the allocation
+// profile of the whole run.
+type PerfRun struct {
+	World        string  `json:"world"`
+	Workers      int     `json:"workers"`
+	States       int     `json:"states"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// PerfReport is the BENCH_screen.json payload.
+type PerfReport struct {
+	Label string    `json:"label"`
+	Runs  []PerfRun `json:"runs"`
+}
+
+func perfWorlds() []struct {
+	name string
+	s    core.Scoped
+} {
+	return []struct {
+		name string
+		s    core.Scoped
+	}{
+		{"s1", core.S1World(false)},
+		{"s2", core.S2World(false)},
+		{"s3", core.S3World(false, names.SwitchReselect)},
+		{"s4cs", core.S4CSWorld(false)},
+		{"s4ps", core.S4PSWorld(false)},
+		{"s6", core.S6World(false)},
+	}
+}
+
+// PerfScreen benchmarks screening of every scoped world at the given
+// worker counts via testing.Benchmark, reporting states/sec and the
+// allocation profile per exploration.
+func PerfScreen(workerCounts []int) ([]PerfRun, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4, 8}
+	}
+	var out []PerfRun
+	for _, pw := range perfWorlds() {
+		for _, workers := range workerCounts {
+			s := pw.s
+			opt := s.Options
+			opt.Workers = workers
+			states := 0
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Screen(s, opt)
+					if err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+					states = res.Result.States
+				}
+			})
+			if benchErr != nil {
+				return nil, fmt.Errorf("perf: %s workers=%d: %w", pw.name, workers, benchErr)
+			}
+			run := PerfRun{
+				World:       pw.name,
+				Workers:     workers,
+				States:      states,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if sec := r.T.Seconds(); sec > 0 {
+				run.StatesPerSec = float64(states) * float64(r.N) / sec
+			}
+			out = append(out, run)
+		}
+	}
+	return out, nil
+}
+
+// RenderPerfJSON serializes a perf report for BENCH_screen.json.
+func RenderPerfJSON(label string, runs []PerfRun) (string, error) {
+	b, err := json.MarshalIndent(PerfReport{Label: label, Runs: runs}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// RenderPerfTable renders perf runs as a plain-text table.
+func RenderPerfTable(runs []PerfRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %9s %14s %12s %12s\n",
+		"world", "workers", "states", "states/sec", "allocs/op", "B/op")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%-6s %8d %9d %14.0f %12d %12d\n",
+			r.World, r.Workers, r.States, r.StatesPerSec, r.AllocsPerOp, r.BytesPerOp)
+	}
+	return b.String()
+}

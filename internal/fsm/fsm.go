@@ -49,6 +49,14 @@ type Ctx interface {
 	Get(name string) int
 	// Set assigns a variable, with the same scoping rule as Get.
 	Set(name string, v int)
+	// GetI and SetI are the indexed fast path for machine-local
+	// variables: slot is a Spec.Slot index into the machine's variable
+	// slab. They are resolved by the machine wrapper installed during
+	// Enabled/Apply/Step; backend contexts (checker world, emulators,
+	// recorders) only ever see the string forms and may implement these
+	// as stubs.
+	GetI(slot int32) int32
+	SetI(slot int32, v int32)
 	// Send posts a message toward the named destination (another
 	// machine or element). Delivery semantics (reliable, lossy,
 	// delayed) are owned by the backend.
@@ -159,31 +167,31 @@ func (s *Spec) States() []State {
 	return out
 }
 
-// Machine is a live instance of a Spec.
+// Machine is a live instance of a Spec. Its state is flat: declared
+// variables live in an []int32 slab indexed by the spec's layout
+// (see intern.go); variables introduced at runtime go to a small
+// sorted overflow list. Machines are plain values — the checker packs
+// a world's machines into one contiguous slice and copies them with
+// CloneInto, allocation-free once the destination slabs exist.
 type Machine struct {
 	spec  *Spec
+	lay   *layout
 	state State
-	vars  map[string]int
-	// varNames caches the sorted variable names for canonical encoding.
-	varNames []string
+	vars  []int32   // declared variables, slot order
+	over  []overVar // runtime-grown variables, sorted by name
+	// enc memoizes the canonical encoding (len 0 = stale). Mutators
+	// invalidate it; unchanged machines of a world re-encode by memcpy.
+	enc []byte
+	// mc is the reusable wrapper context for Enabled/Apply; never
+	// shared between machines (CloneInto does not copy it).
+	mc *machineCtx
 }
 
 // New instantiates a machine in the spec's initial state.
 func New(spec *Spec) *Machine {
-	m := &Machine{spec: spec, state: spec.Init, vars: make(map[string]int, len(spec.Vars))}
-	for k, v := range spec.Vars {
-		m.vars = setVar(m.vars, k, v)
-	}
-	m.varNames = make([]string, 0, len(spec.Vars))
-	for k := range spec.Vars {
-		m.varNames = append(m.varNames, k)
-	}
-	sort.Strings(m.varNames)
-	return m
-}
-
-func setVar(m map[string]int, k string, v int) map[string]int {
-	m[k] = v
+	lay := layoutFor(spec)
+	m := &Machine{spec: spec, lay: lay, state: spec.Init}
+	m.vars = append(make([]int32, 0, len(lay.init)), lay.init...)
 	return m
 }
 
@@ -198,54 +206,83 @@ func (m *Machine) State() State { return m.state }
 
 // SetState forces the control state (used by test harnesses and by the
 // checker when replaying counterexamples).
-func (m *Machine) SetState(s State) { m.state = s }
+func (m *Machine) SetState(s State) {
+	m.state = s
+	m.enc = m.enc[:0]
+}
 
 // Var returns a local variable value (zero if undeclared).
-func (m *Machine) Var(name string) int { return m.vars[name] }
-
-// SetVar assigns a local variable.
-func (m *Machine) SetVar(name string, v int) {
-	if _, ok := m.vars[name]; !ok {
-		// Rebuild rather than append in place: clones share the
-		// varNames slice, so growing it must never touch the shared
-		// backing array.
-		names := make([]string, len(m.varNames), len(m.varNames)+1)
-		copy(names, m.varNames)
-		m.varNames = append(names, name)
-		sort.Strings(m.varNames)
+func (m *Machine) Var(name string) int {
+	if i, ok := m.lay.slot[name]; ok {
+		return int(m.vars[i])
 	}
-	m.vars[name] = v
+	if i, ok := overIdx(m.over, name); ok {
+		return int(m.over[i].val)
+	}
+	return 0
+}
+
+// SetVar assigns a local variable. Undeclared names grow the sorted
+// overflow list (each machine owns its list, so growth never touches a
+// clone's backing array).
+func (m *Machine) SetVar(name string, v int) {
+	m.enc = m.enc[:0]
+	if i, ok := m.lay.slot[name]; ok {
+		m.vars[i] = int32(v)
+		return
+	}
+	i, ok := overIdx(m.over, name)
+	if ok {
+		m.over[i].val = int32(v)
+		return
+	}
+	m.over = append(m.over, overVar{})
+	copy(m.over[i+1:], m.over[i:])
+	m.over[i] = overVar{name: SymString(name), val: int32(v)}
 }
 
 // Enabled returns the indices (into the spec's transition table) of all
 // transitions enabled for the event in the current state.
 func (m *Machine) Enabled(c Ctx, e Event) []int {
-	var out []int
-	for i, t := range m.spec.Transitions {
+	return m.EnabledAppend(c, e, nil)
+}
+
+// EnabledAppend appends the enabled transition indices to dst — the
+// allocation-free form of Enabled for callers that keep a scratch
+// slice.
+func (m *Machine) EnabledAppend(c Ctx, e Event, dst []int) []int {
+	var mc *machineCtx
+	for i := range m.spec.Transitions {
+		t := &m.spec.Transitions[i]
 		if t.On != e.Kind() {
 			continue
 		}
 		if t.From != Any && t.From != m.state {
 			continue
 		}
-		if t.Guard != nil && !t.Guard(&machineCtx{m: m, inner: c}, e) {
-			continue
+		if t.Guard != nil {
+			if mc == nil {
+				mc = m.wrap(c)
+			}
+			if !t.Guard(mc, e) {
+				continue
+			}
 		}
-		out = append(out, i)
+		dst = append(dst, i)
 	}
-	return out
+	return dst
 }
 
 // Apply fires the i-th transition of the spec for the event. The caller
 // must have obtained i from Enabled with an equivalent context.
 func (m *Machine) Apply(c Ctx, e Event, i int) Transition {
 	t := m.spec.Transitions[i]
-	mc := &machineCtx{m: m, inner: c}
 	if t.Action != nil {
-		t.Action(mc, e)
+		t.Action(m.wrap(c), e)
 	}
 	if t.To != Same {
 		m.state = t.To
+		m.enc = m.enc[:0]
 	}
 	return t
 }
@@ -262,30 +299,89 @@ func (m *Machine) Step(c Ctx, e Event) (Transition, bool) {
 	return m.Apply(c, e, en[0]), true
 }
 
-// Clone returns a deep copy of the machine sharing the immutable spec.
-// The sorted name cache is shared too — SetVar copies on growth — so a
-// clone costs one map copy.
+// Clone returns a deep copy of the machine sharing the immutable spec
+// and layout.
 func (m *Machine) Clone() *Machine {
-	n := &Machine{spec: m.spec, state: m.state, vars: make(map[string]int, len(m.vars)), varNames: m.varNames}
-	for k, v := range m.vars {
-		n.vars[k] = v
-	}
+	n := &Machine{}
+	m.CloneInto(n)
 	return n
 }
 
-// Encode appends a canonical binary encoding of the machine's state to
-// buf: state name, then variables in sorted-name order.
+// CloneInto makes dst a deep copy of m, reusing dst's slabs when they
+// have capacity — the allocation-free clone the checker's world pool
+// relies on. dst's scratch context is left untouched (never shared).
+func (m *Machine) CloneInto(dst *Machine) {
+	dst.spec, dst.lay, dst.state = m.spec, m.lay, m.state
+	dst.vars = append(dst.vars[:0], m.vars...)
+	dst.over = append(dst.over[:0], m.over...)
+	dst.enc = append(dst.enc[:0], m.enc...)
+}
+
+// MachineUndo is reusable storage for Save/Restore — the machine half
+// of the model layer's apply/undo discipline. The zero value is ready
+// to use; Save and Restore reuse its slabs across calls.
+type MachineUndo struct {
+	state State
+	vars  []int32
+	over  []overVar
+}
+
+// Save records the machine's complete logical state into u.
+func (m *Machine) Save(u *MachineUndo) {
+	u.state = m.state
+	u.vars = append(u.vars[:0], m.vars...)
+	u.over = append(u.over[:0], m.over...)
+}
+
+// Restore rewinds the machine to a Save point.
+func (m *Machine) Restore(u *MachineUndo) {
+	m.state = u.state
+	m.vars = append(m.vars[:0], u.vars...)
+	m.over = append(m.over[:0], u.over...)
+	m.enc = m.enc[:0]
+}
+
+// Encode appends the canonical binary encoding of the machine's state
+// to buf: state name (NUL-terminated), the declared variable slab in
+// slot order (4 bytes LE each; the count is fixed by the spec layout),
+// then the overflow count and the sorted overflow name/value pairs.
+// The encoding is memoized until the next mutation, so unchanged
+// machines cost one memcpy per world encode.
 func (m *Machine) Encode(buf []byte) []byte {
-	buf = append(buf, m.state...)
-	buf = append(buf, 0)
-	var tmp [8]byte
-	for _, k := range m.varNames {
-		buf = append(buf, k...)
-		buf = append(buf, '=')
-		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(m.vars[k])))
-		buf = append(buf, tmp[:]...)
+	if len(m.enc) == 0 {
+		m.enc = m.encode(m.enc)
 	}
-	return buf
+	return append(buf, m.enc...)
+}
+
+func (m *Machine) encode(dst []byte) []byte {
+	var tmp [4]byte
+	dst = append(dst, m.state...)
+	dst = append(dst, 0)
+	for _, v := range m.vars {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+		dst = append(dst, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(m.over)))
+	dst = append(dst, tmp[:2]...)
+	for _, ov := range m.over {
+		dst = append(dst, ov.name...)
+		dst = append(dst, 0)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(ov.val))
+		dst = append(dst, tmp[:]...)
+	}
+	return dst
+}
+
+// wrap returns the machine's reusable wrapper context bound to the
+// backend context c. A single scratch wrapper per machine keeps the
+// Enabled/Apply hot path free of per-call allocations.
+func (m *Machine) wrap(c Ctx) *machineCtx {
+	if m.mc == nil {
+		m.mc = &machineCtx{}
+	}
+	m.mc.m, m.mc.inner = m, c
+	return m.mc
 }
 
 // machineCtx scopes variable access to the machine while delegating
@@ -303,7 +399,7 @@ func (c *machineCtx) Get(name string) int {
 	if isGlobal(name) {
 		return c.inner.Get(name)
 	}
-	return c.m.vars[name]
+	return c.m.Var(name)
 }
 
 func (c *machineCtx) Set(name string, v int) {
@@ -312,6 +408,15 @@ func (c *machineCtx) Set(name string, v int) {
 		return
 	}
 	c.m.SetVar(name, v)
+}
+
+// GetI and SetI hit the variable slab directly — the O(1) access path
+// for guards and actions that pre-resolve their slots via Spec.Slot.
+func (c *machineCtx) GetI(slot int32) int32 { return c.m.vars[slot] }
+
+func (c *machineCtx) SetI(slot int32, v int32) {
+	c.m.enc = c.m.enc[:0]
+	c.m.vars[slot] = v
 }
 
 func (c *machineCtx) Send(to string, msg types.Message) { c.inner.Send(to, msg) }

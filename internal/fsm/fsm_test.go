@@ -25,6 +25,8 @@ func (c *testCtx) Get(name string) int { return c.globals[name] }
 func (c *testCtx) Set(name string, v int) {
 	c.globals[name] = v
 }
+func (c *testCtx) GetI(int32) int32  { return 0 }
+func (c *testCtx) SetI(int32, int32) {}
 func (c *testCtx) Send(to string, msg types.Message) {
 	msg.To = to
 	c.sent = append(c.sent, msg)

@@ -109,6 +109,7 @@ const (
 	RuleSendTargetGone   = "WIRE005" // send addressed to a process absent from the world
 	RuleNegativeCap      = "WIRE006" // negative channel capacity
 	RuleReorderNotLossy  = "WIRE007" // Reorder set without Lossy
+	RuleEnvTargetGone    = "WIRE008" // environment event targets a process absent from the world
 
 	RuleGlobalWriteOnly = "GVAR001" // global set but never read by any machine
 	RuleGlobalReadOnly  = "GVAR002" // global read but never set or initialized
@@ -152,6 +153,7 @@ func Rules() []Rule {
 		{RuleSendTargetGone, Warn, "world", "send addressed to a process absent from this world: the backend drops it"},
 		{RuleNegativeCap, Error, "world", "negative inbox capacity"},
 		{RuleReorderNotLossy, Warn, "world", "inbox reorders but is not lossy: the §5.2 multi-BS relay regime implies both"},
+		{RuleEnvTargetGone, Warn, "world", "environment event targets a process absent from this world: the scenario silently shrinks (the static mirror of a runtime misroute)"},
 		{RuleGlobalWriteOnly, Info, "world", "global written but read by no machine (may be a property observable)"},
 		{RuleGlobalReadOnly, Warn, "world", "global read by a machine but never written by any machine nor initialized"},
 	}

@@ -258,6 +258,18 @@ func TestSendTargetGone(t *testing.T) {
 	assertRule(t, lint.World(w, lint.Options{}), lint.RuleSendTargetGone, lint.Warn, "drops")
 }
 
+func TestEnvTargetGone(t *testing.T) {
+	s := spec("solo",
+		fsm.Transition{Name: "h", From: "A", On: types.MsgPowerOn, To: "A"},
+	)
+	w := world(t, model.Config{Procs: []model.ProcConfig{{Name: "ue.a", Spec: s}}})
+	opts := lint.Options{Env: []lint.EnvHint{
+		{Proc: "ue.a", Kind: uint16(types.MsgPowerOn)},
+		{Proc: "ue.ghost", Kind: uint16(types.MsgPowerOn)},
+	}}
+	assertRule(t, lint.World(w, opts), lint.RuleEnvTargetGone, lint.Warn, "never fire")
+}
+
 func TestNegativeCap(t *testing.T) {
 	s := spec("solo",
 		fsm.Transition{Name: "h", From: "A", On: types.MsgPowerOff, To: "A"},
@@ -377,7 +389,7 @@ func TestRuleCatalog(t *testing.T) {
 		lint.RuleDeadLetterSend, lint.RuleHandlerNoSender, lint.RuleOutputUnhandled,
 		lint.RuleOutputTargetGone, lint.RuleOutputNoTargets, lint.RuleOutputNotLocal,
 		lint.RuleChannelMismatch, lint.RuleSendTargetGone, lint.RuleNegativeCap,
-		lint.RuleReorderNotLossy,
+		lint.RuleReorderNotLossy, lint.RuleEnvTargetGone,
 		lint.RuleGlobalWriteOnly, lint.RuleGlobalReadOnly,
 	}
 	rules := lint.Rules()

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"sort"
+	"sync"
 
 	"cnetverifier/internal/fsm"
 	"cnetverifier/internal/types"
@@ -91,6 +92,12 @@ func (r *recorder) Set(name string, v int) {
 	r.vals[name] = v
 }
 
+// GetI/SetI are only resolved by the machine wrapper; probes drive the
+// closures through a bare recorder, so return the probe default and
+// drop writes (slot names are unknown here).
+func (r *recorder) GetI(int32) int32  { return int32(r.def) }
+func (r *recorder) SetI(int32, int32) {}
+
 func (r *recorder) Send(to string, msg types.Message) {
 	r.sends = append(r.sends, sendFact{To: to, Kind: msg.Kind})
 }
@@ -160,8 +167,24 @@ func mergeAccess(tf *transFacts, rec *recorder) {
 	}
 }
 
-// probeSpec probes every transition of the spec.
+// specFactsCache memoizes probeSpec per *Spec. Specs are built once at
+// package init and immutable thereafter (the same contract the fsm
+// layout cache relies on), probing is a pure function of the spec, and
+// no consumer mutates the returned facts — so a screening campaign
+// that lints the same world before every run probes each spec once.
+var specFactsCache sync.Map // *fsm.Spec -> *specFacts
+
+// probeSpec probes every transition of the spec (memoized).
 func probeSpec(s *fsm.Spec) *specFacts {
+	if sf, ok := specFactsCache.Load(s); ok {
+		return sf.(*specFacts)
+	}
+	sf := buildSpecFacts(s)
+	actual, _ := specFactsCache.LoadOrStore(s, sf)
+	return actual.(*specFacts)
+}
+
+func buildSpecFacts(s *fsm.Spec) *specFacts {
 	sf := &specFacts{
 		Spec:          s,
 		PerTransition: make([]*transFacts, len(s.Transitions)),

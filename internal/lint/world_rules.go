@@ -171,11 +171,19 @@ func lintMessageFlow(r *Report, o Options, w *model.World, facts map[string]*spe
 	}
 
 	// Environment hints: scenario-injectable kinds count as senders.
+	// A hint naming a process that is not in this world is WIRE008 —
+	// the event can never fire, so the explored scenario space is
+	// silently smaller than the scenario declares (the static mirror
+	// of a runtime misrouted send, model.Stats.Misrouted). Warn, not
+	// Error: scoped worlds legitimately project layers away.
 	for _, h := range o.Env {
 		if h.Proc == "" {
 			for name := range procs {
 				feed(name, types.MsgKind(h.Kind))
 			}
+		} else if _, ok := procs[h.Proc]; !ok {
+			r.add(o, Finding{Rule: RuleEnvTargetGone, Severity: Warn, Proc: h.Proc,
+				Detail: fmt.Sprintf("scenario injects %s into %q, which is absent from this world: the event can never fire", types.MsgKind(h.Kind), h.Proc)})
 		} else {
 			feed(h.Proc, types.MsgKind(h.Kind))
 		}
@@ -232,7 +240,7 @@ func lintGlobals(r *Report, o Options, w *model.World, facts map[string]*specFac
 		if len(writers[name]) > 0 {
 			continue
 		}
-		if _, initialized := w.Globals[name]; initialized {
+		if w.HasGlobal(name) {
 			continue
 		}
 		sort.Strings(readers[name])

@@ -8,12 +8,18 @@
 // (message deliveries — including lossy drops and out-of-order
 // deliveries — and environment events), cloning, and canonical
 // encoding/hashing so the checker can deduplicate visited states.
+//
+// State is stored flat: the machines of a world live in one contiguous
+// slab, globals in an []int32 slab behind a sorted copy-on-write
+// layout, and cloning reuses destination storage via CloneInto — the
+// checker's steady-state exploration path allocates nothing.
 package model
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cnetverifier/internal/fsm"
 	"cnetverifier/internal/types"
@@ -35,7 +41,8 @@ type Channel struct {
 	// only the head, modeling signals relayed through different base
 	// stations arriving out of sequence (§5.2 duplicate-signal case).
 	Reorder bool
-	// Queue holds pending messages in arrival order.
+	// Queue holds pending messages in arrival order. Every world owns
+	// its queue backing (clones copy), so steps edit it in place.
 	Queue []types.Message
 }
 
@@ -49,18 +56,92 @@ type Proc struct {
 	OutputTo []string
 }
 
+// Stats counts lossage observed while applying steps: messages sent to
+// a process absent from the (scoped) world and messages dropped at a
+// full inbox. The counters are monotone work tallies — they are
+// excluded from Encode/Hash and are NOT rewound by Restore, mirroring
+// how the checker counts transitions.
+type Stats struct {
+	// Misrouted counts sends to an unknown destination process.
+	Misrouted int
+	// Dropped counts sends discarded at a full inbox.
+	Dropped int
+}
+
+// glayout is the sorted, copy-on-write layout of a world's globals:
+// names in sorted order, each resolved to an index into the gvals
+// slab. Worlds sharing an ancestry share the layout pointer until one
+// of them grows a new global.
+type glayout struct {
+	names []string
+	idx   map[string]int32
+
+	// grown memoizes with(): under the apply/undo discipline the
+	// checker repeatedly re-applies a step that introduces the same
+	// global (Restore rewinds the layout pointer), so growth must not
+	// rebuild the layout each time. Guarded by mu because worlds on
+	// different workers share layout pointers.
+	mu    sync.Mutex
+	grown map[string]*glayout
+}
+
+func (g *glayout) with(name string) (*glayout, int) {
+	g.mu.Lock()
+	if n, ok := g.grown[name]; ok {
+		g.mu.Unlock()
+		return n, int(n.idx[name])
+	}
+	g.mu.Unlock()
+	pos := sort.SearchStrings(g.names, name)
+	n := &glayout{
+		names: make([]string, 0, len(g.names)+1),
+		idx:   make(map[string]int32, len(g.names)+1),
+	}
+	n.names = append(n.names, g.names[:pos]...)
+	n.names = append(n.names, fsm.SymString(name))
+	n.names = append(n.names, g.names[pos:]...)
+	for i, k := range n.names {
+		n.idx[k] = int32(i)
+	}
+	g.mu.Lock()
+	if exist, ok := g.grown[name]; ok {
+		n = exist
+	} else {
+		if g.grown == nil {
+			g.grown = make(map[string]*glayout)
+		}
+		g.grown[name] = n
+	}
+	g.mu.Unlock()
+	return n, int(n.idx[name])
+}
+
 // World is a global system state.
 type World struct {
-	Procs   []*Proc
-	Chans   []*Channel
-	Globals map[string]int
+	Procs []*Proc
+	Chans []*Channel
+	// Stats accumulates misroute/drop counts across applied steps.
+	Stats Stats
+
+	// procs/chans/machines are the backing slabs for Procs/Chans; each
+	// Proc's M points into the machines slab so a world's entire
+	// machine state is one contiguous copy.
+	procs    []Proc
+	chans    []Channel
+	machines []fsm.Machine
 
 	procIdx map[string]int
 	chanIdx map[string]int
-	// gkeys caches the sorted global names for canonical encoding.
-	// Shared across clones and rebuilt (never mutated in place) when a
-	// global is added, so the hot Encode path does not re-sort.
-	gkeys []string
+
+	// glay/gvals hold the globals: a shared sorted layout plus this
+	// world's value slab.
+	glay  *glayout
+	gvals []int32
+
+	// scratch and enbuf are reusable per-world working storage for
+	// Steps/Apply (never shared between worlds; CloneInto skips them).
+	scratch *ctx
+	enbuf   []int
 }
 
 // Config declares the construction of a World.
@@ -82,15 +163,29 @@ type ProcConfig struct {
 // New builds a world: one inbox channel per process, all queues empty,
 // machines in their initial states.
 func New(cfg Config) (*World, error) {
+	n := len(cfg.Procs)
 	w := &World{
-		Globals: make(map[string]int),
-		procIdx: make(map[string]int),
-		chanIdx: make(map[string]int),
+		Procs:   make([]*Proc, 0, n),
+		Chans:   make([]*Channel, 0, n),
+		procIdx: make(map[string]int, n),
+		chanIdx: make(map[string]int, n),
+		// The slabs are sized exactly: growing them would move the
+		// machines out from under the Proc.M pointers.
+		procs:    make([]Proc, n),
+		chans:    make([]Channel, n),
+		machines: make([]fsm.Machine, n),
 	}
-	for k, v := range cfg.Globals {
-		w.Globals[k] = v
+	w.glay = &glayout{idx: make(map[string]int32, len(cfg.Globals))}
+	for k := range cfg.Globals {
+		w.glay.names = append(w.glay.names, fsm.SymString(k))
 	}
-	for _, pc := range cfg.Procs {
+	sort.Strings(w.glay.names)
+	w.gvals = make([]int32, len(w.glay.names))
+	for i, k := range w.glay.names {
+		w.glay.idx[k] = int32(i)
+		w.gvals[i] = int32(cfg.Globals[k])
+	}
+	for i, pc := range cfg.Procs {
 		if pc.Name == "" {
 			return nil, fmt.Errorf("model: process with empty name")
 		}
@@ -100,10 +195,13 @@ func New(cfg Config) (*World, error) {
 		if err := pc.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("model: process %q: %w", pc.Name, err)
 		}
-		w.procIdx[pc.Name] = len(w.Procs)
-		w.Procs = append(w.Procs, &Proc{Name: pc.Name, M: fsm.New(pc.Spec), OutputTo: append([]string(nil), pc.OutputTo...)})
-		w.chanIdx[pc.Name] = len(w.Chans)
-		w.Chans = append(w.Chans, &Channel{Name: pc.Name, Cap: pc.Cap, Lossy: pc.Lossy, Reorder: pc.Reorder})
+		w.machines[i] = *fsm.New(pc.Spec)
+		w.procs[i] = Proc{Name: pc.Name, M: &w.machines[i], OutputTo: append([]string(nil), pc.OutputTo...)}
+		w.procIdx[pc.Name] = i
+		w.Procs = append(w.Procs, &w.procs[i])
+		w.chans[i] = Channel{Name: pc.Name, Cap: pc.Cap, Lossy: pc.Lossy, Reorder: pc.Reorder}
+		w.chanIdx[pc.Name] = i
+		w.Chans = append(w.Chans, &w.chans[i])
 	}
 	for _, p := range w.Procs {
 		for _, dst := range p.OutputTo {
@@ -123,6 +221,14 @@ func (w *World) Proc(name string) *Proc {
 	return nil
 }
 
+// ProcIndex returns the position of the named process in Procs. The
+// checker uses it to tally per-transition counters by index instead of
+// building string keys on the hot path.
+func (w *World) ProcIndex(name string) (int, bool) {
+	i, ok := w.procIdx[name]
+	return i, ok
+}
+
 // Chan returns the named inbox, or nil.
 func (w *World) Chan(name string) *Channel {
 	if i, ok := w.chanIdx[name]; ok {
@@ -133,50 +239,118 @@ func (w *World) Chan(name string) *Channel {
 
 // Global reads a shared variable (names conventionally carry the "g."
 // prefix used by fsm guards/actions).
-func (w *World) Global(name string) int { return w.Globals[name] }
+func (w *World) Global(name string) int {
+	if w.glay == nil {
+		return 0
+	}
+	if i, ok := w.glay.idx[name]; ok {
+		return int(w.gvals[i])
+	}
+	return 0
+}
 
-// SetGlobal writes a shared variable.
-func (w *World) SetGlobal(name string, v int) { w.Globals[name] = v }
+// SetGlobal writes a shared variable. New names grow the layout
+// copy-on-write: clones sharing the old layout are unaffected, and the
+// layout stays sorted so the canonical encoding remains a pure
+// function of the logical state.
+func (w *World) SetGlobal(name string, v int) {
+	if w.glay == nil {
+		w.glay = &glayout{idx: map[string]int32{}}
+	}
+	if i, ok := w.glay.idx[name]; ok {
+		w.gvals[i] = int32(v)
+		return
+	}
+	lay, pos := w.glay.with(name)
+	w.glay = lay
+	w.gvals = append(w.gvals, 0)
+	copy(w.gvals[pos+1:], w.gvals[pos:])
+	w.gvals[pos] = int32(v)
+}
 
-// Clone deep-copies the world. Specs are shared (immutable), as are
-// the name-index tables and the cached sorted key slices (both are
-// copy-on-write). Clone sits on the checker's hottest path — one call
-// per explored transition — so it avoids every avoidable allocation.
+// HasGlobal reports whether the named global has been initialized.
+func (w *World) HasGlobal(name string) bool {
+	if w.glay == nil {
+		return false
+	}
+	_, ok := w.glay.idx[name]
+	return ok
+}
+
+// GlobalsMap materializes the globals as a fresh name→value map (for
+// reporting and replay seeding; not a hot path).
+func (w *World) GlobalsMap() map[string]int {
+	out := make(map[string]int)
+	if w.glay == nil {
+		return out
+	}
+	for i, k := range w.glay.names {
+		out[k] = int(w.gvals[i])
+	}
+	return out
+}
+
+// Clone deep-copies the world. Specs, name-index tables and the global
+// layout are shared (immutable or copy-on-write).
 func (w *World) Clone() *World {
-	n := &World{
-		Procs:   make([]*Proc, len(w.Procs)),
-		Chans:   make([]*Channel, len(w.Chans)),
-		Globals: make(map[string]int, len(w.Globals)),
-		procIdx: w.procIdx,
-		chanIdx: w.chanIdx,
-		gkeys:   w.gkeys,
-	}
-	for i, p := range w.Procs {
-		n.Procs[i] = &Proc{Name: p.Name, M: p.M.Clone(), OutputTo: p.OutputTo}
-	}
-	for i, c := range w.Chans {
-		cc := *c
-		cc.Queue = append([]types.Message(nil), c.Queue...)
-		n.Chans[i] = &cc
-	}
-	for k, v := range w.Globals {
-		n.Globals[k] = v
-	}
+	n := &World{}
+	w.CloneInto(n)
 	return n
 }
 
-// Encode appends a canonical binary encoding of the full global state.
-func (w *World) Encode(buf []byte) []byte {
-	for _, p := range w.Procs {
-		buf = append(buf, p.Name...)
-		buf = append(buf, ':')
-		buf = p.M.Encode(buf)
-		buf = append(buf, ';')
+// CloneInto makes dst a deep copy of w, reusing dst's slabs and queue
+// capacity when present — the zero-allocation clone behind the
+// checker's world pool. dst's scratch storage is kept (never shared).
+func (w *World) CloneInto(dst *World) {
+	// Iterate the public pointer slices, not the backing slabs, so
+	// worlds assembled by hand (tests build World{Procs: ...} directly)
+	// clone correctly; the copy always lands in dst's slabs.
+	np, nc := len(w.Procs), len(w.Chans)
+	if cap(dst.procs) < np || cap(dst.chans) < nc {
+		dst.procs = make([]Proc, np)
+		dst.chans = make([]Channel, nc)
+		dst.machines = make([]fsm.Machine, np)
+		dst.Procs = make([]*Proc, np)
+		dst.Chans = make([]*Channel, nc)
 	}
-	var tmp [8]byte
+	dst.procs = dst.procs[:np]
+	dst.chans = dst.chans[:nc]
+	dst.machines = dst.machines[:np]
+	dst.Procs = dst.Procs[:np]
+	dst.Chans = dst.Chans[:nc]
+	for i, src := range w.Procs {
+		src.M.CloneInto(&dst.machines[i])
+		dst.procs[i].Name = src.Name
+		dst.procs[i].M = &dst.machines[i]
+		dst.procs[i].OutputTo = src.OutputTo
+		dst.Procs[i] = &dst.procs[i]
+	}
+	for i, sc := range w.Chans {
+		dc := &dst.chans[i]
+		dc.Name, dc.Cap, dc.Lossy, dc.Reorder = sc.Name, sc.Cap, sc.Lossy, sc.Reorder
+		dc.Queue = append(dc.Queue[:0], sc.Queue...)
+		dst.Chans[i] = &dst.chans[i]
+	}
+	dst.Stats = w.Stats
+	dst.procIdx, dst.chanIdx = w.procIdx, w.chanIdx
+	dst.glay = w.glay
+	dst.gvals = append(dst.gvals[:0], w.gvals...)
+}
+
+// Encode appends a canonical binary encoding of the full global state.
+// The layout is fixed and positional: each machine's memoized encoding
+// in process order, each queue as a u16 length plus fixed-width
+// message records, then the globals as a u16 count plus sorted
+// name/value pairs. No map iteration, no sorting, no string keys on
+// the hot path.
+func (w *World) Encode(buf []byte) []byte {
+	var tmp [4]byte
+	for _, p := range w.Procs {
+		buf = p.M.Encode(buf)
+	}
 	for _, c := range w.Chans {
-		buf = append(buf, c.Name...)
-		buf = append(buf, '[')
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(c.Queue)))
+		buf = append(buf, tmp[:2]...)
 		for _, m := range c.Queue {
 			binary.LittleEndian.PutUint16(tmp[:2], uint16(m.Kind))
 			buf = append(buf, tmp[:2]...)
@@ -186,34 +360,22 @@ func (w *World) Encode(buf []byte) []byte {
 			buf = append(buf, tmp[:4]...)
 			buf = append(buf, byte(m.System), byte(m.Domain), byte(m.Proto))
 			buf = append(buf, m.From...)
-			buf = append(buf, ',')
+			buf = append(buf, 0)
 		}
-		buf = append(buf, ']')
 	}
-	for _, k := range w.globalKeys() {
-		buf = append(buf, k...)
-		buf = append(buf, '=')
-		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(w.Globals[k])))
-		buf = append(buf, tmp[:]...)
+	nglob := 0
+	if w.glay != nil {
+		nglob = len(w.glay.names)
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(nglob))
+	buf = append(buf, tmp[:2]...)
+	for i := 0; i < nglob; i++ {
+		buf = append(buf, w.glay.names[i]...)
+		buf = append(buf, 0)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
+		buf = append(buf, tmp[:4]...)
 	}
 	return buf
-}
-
-// globalKeys returns the sorted global names, rebuilding the shared
-// cache only when a machine introduced a new global since the last
-// encode. Globals are never deleted, so a length match means the key
-// set is current; a rebuild allocates a fresh slice so clones sharing
-// the old one are unaffected.
-func (w *World) globalKeys() []string {
-	if len(w.gkeys) != len(w.Globals) {
-		keys := make([]string, 0, len(w.Globals))
-		for k := range w.Globals {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		w.gkeys = keys
-	}
-	return w.gkeys
 }
 
 // Hash returns an FNV-64a digest of the canonical encoding.
@@ -241,24 +403,48 @@ func (w *World) AppendHash(buf []byte) (uint64, []byte) {
 
 // ctx implements fsm.Ctx for a process executing inside the world.
 type ctx struct {
-	w     *World
-	p     *Proc
-	notes []string
+	w         *World
+	p         *Proc
+	notes     []string
+	misrouted int
+	dropped   int
 }
 
-func (c *ctx) Get(name string) int { return c.w.Globals[name] }
+// ctxFor returns the world's reusable scratch context bound to p,
+// reset for a fresh step.
+func (w *World) ctxFor(p *Proc) *ctx {
+	if w.scratch == nil {
+		w.scratch = &ctx{}
+	}
+	c := w.scratch
+	c.w, c.p = w, p
+	c.notes = nil
+	c.misrouted, c.dropped = 0, 0
+	return c
+}
 
-func (c *ctx) Set(name string, v int) { c.w.Globals[name] = v }
+func (c *ctx) Get(name string) int { return c.w.Global(name) }
+
+func (c *ctx) Set(name string, v int) { c.w.SetGlobal(name, v) }
+
+// GetI/SetI are only resolved by the machine wrapper; the world
+// context never receives indexed calls.
+func (c *ctx) GetI(int32) int32  { return 0 }
+func (c *ctx) SetI(int32, int32) {}
 
 func (c *ctx) Send(to string, msg types.Message) {
 	msg.From = c.p.Name
 	msg.To = to
 	ch := c.w.Chan(to)
 	if ch == nil {
+		c.misrouted++
+		c.w.Stats.Misrouted++
 		c.notes = append(c.notes, fmt.Sprintf("send to unknown %q dropped", to))
 		return
 	}
 	if ch.Cap > 0 && len(ch.Queue) >= ch.Cap {
+		c.dropped++
+		c.w.Stats.Dropped++
 		c.notes = append(c.notes, fmt.Sprintf("inbox %q full, %s dropped", to, msg))
 		return
 	}
@@ -273,4 +459,11 @@ func (c *ctx) Output(msg types.Message) {
 
 func (c *ctx) Trace(format string, args ...any) {
 	c.notes = append(c.notes, fmt.Sprintf(format, args...))
+}
+
+// takeNotes hands ownership of the accumulated notes to the caller.
+func (c *ctx) takeNotes() []string {
+	n := c.notes
+	c.notes = nil
+	return n
 }

@@ -58,6 +58,11 @@ type Step struct {
 	Label string
 	// Notes carries trace output emitted while applying the step.
 	Notes []string
+	// Misrouted and Dropped count sends lost while applying this step
+	// (unknown destination / full inbox); filled by Apply. The checker
+	// sums them into its Result.
+	Misrouted int
+	Dropped   int
 }
 
 func (s Step) String() string {
@@ -90,27 +95,34 @@ type EnvEvent struct {
 // Messages with no enabled transition yield a StepDiscard so that
 // blocked queues cannot wedge exploration.
 func (w *World) Steps(env []EnvEvent) []Step {
-	var steps []Step
-	for _, p := range w.Procs {
-		ch := w.Chan(p.Name)
+	return w.StepsAppend(nil, env)
+}
+
+// StepsAppend is Steps appending into a caller-owned slice — the
+// allocation-free form for the checker, which keeps one steps buffer
+// per search depth. Guard evaluation reuses the world's scratch
+// context and enabled-index buffer.
+func (w *World) StepsAppend(steps []Step, env []EnvEvent) []Step {
+	for i, p := range w.Procs {
+		ch := w.Chans[i]
+		if ch.Name != p.Name {
+			ch = w.Chan(p.Name)
+		}
 		if ch == nil || len(ch.Queue) == 0 {
 			continue
 		}
-		positions := []int{0}
+		last := 0
 		if ch.Reorder {
-			positions = positions[:0]
-			for i := range ch.Queue {
-				positions = append(positions, i)
-			}
+			last = len(ch.Queue) - 1
 		}
-		for _, pos := range positions {
+		for pos := 0; pos <= last; pos++ {
 			msg := ch.Queue[pos]
 			ev := fsm.EvMsg(msg)
-			en := p.M.Enabled(&ctx{w: w, p: p}, ev)
-			if len(en) == 0 {
+			w.enbuf = p.M.EnabledAppend(w.ctxFor(p), ev, w.enbuf[:0])
+			if len(w.enbuf) == 0 {
 				steps = append(steps, Step{Kind: StepDiscard, Proc: p.Name, Pos: pos, Msg: msg})
 			}
-			for _, ti := range en {
+			for _, ti := range w.enbuf {
 				steps = append(steps, Step{Kind: StepDeliver, Proc: p.Name, Pos: pos, TransIdx: ti, Msg: msg})
 			}
 			if ch.Lossy {
@@ -124,7 +136,8 @@ func (w *World) Steps(env []EnvEvent) []Step {
 			continue
 		}
 		ev := fsm.EvMsg(e.Msg)
-		for _, ti := range p.M.Enabled(&ctx{w: w, p: p}, ev) {
+		w.enbuf = p.M.EnabledAppend(w.ctxFor(p), ev, w.enbuf[:0])
+		for _, ti := range w.enbuf {
 			steps = append(steps, Step{Kind: StepEnv, Proc: e.Proc, TransIdx: ti, Msg: e.Msg})
 		}
 	}
@@ -145,7 +158,9 @@ func (w *World) Apply(s Step) (Step, error) {
 		if ch == nil || s.Pos >= len(ch.Queue) {
 			return s, fmt.Errorf("model: apply: %s position %d out of range", s.Kind, s.Pos)
 		}
-		ch.Queue = append(ch.Queue[:s.Pos:s.Pos], ch.Queue[s.Pos+1:]...)
+		// In-place removal is safe: every world owns its queue backing
+		// (clones copy queues), and Save/Restore snapshots them.
+		ch.Queue = append(ch.Queue[:s.Pos], ch.Queue[s.Pos+1:]...)
 		return s, nil
 	case StepDeliver:
 		ch := w.Chan(s.Proc)
@@ -153,17 +168,19 @@ func (w *World) Apply(s Step) (Step, error) {
 			return s, fmt.Errorf("model: apply: deliver position %d out of range", s.Pos)
 		}
 		msg := ch.Queue[s.Pos]
-		ch.Queue = append(ch.Queue[:s.Pos:s.Pos], ch.Queue[s.Pos+1:]...)
-		c := &ctx{w: w, p: p}
+		ch.Queue = append(ch.Queue[:s.Pos], ch.Queue[s.Pos+1:]...)
+		c := w.ctxFor(p)
 		tr := p.M.Apply(c, fsm.EvMsg(msg), s.TransIdx)
 		s.Label = tr.Name
-		s.Notes = c.notes
+		s.Notes = c.takeNotes()
+		s.Misrouted, s.Dropped = c.misrouted, c.dropped
 		return s, nil
 	case StepEnv:
-		c := &ctx{w: w, p: p}
+		c := w.ctxFor(p)
 		tr := p.M.Apply(c, fsm.EvMsg(s.Msg), s.TransIdx)
 		s.Label = tr.Name
-		s.Notes = c.notes
+		s.Notes = c.takeNotes()
+		s.Misrouted, s.Dropped = c.misrouted, c.dropped
 		return s, nil
 	default:
 		return s, fmt.Errorf("model: apply: bad step kind %v", s.Kind)

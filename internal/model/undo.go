@@ -1,0 +1,64 @@
+package model
+
+import (
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/types"
+)
+
+// Undo is reusable snapshot storage for the world's apply/undo
+// discipline: the sequential checker saves the world once per search
+// node and restores after exploring each child, instead of cloning a
+// world per transition. The zero value is ready to use; Save and
+// Restore reuse the record's slabs across calls, so a DFS needs one
+// Undo per depth and allocates only while the search deepens.
+//
+// Stats are deliberately NOT part of the snapshot — they are monotone
+// work tallies (like the checker's transition count), not logical
+// state.
+type Undo struct {
+	machines []fsm.MachineUndo
+	queues   [][]types.Message
+	glay     *glayout
+	gvals    []int32
+}
+
+// Save records the world's complete logical state into u.
+func (w *World) Save(u *Undo) {
+	for len(u.machines) < len(w.machines) {
+		u.machines = append(u.machines, fsm.MachineUndo{})
+	}
+	u.machines = u.machines[:len(w.machines)]
+	for i := range w.machines {
+		w.machines[i].Save(&u.machines[i])
+	}
+	for len(u.queues) < len(w.chans) {
+		u.queues = append(u.queues, nil)
+	}
+	u.queues = u.queues[:len(w.chans)]
+	for i := range w.chans {
+		u.queues[i] = append(u.queues[i][:0], w.chans[i].Queue...)
+	}
+	u.glay = w.glay
+	u.gvals = append(u.gvals[:0], w.gvals...)
+}
+
+// Restore rewinds the world to a Save point. The snapshot remains
+// valid, so one Save can back out any number of applied steps in turn.
+func (w *World) Restore(u *Undo) {
+	for i := range w.machines {
+		w.machines[i].Restore(&u.machines[i])
+	}
+	for i := range w.chans {
+		w.chans[i].Queue = append(w.chans[i].Queue[:0], u.queues[i]...)
+	}
+	w.glay = u.glay
+	w.gvals = append(w.gvals[:0], u.gvals...)
+}
+
+// ApplyUndo is Apply preceded by Save: it executes the step in place
+// after snapshotting the world into u, so the caller can Restore to
+// back the step out.
+func (w *World) ApplyUndo(s Step, u *Undo) (Step, error) {
+	w.Save(u)
+	return w.Apply(s)
+}

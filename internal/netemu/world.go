@@ -179,6 +179,11 @@ type rtCtx struct {
 
 func (c *rtCtx) Get(name string) int    { return c.w.globals[name] }
 func (c *rtCtx) Set(name string, v int) { c.w.globals[name] = v }
+
+// GetI/SetI are only resolved by the machine wrapper; the emulator
+// context never receives indexed calls.
+func (c *rtCtx) GetI(int32) int32  { return 0 }
+func (c *rtCtx) SetI(int32, int32) {}
 func (c *rtCtx) Send(to string, msg types.Message) {
 	msg.From = c.p.name
 	c.w.route(c.p, to, msg)

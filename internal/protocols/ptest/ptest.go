@@ -34,6 +34,11 @@ func (c *Ctx) Get(name string) int { return c.Globals[name] }
 // Set implements fsm.Ctx.
 func (c *Ctx) Set(name string, v int) { c.Globals[name] = v }
 
+// GetI/SetI implement fsm.Ctx; indexed access is resolved by the
+// machine wrapper before reaching the backend, so these are stubs.
+func (c *Ctx) GetI(int32) int32  { return 0 }
+func (c *Ctx) SetI(int32, int32) {}
+
 // Send implements fsm.Ctx.
 func (c *Ctx) Send(to string, msg types.Message) {
 	msg.To = to

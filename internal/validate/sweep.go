@@ -310,7 +310,7 @@ func sweepOne(t SweepTarget, cfg SweepConfig, loss float64, seedIdx int) (sweepR
 	rcfg := Config{
 		Profile:        cfg.Profile,
 		Fixes:          cfg.Fixes,
-		InitialGlobals: t.Scoped.World.Globals,
+		InitialGlobals: t.Scoped.World.GlobalsMap(),
 		Seed:           cfg.Seed + int64(seedIdx),
 		prepare: func(w *netemu.World) {
 			if !cfg.NoReliability {

@@ -276,7 +276,7 @@ func Campaign(cfg Config) ([]Outcome, error) {
 		}
 		runCfg := cfg
 		if runCfg.InitialGlobals == nil {
-			runCfg.InitialGlobals = s.World.Globals
+			runCfg.InitialGlobals = s.World.GlobalsMap()
 		}
 		for _, v := range r.Result.Violations {
 			o, err := Replay(s.Finding, v, runCfg)

@@ -60,14 +60,14 @@ func TestReplayS1(t *testing.T) {
 func TestReplayS4(t *testing.T) {
 	world := core.S4CSWorld(false)
 	v := screenFirst(t, world)
-	out, err := Replay(core.S4, v, Config{InitialGlobals: world.World.Globals})
+	out, err := Replay(core.S4, v, Config{InitialGlobals: world.World.GlobalsMap()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !out.Reproduced {
 		t.Fatalf("S4 counterexample not reproduced: %s", out)
 	}
-	fixed, err := Replay(core.S4, v, Config{Fixes: netemu.AllFixes(), InitialGlobals: world.World.Globals})
+	fixed, err := Replay(core.S4, v, Config{Fixes: netemu.AllFixes(), InitialGlobals: world.World.GlobalsMap()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestReplayS2(t *testing.T) {
 	}
 	reproduced := 0
 	for _, v := range r.Result.Violations {
-		o, err := Replay(core.S2, v, Config{InitialGlobals: world.World.Globals})
+		o, err := Replay(core.S2, v, Config{InitialGlobals: world.World.GlobalsMap()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func TestReplayS2(t *testing.T) {
 			// The same counterexample must NOT reproduce with the shim.
 			f, err := Replay(core.S2, v, Config{
 				Fixes:          netemu.FixSet{ReliableSignaling: true},
-				InitialGlobals: world.World.Globals,
+				InitialGlobals: world.World.GlobalsMap(),
 			})
 			if err != nil {
 				t.Fatal(err)

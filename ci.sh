@@ -40,8 +40,19 @@ go test -race ./internal/check ./internal/core
 echo "== go test -race (sweep campaign engine) =="
 go test -race ./internal/validate
 
+echo "== go test -race (coverage-guided fuzzer) =="
+go test -race ./internal/fuzz
+
 echo "== fuzz smoke (trace line codec, 30s) =="
 go test ./internal/trace -fuzz FuzzRecordLine -fuzztime 30s >/dev/null
+
+echo "== cnetfuzz smoke (small budget, must find new coverage) =="
+go run ./cmd/cnetfuzz -world s1 -budget 2000 -workers 8 -min-new 1 >/dev/null
+echo ok
+
+echo "== cnetfuzz shrink smoke (screen S1, ddmin must terminate + re-verify) =="
+go run ./cmd/cnetfuzz -screen -world s1 -shrink | grep -q '^shrunk '
+echo ok
 
 echo "== sweep smoke (single cell, S1, both worker counts) =="
 go run ./cmd/cnetsim -sweep -findings S1 -loss 0.2 -seeds 4 -workers 1 -format csv >/tmp/sweep1.csv

@@ -1,0 +1,266 @@
+// Command cnetfuzz runs coverage-guided fuzzing over a scoped world's
+// scenario schedules (internal/fuzz) and ddmin-shrinks violation
+// traces to 1-minimal counterexamples.
+//
+// Usage:
+//
+//	cnetfuzz [-world s1|s2|s3|s4cs|s4ps|s6|full] [-fixed]
+//	         [-budget N] [-workers N] [-seed N] [-round N]
+//	         [-max-events N] [-drain N] [-corpus DIR]
+//	         [-shrink] [-screen] [-cov-report] [-json]
+//	         [-min-new N] [-first]
+//
+// Two modes:
+//
+//   - Fuzzing (default): mutate–execute–keep rounds against the chosen
+//     world until -budget applied transitions are spent. -corpus names a
+//     directory of *.sched seed schedules; inputs kept for new coverage
+//     are written back there. -cov-report prints the per-process
+//     coverage table plus a uniform-random control arm at the same
+//     budget (the fuzz-vs-random comparison of EXPERIMENTS.md).
+//     -min-new exits 1 unless at least N inputs lit up new coverage —
+//     the ci.sh smoke gate.
+//
+//   - Screening post-processing (-screen): take violations from a
+//     core.ScreenWorlds campaign instead of fuzzing. With -shrink, each
+//     screening counterexample is ddmin-reduced and re-verified; this is
+//     the pipeline that regenerates the minimized golden corpus.
+//
+// -shrink applies to both modes: every violation found is reduced to a
+// trace from which no single step can be removed, re-verified with
+// check.Replay, and printed with its stability digest.
+//
+// Exit status: 1 on error or an unmet -min-new floor, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/fuzz"
+	"cnetverifier/internal/model"
+)
+
+func main() {
+	var (
+		world     = flag.String("world", "full", "world to fuzz: "+strings.Join(core.WorldNames(), ", ")+", or all (with -screen)")
+		fixed     = flag.Bool("fixed", false, "enable the §8 fixes")
+		budget    = flag.Int("budget", 50000, "total applied-transition budget")
+		workers   = flag.Int("workers", 1, "executor goroutines (any count gives identical results)")
+		seed      = flag.Int64("seed", 1, "run seed")
+		round     = flag.Int("round", 32, "candidate schedules per round")
+		maxEvents = flag.Int("max-events", 12, "max environment events per schedule")
+		drain     = flag.Int("drain", 8, "queued messages processed after each injection")
+		corpusDir = flag.String("corpus", "", "schedule corpus directory (load *.sched seeds, write kept inputs back)")
+		doShrink  = flag.Bool("shrink", false, "ddmin-shrink every violation to a 1-minimal trace")
+		doScreen  = flag.Bool("screen", false, "take violations from a screening campaign instead of fuzzing")
+		covReport = flag.Bool("cov-report", false, "print the coverage table and the uniform-random control arm")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON summary")
+		minNew    = flag.Int("min-new", 0, "exit 1 unless at least N inputs lit up new coverage")
+		first     = flag.Bool("first", false, "stop fuzzing at the end of the first violating round")
+	)
+	flag.Parse()
+
+	if *doScreen {
+		if err := screenMode(*world, *fixed, *doShrink, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s, ok := core.StandardWorlds(*fixed)[strings.ToLower(*world)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cnetfuzz: unknown world %q (want %s)\n", *world, strings.Join(core.WorldNames(), ", "))
+		os.Exit(1)
+	}
+
+	opt := fuzz.Options{
+		Budget:      *budget,
+		Workers:     *workers,
+		Seed:        *seed,
+		MaxEvents:   *maxEvents,
+		Drain:       *drain,
+		RoundSize:   *round,
+		Pool:        s.Scenario.Events(s.World),
+		StopAtFirst: *first,
+	}
+	if *corpusDir != "" {
+		seeds, err := loadCorpus(*corpusDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+		opt.Corpus = seeds
+	}
+
+	res, err := fuzz.Fuzz(s.World, s.Props, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+		os.Exit(1)
+	}
+
+	var baseline *fuzz.Result
+	if *covReport {
+		if baseline, err = fuzz.RandomBaseline(s.World, s.Props, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+	}
+
+	var shrunk []fuzz.ShrinkResult
+	if *doShrink {
+		for _, v := range res.Violations {
+			sr, err := fuzz.Shrink(s.World, s.Props, v, fuzz.ShrinkOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+				os.Exit(1)
+			}
+			shrunk = append(shrunk, *sr)
+		}
+	}
+
+	if *corpusDir != "" {
+		if err := saveCorpus(*corpusDir, res.Corpus); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			World    string              `json:"world"`
+			Fuzz     *fuzz.Result        `json:"fuzz"`
+			Baseline *fuzz.Result        `json:"baseline,omitempty"`
+			Shrunk   []fuzz.ShrinkResult `json:"shrunk,omitempty"`
+		}{*world, res, baseline, shrunk}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		printFuzz(*world, s.World, res, baseline, *covReport)
+		printShrunk(shrunk)
+	}
+
+	if res.NewCoverageInputs < *minNew {
+		fmt.Fprintf(os.Stderr, "cnetfuzz: only %d new-coverage inputs, want >= %d\n", res.NewCoverageInputs, *minNew)
+		os.Exit(1)
+	}
+}
+
+func printFuzz(world string, w *model.World, res, baseline *fuzz.Result, covReport bool) {
+	fmt.Printf("fuzz %s: %d schedules in %d rounds, %d steps, %d new-coverage inputs, %d violation(s)\n",
+		world, res.Schedules, res.Rounds, res.Steps, res.NewCoverageInputs, len(res.Violations))
+	fmt.Printf("coverage digest %s\n", res.CoverageDigest)
+	if covReport {
+		fmt.Print(res.Coverage.Report(w))
+		if baseline != nil {
+			fmt.Printf("uniform-random control at the same budget: %d/%d transitions, %d pairs (%d steps)\n",
+				baseline.TransitionsFired, baseline.TransitionsTotal, baseline.PairsCovered, baseline.Steps)
+			fmt.Print(baseline.Coverage.Report(w))
+		}
+	}
+	for _, v := range res.Violations {
+		fmt.Print(check.FormatCounterexample(v))
+	}
+}
+
+func printShrunk(shrunk []fuzz.ShrinkResult) {
+	for _, sr := range shrunk {
+		fmt.Printf("shrunk %s (%s): %d -> %d steps in %d tests, digest %s\n",
+			sr.Property, sr.Desc, sr.OriginalSteps, sr.Steps, sr.Tests, sr.Digest)
+		for i, s := range sr.Path {
+			fmt.Printf("  %3d. %s\n", i+1, s)
+		}
+	}
+}
+
+// screenMode runs the screening campaign and (with -shrink) reduces its
+// counterexamples — the pipeline behind the minimized golden corpus.
+func screenMode(world string, fixed, doShrink, jsonOut bool) error {
+	var scoped []core.Scoped
+	if strings.ToLower(world) == "all" {
+		scoped = core.ScopedModels()
+	} else {
+		s, ok := core.StandardWorlds(fixed)[strings.ToLower(world)]
+		if !ok {
+			return fmt.Errorf("unknown world %q", world)
+		}
+		scoped = []core.Scoped{s}
+	}
+	results, err := core.ScreenWorlds(scoped, nil, core.CampaignOptions{})
+	if err != nil {
+		return err
+	}
+	if !doShrink {
+		fmt.Print(core.Report(results, false))
+		return nil
+	}
+	shrunk, err := core.ShrinkScreened(scoped, results, fuzz.ShrinkOptions{})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make(map[string][]fuzz.ShrinkResult, len(results))
+		for i, r := range results {
+			out[string(r.Finding)] = shrunk[i]
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	for i, r := range results {
+		fmt.Printf("%s: %d violation(s)\n", r.Finding, len(r.Result.Violations))
+		printShrunk(shrunk[i])
+	}
+	return nil
+}
+
+// loadCorpus reads every *.sched file of dir in name order.
+func loadCorpus(dir string) ([]fuzz.Schedule, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sched"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []fuzz.Schedule
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := fuzz.DecodeSchedule(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// saveCorpus writes the kept schedules as kept-NNNN.sched files.
+func saveCorpus(dir string, corpus []fuzz.Schedule) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, s := range corpus {
+		p := filepath.Join(dir, fmt.Sprintf("kept-%04d.sched", i))
+		if err := os.WriteFile(p, []byte(fuzz.EncodeSchedule(s)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

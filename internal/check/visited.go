@@ -191,6 +191,22 @@ func clonePath(path []model.Step) []model.Step {
 	return out
 }
 
+// SortViolations orders violations canonically (see sortViolations).
+// Exported for sibling engines — the scenario fuzzer (internal/fuzz)
+// reports its violation sets in the same canonical order as the
+// checker so the two are directly comparable.
+func SortViolations(vs []Violation) { sortViolations(vs) }
+
+// DedupeViolations canonically sorts the violations and collapses
+// duplicate (property, description) pairs to the smallest
+// counterexample, in place; it returns the deduplicated prefix.
+func DedupeViolations(vs []Violation) []Violation { return dedupeViolations(vs) }
+
+// ClonePath deep-copies a counterexample path, including per-step
+// Notes (see clonePath). Exported for engines that, like the checker,
+// keep extending shared path buffers while capturing violations.
+func ClonePath(path []model.Step) []model.Step { return clonePath(path) }
+
 // sortViolations orders violations canonically — by property, then
 // description, then path length, then the rendered path — so results
 // are stable regardless of discovery order. Sequential and parallel

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/fuzz"
+)
+
+// ShrinkScreened post-processes a screening campaign with the ddmin
+// shrinker: every violation of every world is reduced to a 1-minimal
+// trace (fuzz.Shrink) against its own scoped world. The slice is
+// parallel to results; worlds without violations get an empty entry.
+//
+// This is the cnetfuzz -screen -shrink pipeline: ScreenWorlds produces
+// the counterexamples (§3.2.3), Shrink distills each to the shortest
+// replayable action sequence the validation phase must stage.
+func ShrinkScreened(scoped []Scoped, results []ScreenResult, opt fuzz.ShrinkOptions) ([][]fuzz.ShrinkResult, error) {
+	if len(scoped) != len(results) {
+		return nil, fmt.Errorf("core: shrink: %d worlds but %d results", len(scoped), len(results))
+	}
+	out := make([][]fuzz.ShrinkResult, len(results))
+	for i, r := range results {
+		for _, v := range r.Result.Violations {
+			sr, err := fuzz.Shrink(scoped[i].World, scoped[i].Props, v, opt)
+			if err != nil {
+				return nil, fmt.Errorf("core: shrink %s (%s): %w", r.Finding, v.Property, err)
+			}
+			out[i] = append(out[i], *sr)
+		}
+	}
+	return out, nil
+}

@@ -268,8 +268,16 @@ func S6World(fixed bool) Scoped {
 }
 
 // ScopedModels returns the screening worlds for every design finding
-// the checker can discover (S1–S4, S6; S5 is an operational finding
-// surfaced by the emulator, §6.2), in their defective configuration.
+// the checker can discover (S1–S4, S6), in their defective
+// configuration.
+//
+// S5 has no scoped world — and consequently no checker golden trace
+// and no entry in the minimized golden corpus (internal/fuzz/testdata/
+// corpus). It is an *operational* finding (§6.2): the PS rate collapse
+// is a throughput degradation measured on the emulator's radio model,
+// not a reachable bad state of the protocol FSMs, so there is no
+// property violation for the screening phase to counterexample or for
+// the shrinker to minimize.
 func ScopedModels() []Scoped {
 	return []Scoped{
 		S1World(false),

@@ -1,0 +1,217 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/types"
+)
+
+// This file is the textual codec for the fuzzer's on-disk artifacts:
+// minimized counterexample traces (the golden corpus under
+// testdata/corpus, regenerated with -update) and fuzzing schedules
+// (the -corpus directory of cnetfuzz). Message kinds and causes are
+// stored by name, not number, so checked-in files survive renumbering
+// of the types constants; steps additionally carry the queue position
+// and transition index the strict replay needs.
+
+// Trace is a serialized minimized counterexample.
+type Trace struct {
+	// Finding names the world the trace replays on (a StandardWorlds
+	// key, e.g. "s1").
+	Finding string
+	// Property and Desc identify the violation the trace reaches.
+	Property string
+	Desc     string
+	// Digest is the shrink stability digest (ShrinkResult.Digest).
+	Digest string
+	// Steps is the minimal schedule.
+	Steps []model.Step
+}
+
+// EncodeTrace renders a trace in the corpus file format.
+func EncodeTrace(t Trace) string {
+	var b strings.Builder
+	b.WriteString("# minimized counterexample (internal/fuzz; regenerate with -update)\n")
+	fmt.Fprintf(&b, "finding: %s\n", t.Finding)
+	fmt.Fprintf(&b, "property: %s\n", t.Property)
+	fmt.Fprintf(&b, "desc: %s\n", t.Desc)
+	fmt.Fprintf(&b, "digest: %s\n", t.Digest)
+	fmt.Fprintf(&b, "steps: %d\n", len(t.Steps))
+	for _, s := range t.Steps {
+		fmt.Fprintf(&b, "step: %s\n", encodeStep(s))
+	}
+	return b.String()
+}
+
+// DecodeTrace parses the corpus file format.
+func DecodeTrace(data []byte) (Trace, error) {
+	var t Trace
+	declared := -1
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ": ")
+		if !ok {
+			if key, val, ok = strings.Cut(line, ":"); !ok {
+				return t, fmt.Errorf("fuzz: trace line %d: no key", ln+1)
+			}
+		}
+		switch key {
+		case "finding":
+			t.Finding = val
+		case "property":
+			t.Property = val
+		case "desc":
+			t.Desc = val
+		case "digest":
+			t.Digest = val
+		case "steps":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return t, fmt.Errorf("fuzz: trace line %d: bad step count %q", ln+1, val)
+			}
+			declared = n
+		case "step":
+			s, err := decodeStep(val)
+			if err != nil {
+				return t, fmt.Errorf("fuzz: trace line %d: %w", ln+1, err)
+			}
+			t.Steps = append(t.Steps, s)
+		default:
+			return t, fmt.Errorf("fuzz: trace line %d: unknown key %q", ln+1, key)
+		}
+	}
+	if declared >= 0 && declared != len(t.Steps) {
+		return t, fmt.Errorf("fuzz: trace declares %d steps, carries %d", declared, len(t.Steps))
+	}
+	return t, nil
+}
+
+// EncodeSchedule renders a fuzzing schedule (the -corpus directory
+// format).
+func EncodeSchedule(s Schedule) string {
+	var b strings.Builder
+	b.WriteString("# fuzz schedule\n")
+	fmt.Fprintf(&b, "seed: %d\n", s.Seed)
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "event: %s|%s|%s\n", e.Proc, e.Msg.Kind, e.Msg.Cause)
+	}
+	return b.String()
+}
+
+// DecodeSchedule parses the schedule format.
+func DecodeSchedule(data []byte) (Schedule, error) {
+	var s Schedule
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ": ")
+		if !ok {
+			return s, fmt.Errorf("fuzz: schedule line %d: no key", ln+1)
+		}
+		switch key {
+		case "seed":
+			seed, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("fuzz: schedule line %d: bad seed %q", ln+1, val)
+			}
+			s.Seed = seed
+		case "event":
+			parts := strings.Split(val, "|")
+			if len(parts) != 3 {
+				return s, fmt.Errorf("fuzz: schedule line %d: want proc|kind|cause", ln+1)
+			}
+			kind, ok := types.KindByName(parts[1])
+			if !ok {
+				return s, fmt.Errorf("fuzz: schedule line %d: unknown kind %q", ln+1, parts[1])
+			}
+			cause, ok := types.CauseByName(parts[2])
+			if !ok {
+				return s, fmt.Errorf("fuzz: schedule line %d: unknown cause %q", ln+1, parts[2])
+			}
+			s.Events = append(s.Events, model.EnvEvent{Proc: parts[0], Msg: types.Message{Kind: kind, Cause: cause}})
+		default:
+			return s, fmt.Errorf("fuzz: schedule line %d: unknown key %q", ln+1, key)
+		}
+	}
+	return s, nil
+}
+
+var stepKindNames = map[model.StepKind]string{
+	model.StepDeliver: "deliver",
+	model.StepDrop:    "drop",
+	model.StepDiscard: "discard",
+	model.StepEnv:     "env",
+}
+
+// encodeStep renders one step as
+// kind|proc|pos|transidx|msgkind|cause|sys|dom|proto|seq|from|to.
+// The strict replay applies the step verbatim, so every Message field
+// that influences the world — including the routing stamps From/To and
+// the NAS sequence number — must round-trip; only the Apply-filled
+// outputs (Label, Notes, loss counters) are derived and omitted.
+func encodeStep(s model.Step) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%s|%d|%d|%d|%d|%s|%s",
+		stepKindNames[s.Kind], s.Proc, s.Pos, s.TransIdx, s.Msg.Kind, s.Msg.Cause,
+		s.Msg.System, s.Msg.Domain, s.Msg.Proto, s.Msg.Seq, s.Msg.From, s.Msg.To)
+}
+
+func decodeStep(val string) (model.Step, error) {
+	parts := strings.Split(val, "|")
+	if len(parts) != 12 {
+		return model.Step{}, fmt.Errorf("bad step %q: want kind|proc|pos|transidx|msgkind|cause|sys|dom|proto|seq|from|to", val)
+	}
+	var s model.Step
+	found := false
+	for k, name := range stepKindNames {
+		if name == parts[0] {
+			s.Kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return s, fmt.Errorf("unknown step kind %q", parts[0])
+	}
+	s.Proc = parts[1]
+	pos, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return s, fmt.Errorf("bad position %q", parts[2])
+	}
+	s.Pos = pos
+	ti, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return s, fmt.Errorf("bad transition index %q", parts[3])
+	}
+	s.TransIdx = ti
+	kind, ok := types.KindByName(parts[4])
+	if !ok {
+		return s, fmt.Errorf("unknown kind %q", parts[4])
+	}
+	s.Msg.Kind = kind
+	cause, ok := types.CauseByName(parts[5])
+	if !ok {
+		return s, fmt.Errorf("unknown cause %q", parts[5])
+	}
+	s.Msg.Cause = cause
+	for i, set := range []func(uint64){
+		func(v uint64) { s.Msg.System = types.System(v) },
+		func(v uint64) { s.Msg.Domain = types.Domain(v) },
+		func(v uint64) { s.Msg.Proto = types.Protocol(v) },
+		func(v uint64) { s.Msg.Seq = uint32(v) },
+	} {
+		v, err := strconv.ParseUint(parts[6+i], 10, 32)
+		if err != nil {
+			return s, fmt.Errorf("bad numeric field %q", parts[6+i])
+		}
+		set(v)
+	}
+	s.Msg.From, s.Msg.To = parts[10], parts[11]
+	return s, nil
+}

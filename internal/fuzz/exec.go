@@ -1,0 +1,193 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/model"
+)
+
+// Schedule is one fuzzing input: an ordered list of environment events
+// to inject, plus the seed that resolves the remaining nondeterminism
+// (which enabled transition branch fires on injection, and which queued
+// message is processed at each drain step). The events are the genome
+// the mutators edit; perturbing only the seed re-executes the same user
+// story under a different signaling interleaving — the Kairos-style
+// timing dimension.
+type Schedule struct {
+	Seed   int64
+	Events []model.EnvEvent
+}
+
+// clone deep-copies the schedule so mutators never alias corpus
+// entries.
+func (s Schedule) clone() Schedule {
+	return Schedule{Seed: s.Seed, Events: append([]model.EnvEvent(nil), s.Events...)}
+}
+
+// genomeHash fingerprints the full genome (seed and events) with
+// FNV-64a; two schedules with equal hashes execute identically, so the
+// fuzzer's dedup uses it to avoid re-walking known paths.
+func (s Schedule) genomeHash() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(s.Seed))
+	for _, e := range s.Events {
+		for _, b := range []byte(e.Proc) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		mix(uint64(e.Msg.Kind)<<32 | uint64(e.Msg.Cause))
+	}
+	return h
+}
+
+// entry is a kept corpus input: its genome, the world state its
+// execution ended in (the snapshot), and the concrete step path from
+// the initial world that reached it. Extend-mutants resume from the
+// snapshot and are charged only for their tail steps — re-walking the
+// parent's prefix would burn exploration budget on known coverage
+// (the retrace tax that makes naive schedule fuzzing lose to uniform
+// sampling under a step budget).
+type entry struct {
+	sched Schedule
+	end   *model.World
+	path  []model.Step
+}
+
+// candidate is one input scheduled for execution: either a scratch
+// schedule (parent < 0) executed from the initial world, or a resumed
+// one executed from corpus[parent]'s snapshot with only tail injected.
+type candidate struct {
+	sched  Schedule
+	parent int
+	tail   []model.EnvEvent
+}
+
+// executor is per-worker scratch: one reusable world refreshed with
+// CloneInto per schedule (the PR-4 pooling discipline) plus step and
+// path buffers, so executing thousands of schedules keeps one
+// allocation footprint.
+type executor struct {
+	w     *model.World
+	steps []model.Step
+	path  []model.Step
+}
+
+// execResult is the outcome of executing one schedule.
+type execResult struct {
+	// steps counts applied world transitions (the budget unit).
+	steps int
+	// cov covers the transitions this run itself applied (merged by the
+	// caller in candidate order, so parallel execution stays
+	// deterministic). Resumed runs cover only their tail: the prefix was
+	// already merged when the parent entered the corpus.
+	cov *Coverage
+	// violations holds one entry per distinct (property, description)
+	// pair reached by this run, each with a concrete replayable path
+	// from the initial world.
+	violations []check.Violation
+	// end and path snapshot the final world and full concrete path so
+	// the input can enter the corpus (cloned — the executor's own
+	// buffers are reused for the next run).
+	end  *model.World
+	path []model.Step
+}
+
+// run executes one candidate. A scratch candidate starts from w0 and
+// injects its whole schedule; a resumed one starts from its parent's
+// snapshot and injects only the tail. Execution alternates injection
+// and drain: each event is injected if any transition accepts it
+// (silently skipped otherwise — mutators are allowed to produce dead
+// events), then up to opt.Drain queued messages are processed, the
+// seed's RNG picking among the enabled delivery/drop branches.
+// Properties are checked after every applied step; a violating step
+// captures the full path from w0 as a counterexample.
+func (x *executor) run(w0 *model.World, corpus []entry, c candidate, props []check.Property, opt Options) (execResult, error) {
+	if x.w == nil {
+		x.w = &model.World{}
+	}
+	w := x.w
+	events := c.sched.Events
+	var base []model.Step
+	if c.parent >= 0 {
+		corpus[c.parent].end.CloneInto(w)
+		base = corpus[c.parent].path
+		events = c.tail
+	} else {
+		w0.CloneInto(w)
+	}
+	rng := rand.New(rand.NewSource(c.sched.Seed))
+	res := execResult{cov: NewCoverage(w0)}
+	x.path = x.path[:0]
+	var seen map[string]struct{}
+
+	apply := func(s model.Step) error {
+		applied, err := w.Apply(s)
+		if err != nil {
+			return fmt.Errorf("fuzz: apply %v: %w", s, err)
+		}
+		res.steps++
+		res.cov.Note(w, applied)
+		x.path = append(x.path, applied)
+		for _, p := range props {
+			desc := p.Check(w, applied)
+			if desc == "" {
+				continue
+			}
+			key := p.Name() + "\x00" + desc
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[string]struct{})
+			}
+			seen[key] = struct{}{}
+			res.violations = append(res.violations, check.Violation{
+				Property: p.Name(),
+				Desc:     desc,
+				Path:     check.ClonePath(append(append([]model.Step(nil), base...), x.path...)),
+			})
+		}
+		return nil
+	}
+
+	drain := func() error {
+		for d := 0; d < opt.Drain; d++ {
+			x.steps = w.StepsQueueAppend(x.steps[:0])
+			if len(x.steps) == 0 {
+				return nil
+			}
+			if err := apply(x.steps[rng.Intn(len(x.steps))]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, e := range events {
+		x.steps = w.StepsEnvAppend(x.steps[:0], []model.EnvEvent{e})
+		if len(x.steps) > 0 {
+			if err := apply(x.steps[rng.Intn(len(x.steps))]); err != nil {
+				return res, err
+			}
+		}
+		if err := drain(); err != nil {
+			return res, err
+		}
+	}
+	// Final drain so trailing sends are not left unexplored.
+	if err := drain(); err != nil {
+		return res, err
+	}
+	res.end = w.Clone()
+	res.path = append(append([]model.Step(nil), base...), x.path...)
+	return res, nil
+}

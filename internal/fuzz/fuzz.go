@@ -1,0 +1,363 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/scenario"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Budget bounds the total number of applied world transitions
+	// across all executed schedules (default 50000). The budget is
+	// checked between rounds, so a run may overshoot by at most one
+	// round — deterministically.
+	Budget int
+	// Workers sets the number of executor goroutines (default 1).
+	// Any worker count produces the identical result: candidates are
+	// generated deterministically per round, executed slot-indexed, and
+	// merged in candidate order — the validate.Sweep discipline.
+	Workers int
+	// Seed is the run seed; every candidate's mutation RNG and
+	// execution seed derive from it (default 1).
+	Seed int64
+	// MaxEvents bounds the schedule length in environment events
+	// (default 12).
+	MaxEvents int
+	// Drain bounds the queued messages processed after each injection
+	// (default 8).
+	Drain int
+	// RoundSize is the number of candidate schedules per round
+	// (default 32).
+	RoundSize int
+	// Pool is the event pool the mutators substitute and insert from;
+	// nil defaults to the full §3.2.1 space (scenario.FullSpace).
+	Pool []model.EnvEvent
+	// Corpus seeds the run with previously kept schedules (e.g. loaded
+	// from a -corpus directory); they execute as round 0 alongside the
+	// per-event singletons.
+	Corpus []Schedule
+	// StopAtFirst stops the run at the end of the first round that
+	// found any violation.
+	StopAtFirst bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 50000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 12
+	}
+	if o.Drain == 0 {
+		o.Drain = 8
+	}
+	if o.RoundSize == 0 {
+		o.RoundSize = 32
+	}
+	if o.Pool == nil {
+		space := scenario.FullSpace()
+		for _, e := range space.Events(nil) {
+			o.Pool = append(o.Pool, e.EnvEvent)
+		}
+	}
+	return o
+}
+
+// Result summarizes a fuzzing run.
+type Result struct {
+	// Schedules and Steps count executed inputs and applied world
+	// transitions; Rounds counts candidate generations.
+	Schedules int `json:"schedules"`
+	Steps     int `json:"steps"`
+	Rounds    int `json:"rounds"`
+	// NewCoverageInputs counts the inputs kept for lighting up new
+	// coverage; Corpus holds them (seed corpus entries included when
+	// they covered something new).
+	NewCoverageInputs int        `json:"new_coverage_inputs"`
+	Corpus            []Schedule `json:"-"`
+	// Violations holds the distinct (property, description) pairs
+	// reached, in canonical order, each with a concrete replayable
+	// counterexample re-verified with check.Replay.
+	Violations []check.Violation `json:"-"`
+	// Coverage is the merged coverage map; CoverageDigest its stable
+	// fingerprint.
+	Coverage       *Coverage `json:"-"`
+	CoverageDigest string    `json:"coverage_digest"`
+	// TransitionsFired/Total and PairsCovered materialize the coverage
+	// counters for reports.
+	TransitionsFired int `json:"transitions_fired"`
+	TransitionsTotal int `json:"transitions_total"`
+	PairsCovered     int `json:"pairs_covered"`
+}
+
+// Fuzz runs the coverage-guided loop over the world: seed the corpus,
+// then mutate–execute–keep rounds until the step budget is spent.
+//
+// Determinism contract (asserted by TestFuzzDeterminism): the result —
+// coverage digest, kept-input set, violation set — is a pure function
+// of (world, props, Options minus Workers). Candidates are derived from
+// (Seed, round, index) alone, rounds are merged sequentially in
+// candidate order, and the corpus snapshot mutators see is the one from
+// the round start, so worker scheduling never influences anything.
+func Fuzz(w0 *model.World, props []check.Property, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(opt.Pool) == 0 {
+		return nil, fmt.Errorf("fuzz: empty event pool")
+	}
+
+	res := &Result{Coverage: NewCoverage(w0)}
+	var corpus []entry
+
+	// Round 0: the seed corpus — caller-provided schedules, one
+	// singleton per pool event (every scenario family is exercised
+	// before mutation starts), and one round of fresh random schedules
+	// so mutation starts from deep parents, not only singletons.
+	seeds := make([]candidate, 0, len(opt.Corpus)+len(opt.Pool)+opt.RoundSize)
+	for _, s := range opt.Corpus {
+		seeds = append(seeds, candidate{sched: s.clone(), parent: -1})
+	}
+	for i, e := range opt.Pool {
+		seeds = append(seeds, candidate{
+			sched:  Schedule{Seed: mutSeed(opt.Seed, 0, len(opt.Corpus)+i), Events: []model.EnvEvent{e}},
+			parent: -1,
+		})
+	}
+	for i := 0; i < opt.RoundSize; i++ {
+		rng := rand.New(rand.NewSource(mutSeed(opt.Seed, 0, len(seeds)+i)))
+		seeds = append(seeds, candidate{sched: freshSchedule(opt.Pool, opt.MaxEvents, rng), parent: -1})
+	}
+
+	// ran tracks executed genomes: a mutant identical to an already
+	// executed schedule (a no-op mutation over an inherited seed) would
+	// re-walk a known path step for step — resample instead of wasting
+	// budget on it.
+	ran := make(map[uint64]struct{})
+	note := func(s Schedule) bool {
+		h := s.genomeHash()
+		if _, dup := ran[h]; dup {
+			return false
+		}
+		ran[h] = struct{}{}
+		return true
+	}
+
+	// Exploration is adaptive (epsilon-greedy over candidate origin):
+	// each round tracks how many new coverage bits per executed step
+	// fresh random schedules earned versus corpus mutants, and the next
+	// round draws fresh candidates with probability proportional to the
+	// fresh yield. Early on fresh sampling wins (everything is new) and
+	// the fuzzer behaves like the uniform baseline; once breadth dries
+	// up the mutants' retrace-then-extend depth takes over.
+	const epsMin, epsMax = 0.125, 0.875
+	eps := epsMax
+	var bits, steps [2]int // cumulative per class: 0 = mutant, 1 = fresh
+	var violations []check.Violation
+	runRound := func(cands []candidate, fresh []bool) error {
+		results, err := executeAll(w0, corpus, props, cands, opt)
+		if err != nil {
+			return err
+		}
+		res.Rounds++
+		for i, r := range results {
+			res.Schedules++
+			res.Steps += r.steps
+			class := 0
+			if fresh == nil || fresh[i] {
+				class = 1
+			}
+			steps[class] += r.steps
+			if neu := res.Coverage.Merge(r.cov); neu > 0 {
+				corpus = append(corpus, entry{sched: cands[i].sched, end: r.end, path: r.path})
+				res.NewCoverageInputs++
+				bits[class] += neu
+			}
+			violations = append(violations, r.violations...)
+		}
+		mutYield, freshYield := yield(bits[0], steps[0]), yield(bits[1], steps[1])
+		if mutYield+freshYield > 0 {
+			eps = freshYield / (mutYield + freshYield)
+			if eps < epsMin {
+				eps = epsMin
+			} else if eps > epsMax {
+				eps = epsMax
+			}
+		}
+		return nil
+	}
+
+	for _, c := range seeds {
+		note(c.sched)
+	}
+	if err := runRound(seeds, nil); err != nil {
+		return nil, err
+	}
+	for round := 1; res.Steps < opt.Budget; round++ {
+		if opt.StopAtFirst && len(violations) > 0 {
+			break
+		}
+		cands := make([]candidate, opt.RoundSize)
+		fresh := make([]bool, opt.RoundSize)
+		for i := range cands {
+			rng := rand.New(rand.NewSource(mutSeed(opt.Seed, round, i)))
+			gen := func() candidate {
+				if fresh[i] = len(corpus) == 0 || rng.Float64() < eps; fresh[i] {
+					return candidate{sched: freshSchedule(opt.Pool, opt.MaxEvents, rng), parent: -1}
+				}
+				return mutate(corpus, opt.Pool, opt.MaxEvents, rng)
+			}
+			cands[i] = gen()
+			for try := 0; try < 8 && !note(cands[i].sched); try++ {
+				cands[i] = gen()
+			}
+		}
+		if err := runRound(cands, fresh); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Corpus = make([]Schedule, len(corpus))
+	for i, e := range corpus {
+		res.Corpus[i] = e.sched
+	}
+	res.Violations = check.DedupeViolations(violations)
+	if err := reverify(w0, props, res.Violations); err != nil {
+		return nil, err
+	}
+	res.CoverageDigest = res.Coverage.Digest()
+	res.TransitionsFired, res.TransitionsTotal = res.Coverage.Transitions()
+	res.PairsCovered = res.Coverage.Pairs()
+	return res, nil
+}
+
+// yield is new coverage bits per executed step — the signal the
+// adaptive exploration rate follows.
+func yield(bits, steps int) float64 {
+	if steps == 0 {
+		return 0
+	}
+	return float64(bits) / float64(steps)
+}
+
+// RandomBaseline samples uniformly random schedules (no feedback, no
+// corpus) under the same budget accounting — the control arm for the
+// coverage comparison in cnetfuzz -cov-report and EXPERIMENTS.md.
+func RandomBaseline(w0 *model.World, props []check.Property, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(opt.Pool) == 0 {
+		return nil, fmt.Errorf("fuzz: empty event pool")
+	}
+	res := &Result{Coverage: NewCoverage(w0)}
+	var violations []check.Violation
+	for round := 0; res.Steps < opt.Budget; round++ {
+		cands := make([]candidate, opt.RoundSize)
+		for i := range cands {
+			rng := rand.New(rand.NewSource(mutSeed(opt.Seed, round, i)))
+			cands[i] = candidate{sched: freshSchedule(opt.Pool, opt.MaxEvents, rng), parent: -1}
+		}
+		results, err := executeAll(w0, nil, props, cands, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds++
+		for _, r := range results {
+			res.Schedules++
+			res.Steps += r.steps
+			res.Coverage.Merge(r.cov)
+			violations = append(violations, r.violations...)
+		}
+	}
+	res.Violations = check.DedupeViolations(violations)
+	if err := reverify(w0, props, res.Violations); err != nil {
+		return nil, err
+	}
+	res.CoverageDigest = res.Coverage.Digest()
+	res.TransitionsFired, res.TransitionsTotal = res.Coverage.Transitions()
+	res.PairsCovered = res.Coverage.Pairs()
+	return res, nil
+}
+
+// executeAll runs the candidates across opt.Workers goroutines with an
+// atomic job cursor and slot-indexed results, each worker reusing one
+// executor (world + buffers). Results are positionally stable, so the
+// sequential merge that follows is order-deterministic.
+func executeAll(w0 *model.World, corpus []entry, props []check.Property, cands []candidate, opt Options) ([]execResult, error) {
+	results := make([]execResult, len(cands))
+	errs := make([]error, len(cands))
+	workers := opt.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		var x executor
+		for i, c := range cands {
+			var err error
+			if results[i], err = x.run(w0, corpus, c, props, opt); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var x executor
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				results[i], errs[i] = x.run(w0, corpus, cands[i], props, opt)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// reverify replays every counterexample against the initial world and
+// confirms the property reproduces its description — the same proof
+// the parallel checker gives before results leave the package.
+func reverify(w0 *model.World, props []check.Property, vs []check.Violation) error {
+	byName := make(map[string]check.Property, len(props))
+	for _, p := range props {
+		byName[p.Name()] = p
+	}
+	for _, v := range vs {
+		end, err := check.Replay(w0, v.Path)
+		if err != nil {
+			return fmt.Errorf("fuzz: counterexample for %s failed replay re-verification: %w", v.Property, err)
+		}
+		p, ok := byName[v.Property]
+		if !ok {
+			return fmt.Errorf("fuzz: violation of unknown property %q", v.Property)
+		}
+		var last model.Step
+		if len(v.Path) > 0 {
+			last = v.Path[len(v.Path)-1]
+		}
+		if got := p.Check(end, last); got != v.Desc {
+			return fmt.Errorf("fuzz: counterexample for %s does not reproduce on replay: got %q, want %q", v.Property, got, v.Desc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"cnetverifier/internal/model"
+)
+
+// mutSeed derives an independent RNG seed from the run seed and a
+// candidate's (round, index) coordinates — the SplitMix64 finalizer,
+// exactly as check.walkSeed — so candidate (r, i) is the same schedule
+// whatever worker executes it.
+func mutSeed(seed int64, round, idx int) int64 {
+	z := uint64(seed) + uint64(round+1)*0x9E3779B97F4A7C15 + uint64(idx+1)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// freshSchedule draws a uniformly random schedule from the event pool —
+// the corpus bootstrap and the uniform-sampling baseline's generator.
+func freshSchedule(pool []model.EnvEvent, maxEvents int, rng *rand.Rand) Schedule {
+	n := 1 + rng.Intn(maxEvents)
+	s := Schedule{Seed: rng.Int63()}
+	for i := 0; i < n; i++ {
+		s.Events = append(s.Events, pool[rng.Intn(len(pool))])
+	}
+	return s
+}
+
+// mutate derives one candidate from the corpus: pick a parent
+// (recency-weighted — the newest entries hold the freshest coverage
+// frontier) and either extend it from its snapshot or rewrite its
+// genome. Extension is the workhorse: it resumes execution at the
+// parent's end state, so the budget is charged only for the new tail,
+// never for re-walking the prefix that earned the parent its corpus
+// slot. Resumed schedules may grow past MaxEvents (up to 4x) — depth
+// uniform sampling cannot afford is exactly what the snapshot buys.
+// The caller decides the fresh-vs-mutant split (the adaptive epsilon
+// in Fuzz); the empty-corpus fallback only guards against starvation.
+func mutate(corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand) candidate {
+	if len(corpus) == 0 {
+		return candidate{sched: freshSchedule(pool, maxEvents, rng), parent: -1}
+	}
+	window := len(corpus)
+	if rng.Intn(2) == 0 && window > 8 {
+		window = 8 // half the time, mutate one of the 8 newest entries
+	}
+	pi := len(corpus) - 1 - rng.Intn(window)
+	parent := corpus[pi]
+	if grow := 4 * maxEvents; rng.Intn(2) == 0 && len(parent.sched.Events) < grow {
+		var tail []model.EnvEvent
+		for n := 1 + rng.Intn(maxEvents); n > 0 && len(parent.sched.Events)+len(tail) < grow; n-- {
+			tail = append(tail, pool[rng.Intn(len(pool))])
+		}
+		sched := Schedule{
+			Seed:   rng.Int63(),
+			Events: append(append([]model.EnvEvent(nil), parent.sched.Events...), tail...),
+		}
+		return candidate{sched: sched, parent: pi, tail: tail}
+	}
+	child := parent.sched.clone()
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		mutateOnce(&child, corpus, pool, maxEvents, rng)
+	}
+	return candidate{sched: child, parent: -1}
+}
+
+// mutateOnce applies one weighted whole-genome operator in place.
+// These mutants re-execute from the initial world (the prefix changed,
+// so no snapshot applies).
+//
+// The interleaving seed is inherited unless the perturb operator
+// fires: over an unchanged schedule prefix the seed's RNG stream
+// replays the parent's drain choices verbatim, so the mutant retraces
+// the path that earned the parent its corpus slot before diverging.
+// Re-randomizing the seed on every mutant (the obvious implementation)
+// silently turns the fuzzer into uniform sampling: the prefix
+// re-executes under different interleaving choices and the rare state
+// is never revisited.
+func mutateOnce(child *Schedule, corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand) {
+	switch pick := rng.Intn(8); {
+	case pick < 2: // truncate: keep a prefix
+		if len(child.Events) > 1 {
+			child.Events = child.Events[:1+rng.Intn(len(child.Events)-1)]
+		}
+	case pick < 4: // substitute: swap one event for a pool event
+		child.Events[rng.Intn(len(child.Events))] = pool[rng.Intn(len(pool))]
+	case pick < 5: // splice: prefix of child + suffix of a second parent
+		other := corpus[rng.Intn(len(corpus))].sched
+		cut := rng.Intn(len(child.Events) + 1)
+		child.Events = child.Events[:cut]
+		if len(other.Events) > 0 {
+			from := rng.Intn(len(other.Events))
+			child.Events = append(child.Events, other.Events[from:]...)
+		}
+		if len(child.Events) > maxEvents {
+			child.Events = child.Events[:maxEvents]
+		}
+		if len(child.Events) == 0 {
+			child.Events = append(child.Events, pool[rng.Intn(len(pool))])
+		}
+	case pick < 7: // insert: add a pool event at a random position
+		if len(child.Events) < maxEvents {
+			at := rng.Intn(len(child.Events) + 1)
+			child.Events = append(child.Events, model.EnvEvent{})
+			copy(child.Events[at+1:], child.Events[at:])
+			child.Events[at] = pool[rng.Intn(len(pool))]
+		}
+	default: // perturb: same events, different interleaving (Kairos-style)
+		child.Seed = rng.Int63()
+	}
+}

@@ -103,6 +103,15 @@ func (w *World) Steps(env []EnvEvent) []Step {
 // per search depth. Guard evaluation reuses the world's scratch
 // context and enabled-index buffer.
 func (w *World) StepsAppend(steps []Step, env []EnvEvent) []Step {
+	steps = w.StepsQueueAppend(steps)
+	return w.StepsEnvAppend(steps, env)
+}
+
+// StepsQueueAppend appends only the message-driven steps (deliveries,
+// drops, discards). The fuzzing executor drains inboxes between
+// environment injections with this half alone, skipping the env-guard
+// evaluation StepsAppend would repeat at every drain step.
+func (w *World) StepsQueueAppend(steps []Step) []Step {
 	for i, p := range w.Procs {
 		ch := w.Chans[i]
 		if ch.Name != p.Name {
@@ -130,6 +139,12 @@ func (w *World) StepsAppend(steps []Step, env []EnvEvent) []Step {
 			}
 		}
 	}
+	return steps
+}
+
+// StepsEnvAppend appends only the environment-event steps enabled for
+// the offered events — the injection half of StepsAppend.
+func (w *World) StepsEnvAppend(steps []Step, env []EnvEvent) []Step {
 	for _, e := range env {
 		p := w.Proc(e.Proc)
 		if p == nil {

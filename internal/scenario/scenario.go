@@ -66,6 +66,30 @@ func FullSpace() Space {
 	}
 }
 
+// Family is one toggleable scenario family of Space: its name and a
+// Space with only that family enabled.
+type Family struct {
+	Name  string
+	Space Space
+}
+
+// Families enumerates every scenario family exactly once. It is the
+// single source of truth tying the Space toggles to the event space:
+// the family-toggle tests assert FullSpace equals the union of these,
+// and the fuzzer's substitution mutator draws per-family event pools
+// from it — a family silently dropped from Events would break both.
+func Families() []Family {
+	return []Family{
+		{"power-cycles", Space{PowerCycles: true}},
+		{"calls", Space{Calls: true}},
+		{"data", Space{Data: true}},
+		{"mobility", Space{Mobility: true}},
+		{"pdp-deactivations", Space{PDPDeactivations: true}},
+		{"operator-actions", Space{OperatorActions: true}},
+		{"wifi-offload", Space{WiFiOffload: true}},
+	}
+}
+
 func ev(proc string, kind types.MsgKind, user bool, label string) Event {
 	return Event{
 		EnvEvent:   model.EnvEvent{Proc: proc, Msg: types.Message{Kind: kind}},

@@ -1,12 +1,65 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 
 	"cnetverifier/internal/model"
 	"cnetverifier/internal/names"
 	"cnetverifier/internal/types"
 )
+
+// TestFamilies pins the family decomposition of the space: every
+// family alone emits a disjoint, non-empty label set, and FullSpace is
+// exactly their union. A new Space toggle that is not registered in
+// Families (or a family leaking another family's events) fails here.
+func TestFamilies(t *testing.T) {
+	if got, want := len(Families()), reflect.TypeOf(Space{}).NumField(); got != want {
+		t.Fatalf("Families() lists %d families, Space has %d toggles", got, want)
+	}
+	full := map[string]bool{}
+	for _, e := range FullSpace().Events(nil) {
+		full[e.Label] = true
+	}
+	union := map[string]string{}
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			// Exactly one toggle set.
+			v := reflect.ValueOf(f.Space)
+			on := 0
+			for i := 0; i < v.NumField(); i++ {
+				if v.Field(i).Bool() {
+					on++
+				}
+			}
+			if on != 1 {
+				t.Fatalf("family %s enables %d toggles, want 1", f.Name, on)
+			}
+			evs := f.Space.Events(nil)
+			if len(evs) == 0 {
+				t.Fatalf("family %s emits no events", f.Name)
+			}
+			for _, e := range evs {
+				if !full[e.Label] {
+					t.Errorf("family %s emits %q, absent from FullSpace", f.Name, e.Label)
+				}
+				if prev, dup := union[e.Label]; dup {
+					t.Errorf("label %q emitted by both %s and %s", e.Label, prev, f.Name)
+				}
+				union[e.Label] = f.Name
+			}
+		})
+	}
+	for l := range full {
+		if _, ok := union[l]; !ok {
+			t.Errorf("FullSpace label %q not emitted by any family", l)
+		}
+	}
+	if len(union) != len(full) {
+		t.Errorf("family union = %d labels, FullSpace = %d", len(union), len(full))
+	}
+}
 
 func TestFullSpaceCoversFamilies(t *testing.T) {
 	evs := FullSpace().Events(nil)

@@ -101,6 +101,21 @@ func (c Cause) String() string {
 	}
 }
 
+// causeRange bounds the linear scan of CauseByName; keep it one past
+// the last declared cause.
+const causeRange = CauseTimerExpiry + 1
+
+// CauseByName resolves a Cause from its String form (the counterpart
+// of KindByName for the fuzz corpus codec).
+func CauseByName(name string) (Cause, bool) {
+	for c := Cause(0); c < causeRange; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return CauseNone, false
+}
+
 // PDPDeactOriginator says which side may initiate a PDP context
 // deactivation with a given cause (Table 3).
 type PDPDeactOriginator uint8

@@ -182,6 +182,18 @@ func (k MsgKind) String() string {
 	return fmt.Sprintf("MsgKind(%d)", uint16(k))
 }
 
+// KindByName resolves a MsgKind from its String form. The corpus codec
+// (internal/fuzz) stores kinds by name so checked-in schedules survive
+// renumbering of the MsgKind constants.
+func KindByName(name string) (MsgKind, bool) {
+	for k, s := range msgKindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return MsgNone, false
+}
+
 // IsUserEvent reports whether the kind is a user/environment event
 // rather than an air-interface signaling message.
 func (k MsgKind) IsUserEvent() bool {

@@ -1,0 +1,99 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// This file closes the loop on the sweep's two export formats: both the
+// JSON and the CSV rendering gain decoders, so campaign artifacts can
+// be re-read, diffed and regression-tested. The CSV column set is not a
+// second source of truth — it is derived by reflection from SweepCell's
+// json tags, so a field added to the cell struct shows up in both
+// formats (and in their round-trip tests) automatically.
+
+// csvFields returns the SweepCell json tag names in field order — the
+// shared schema of the JSON cells and the CSV columns.
+func csvFields() []string {
+	t := reflect.TypeOf(SweepCell{})
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// CSVHeader returns the CSV header row (no trailing newline).
+func CSVHeader() string {
+	return strings.Join(csvFields(), ",")
+}
+
+// DecodeJSON parses a SweepResult.JSON rendering. Unknown fields are an
+// error: an artifact that doesn't match the schema should fail loudly,
+// not silently drop data.
+func DecodeJSON(data []byte) (*SweepResult, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r SweepResult
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("validate: decode sweep JSON: %w", err)
+	}
+	return &r, nil
+}
+
+// DecodeCSV parses a SweepResult.CSV rendering back into cells. The
+// header must match CSVHeader exactly — column drift between writer and
+// reader is the failure mode this guards against.
+func DecodeCSV(data string) ([]SweepCell, error) {
+	lines := strings.Split(strings.TrimRight(data, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != CSVHeader() {
+		return nil, fmt.Errorf("validate: CSV header %q does not match %q", lines[0], CSVHeader())
+	}
+	cells := make([]SweepCell, 0, len(lines)-1)
+	for ln, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != len(csvFields()) {
+			return nil, fmt.Errorf("validate: CSV row %d has %d columns, want %d", ln+2, len(cols), len(csvFields()))
+		}
+		var c SweepCell
+		c.Finding, c.Property = cols[0], cols[1]
+		c.TraceHash = cols[10]
+		var err error
+		for _, f := range []struct {
+			name string
+			dst  *int
+			col  string
+		}{
+			{"runs", &c.Runs, cols[3]},
+			{"reproduced", &c.Reproduced, cols[4]},
+			{"aborted", &c.Aborted, cols[5]},
+			{"satisfied", &c.Satisfied, cols[6]},
+		} {
+			if *f.dst, err = strconv.Atoi(f.col); err != nil {
+				return nil, fmt.Errorf("validate: CSV row %d: bad %s %q", ln+2, f.name, f.col)
+			}
+		}
+		for _, f := range []struct {
+			name string
+			dst  *float64
+			col  string
+		}{
+			{"loss", &c.Loss, cols[2]},
+			{"rate", &c.Rate, cols[7]},
+			{"ci_low", &c.CILow, cols[8]},
+			{"ci_high", &c.CIHigh, cols[9]},
+		} {
+			if *f.dst, err = strconv.ParseFloat(f.col, 64); err != nil {
+				return nil, fmt.Errorf("validate: CSV row %d: bad %s %q", ln+2, f.name, f.col)
+			}
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}

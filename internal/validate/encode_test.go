@@ -1,0 +1,111 @@
+package validate
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cnetverifier/internal/netemu"
+)
+
+func sampleResult() *SweepResult {
+	return &SweepResult{
+		Profile:     "OP-II",
+		Reliability: true,
+		Fixes:       netemu.FixSet{ReliableSignaling: true},
+		Seeds:       8,
+		Seed:        1,
+		Cells: []SweepCell{
+			{Finding: "S1", Property: "PacketService_OK", Loss: 0, Runs: 8,
+				Reproduced: 8, Rate: 1, CILow: 0.6757, CIHigh: 1,
+				TraceHash: "00deadbeef001122"},
+			{Finding: "S2", Property: "NoDetachLoop", Loss: 0.3, Runs: 8,
+				Reproduced: 5, Aborted: 2, Satisfied: 1, Rate: 0.625,
+				CILow: 0.3057, CIHigh: 0.8632, TraceHash: "abcdef0123456789"},
+		},
+	}
+}
+
+// TestJSONRoundTrip pins the JSON artifact format: encode → decode →
+// encode must be byte-identical.
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleResult()
+	first, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJSON(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := dec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("JSON round trip drifted:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if _, err := DecodeJSON([]byte(`{"profile": "x", "bogus_field": 1}`)); err == nil {
+		t.Error("unknown JSON field accepted")
+	}
+}
+
+// TestCSVRoundTrip pins the CSV artifact format the same way: the
+// re-encoded table must be byte-identical to the first rendering.
+func TestCSVRoundTrip(t *testing.T) {
+	r := sampleResult()
+	first := r.CSV()
+	cells, err := DecodeCSV(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := (&SweepResult{Cells: cells}).CSV()
+	if first != second {
+		t.Errorf("CSV round trip drifted:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if len(cells) != len(r.Cells) {
+		t.Fatalf("decoded %d cells, want %d", len(cells), len(r.Cells))
+	}
+	for i, c := range cells {
+		if c.Finding != r.Cells[i].Finding || c.Runs != r.Cells[i].Runs ||
+			c.Loss != r.Cells[i].Loss || c.TraceHash != r.Cells[i].TraceHash {
+			t.Errorf("cell %d drifted: %+v != %+v", i, c, r.Cells[i])
+		}
+	}
+
+	if _, err := DecodeCSV("wrong,header\n"); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := DecodeCSV(CSVHeader() + "\nS1,p,0,8\n"); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := DecodeCSV(CSVHeader() + "\nS1,p,0,x,0,0,0,0,0,0,h\n"); err == nil {
+		t.Error("non-numeric runs accepted")
+	}
+}
+
+// TestCSVHeaderMatchesJSONTags enforces the shared schema: the CSV
+// column set is exactly SweepCell's json field set, in declaration
+// order. Adding a cell field without a json tag (or with a mismatched
+// CSV writer) fails here.
+func TestCSVHeaderMatchesJSONTags(t *testing.T) {
+	var want []string
+	typ := reflect.TypeOf(SweepCell{})
+	for i := 0; i < typ.NumField(); i++ {
+		tag := typ.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			t.Errorf("SweepCell field %s has no json tag; CSV and JSON would drift", typ.Field(i).Name)
+			continue
+		}
+		want = append(want, name)
+	}
+	if got := CSVHeader(); got != strings.Join(want, ",") {
+		t.Errorf("CSVHeader() = %q, json tags say %q", got, strings.Join(want, ","))
+	}
+	// The writer and the decoder must agree on the column count.
+	row := strings.Split(sampleResult().CSV(), "\n")[1]
+	if got, wantN := len(strings.Split(row, ",")), len(want); got != wantN {
+		t.Errorf("CSV row has %d columns, header has %d", got, wantN)
+	}
+}

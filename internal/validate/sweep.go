@@ -357,9 +357,12 @@ func (r *SweepResult) JSON() ([]byte, error) {
 }
 
 // CSV renders the cells as a CSV table (header + one row per cell).
+// The header is derived from SweepCell's json tags (CSVHeader), so the
+// two export formats cannot drift apart; DecodeCSV reads it back.
 func (r *SweepResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("finding,property,loss,runs,reproduced,aborted,satisfied,rate,ci_low,ci_high,trace_hash\n")
+	b.WriteString(CSVHeader())
+	b.WriteByte('\n')
 	for _, c := range r.Cells {
 		fmt.Fprintf(&b, "%s,%s,%g,%d,%d,%d,%d,%.4f,%.4f,%.4f,%s\n",
 			c.Finding, c.Property, c.Loss, c.Runs, c.Reproduced, c.Aborted,

@@ -59,6 +59,32 @@ func BenchmarkScreenWorlds(b *testing.B) {
 	}
 }
 
+// BenchmarkScreenMultiUE measures the partial-order reduction on the
+// 3-UE world: the same screening with the cluster decomposition off
+// (full interleaving product) and on (sum of the per-cluster
+// projections). The states/s metric is incomparable between the two —
+// the point is the absolute time and the states count in the logs.
+func BenchmarkScreenMultiUE(b *testing.B) {
+	for _, por := range []bool{false, true} {
+		b.Run(fmt.Sprintf("por=%v", por), func(b *testing.B) {
+			s := core.MultiUEWorld(3, false)
+			opt := s.Options
+			opt.POR = por
+			b.ReportAllocs()
+			states := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := core.Screen(s, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = r.Result.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
 // BenchmarkScreenWorkers measures the widest scoped world (S6) under
 // the work-stealing frontier engine as the worker count grows.
 func BenchmarkScreenWorkers(b *testing.B) {

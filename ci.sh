@@ -26,9 +26,30 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== detlint (determinism analyzers over the deterministic-replay packages) =="
+go build -o /tmp/detlint.$$ ./cmd/detlint
+if go vet -vettool=/tmp/detlint.$$ ./internal/check ./internal/core ./internal/fuzz; then
+    echo ok
+else
+    # The vettool protocol is an internal go-command contract; if a
+    # toolchain change breaks the handshake, the analyzers still gate
+    # via the standalone mode (type-driven checks degrade, see detlint).
+    echo "vettool run failed; retrying in detlint direct mode"
+    /tmp/detlint.$$ ./internal/check ./internal/core ./internal/fuzz
+    echo ok
+fi
+rm -f /tmp/detlint.$$
+
 echo "== cnetlint (specs + standard worlds, defective and fixed) =="
 go run ./cmd/cnetlint -fail-on error >/dev/null
 go run ./cmd/cnetlint -fixed -fail-on error >/dev/null
+echo ok
+
+echo "== POR gate (3-UE world: violation sets must match with and without -por) =="
+go run ./cmd/cnetverify -world multiue -violations >/tmp/viol_plain.$$
+go run ./cmd/cnetverify -world multiue -por -violations >/tmp/viol_por.$$
+cmp /tmp/viol_plain.$$ /tmp/viol_por.$$
+rm -f /tmp/viol_plain.$$ /tmp/viol_por.$$
 echo ok
 
 echo "== go test -race (concurrent packages) =="

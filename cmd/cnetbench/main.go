@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf)")
+		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por)")
 		runs    = flag.Int("runs", 100, "runs per distribution-style experiment")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		out     = flag.String("o", "", "write the report to FILE instead of stdout")
@@ -156,6 +156,27 @@ func main() {
 			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cnetbench: perf:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, s)
+		} else {
+			fmt.Fprintln(w, experiments.RenderPerfTable(prs))
+		}
+	}
+
+	if want == "por" {
+		// Partial-order reduction on the 3-UE world (ISSUE 6): not part
+		// of -exp all for the same reason as perf.
+		ran = true
+		prs, err := experiments.PerfPOR()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench: por:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetbench: por:", err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(w, s)

@@ -7,6 +7,12 @@
 //	cnetlint [-spec all|<name>|none] [-world all|<name>|none] [-fixed]
 //	         [-json] [-dot <spec>] [-fail-on info|warn|error]
 //	         [-suppress RULE1,RULE2] [-rules]
+//	         [-effects <world>] [-graph <world>]
+//
+// -effects prints the static per-edge effect summaries and independence
+// clusters of one standard world (internal/lint/effects); -graph prints
+// the same analysis's cross-protocol interaction graph as Graphviz DOT.
+// Both exit immediately, like -dot.
 //
 // Exit status is 1 when any finding reaches the -fail-on severity
 // (default error), 2 on usage errors, 0 otherwise.
@@ -22,6 +28,7 @@ import (
 
 	"cnetverifier/internal/core"
 	"cnetverifier/internal/lint"
+	"cnetverifier/internal/lint/effects"
 )
 
 func main() {
@@ -34,6 +41,8 @@ func main() {
 		failOn    = flag.String("fail-on", "error", "exit nonzero when a finding reaches this severity: info, warn, error")
 		suppress  = flag.String("suppress", "", "comma-separated rule IDs to disable everywhere")
 		rules     = flag.Bool("rules", false, "print the rule catalog and exit")
+		effectsW  = flag.String("effects", "", "print per-edge effect summaries and independence clusters for one world and exit")
+		graphW    = flag.String("graph", "", "print the cross-protocol interaction graph of one world as Graphviz DOT and exit")
 	)
 	flag.Parse()
 
@@ -51,6 +60,25 @@ func main() {
 	opts := lint.Options{}
 	if *suppress != "" {
 		opts.Suppress = map[string][]string{"*": strings.Split(*suppress, ",")}
+	}
+
+	if *effectsW != "" || *graphW != "" {
+		name := *effectsW
+		if name == "" {
+			name = *graphW
+		}
+		sc, ok := core.StandardWorlds(*fixed)[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cnetlint: unknown world %q (known: %s)\n", name, strings.Join(core.WorldNames(), ", "))
+			os.Exit(2)
+		}
+		we := effects.Analyze(sc.World)
+		if *effectsW != "" {
+			fmt.Print(we.Text())
+		} else {
+			fmt.Print(we.GraphDOT())
+		}
+		return
 	}
 
 	if *dotSpec != "" {

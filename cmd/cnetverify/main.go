@@ -4,10 +4,18 @@
 //
 // Usage:
 //
-//	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6] [-fixed] [-strategy dfs|bfs|walk]
+//	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6|multiue] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
+//	           [-por] [-violations]
 //	           [-workers N] [-parallel N] [-budget N] [-first]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// -por enables partial-order reduction for dfs/bfs: the static effect
+// analysis (internal/lint/effects) decomposes the world into
+// independence clusters and each cluster's projection is screened
+// separately. -violations prints only the canonical sorted
+// finding/property/description lines, so a -por run can be
+// byte-compared against a plain run (paths and step counts differ).
 //
 // -cpuprofile and -memprofile write pprof profiles of the campaign (the
 // heap profile is taken after the run, post-GC); feed them to
@@ -34,6 +42,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"cnetverifier/internal/check"
@@ -44,7 +53,7 @@ import (
 
 func main() {
 	var (
-		world    = flag.String("world", "all", "scoped world: all, s1, s2, s3, s4cs, s4ps, s6")
+		world    = flag.String("world", "all", "scoped world: all, s1, s2, s3, s4cs, s4ps, s6, multiue")
 		fixed    = flag.Bool("fixed", false, "enable the §8 fixes")
 		strategy = flag.String("strategy", "dfs", "exploration strategy: dfs, bfs, walk")
 		depth    = flag.Int("depth", 0, "max path depth (0 = world default)")
@@ -55,6 +64,8 @@ func main() {
 		doValid  = flag.Bool("validate", false, "run the phase-2 validation campaign (replay counterexamples on the emulator)")
 		coverage = flag.Bool("coverage", false, "print per-process transition coverage of each screening run")
 		skipLint = flag.Bool("skip-lint", false, "skip the structural lint gate and explore the world even with error-severity findings")
+		por      = flag.Bool("por", false, "enable partial-order reduction (cluster decomposition over the static effect analysis; dfs/bfs only)")
+		onlyViol = flag.Bool("violations", false, "print only the canonical violation set (sorted property/description lines), for byte-comparing runs")
 		workers  = flag.Int("workers", 1, "exploration workers per world (>1 = parallel engine)")
 		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
 		budget   = flag.Int("budget", 0, "shared distinct-state budget across the campaign (0 = none)")
@@ -120,6 +131,7 @@ func main() {
 		if *skipLint {
 			opt.SkipLint = true
 		}
+		opt.POR = *por
 		return opt
 	}
 	results, err := core.ScreenWorlds(scoped, perWorld, core.CampaignOptions{
@@ -131,6 +143,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnetverify:", err)
 		exit(1)
+	}
+
+	if *onlyViol {
+		// POR runs explore cluster projections, so step counts and
+		// counterexample paths legitimately differ from plain runs;
+		// the (world, property, description) set is the engine's
+		// determinism contract, and this mode prints exactly that so
+		// ci.sh can diff a -por run against a plain run byte for byte.
+		var lines []string
+		for _, r := range results {
+			f, _ := core.FindingByID(r.Finding)
+			for _, v := range r.Result.Violations {
+				lines = append(lines, fmt.Sprintf("%s\t%s\t%s", f.ID, v.Property, v.Desc))
+			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		exit(0)
 	}
 
 	fmt.Print(core.Report(results, *verbose))
@@ -197,6 +229,8 @@ func selectWorlds(name string, fixed bool) ([]core.Scoped, error) {
 		return []core.Scoped{core.S4PSWorld(fixed)}, nil
 	case "s6":
 		return []core.Scoped{core.S6World(fixed)}, nil
+	case "multiue":
+		return []core.Scoped{core.MultiUEWorld(3, fixed)}, nil
 	default:
 		return nil, fmt.Errorf("unknown world %q", name)
 	}

@@ -1,0 +1,55 @@
+// Package analyzers hosts CNetVerifier's go/analysis-style static
+// checkers for the repo's own Go source, built on the standard library
+// alone (the environment bakes in no golang.org/x/tools, so the
+// Analyzer/Pass/Diagnostic shapes are declared here and cmd/detlint
+// speaks the `go vet -vettool` unitchecker protocol by hand).
+//
+// The shapes deliberately mirror golang.org/x/tools/go/analysis so the
+// analyzers port over mechanically if the dependency ever becomes
+// available: an Analyzer bundles a name, doc string and Run function; a
+// Pass hands Run one typechecked package and a Report sink; Run reports
+// Diagnostics at token positions.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the checker's command-line name (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run executes the check over one package and reports findings via
+	// pass.Report. It returns an error only for analysis failures, not
+	// for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's worth of inputs to an Analyzer's Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg and TypesInfo hold the typechecked package. TypesInfo may be
+	// partially filled (direct mode typechecks best-effort when export
+	// data for imports is unavailable); analyzers must degrade to
+	// syntactic heuristics when a lookup misses rather than fail.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// All returns every registered analyzer, in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism}
+}

@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runOnSource typechecks one synthetic file and returns the
+// determinism findings as "line: message" strings.
+func runOnSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: importer.Default(),
+		// Collect rather than abort: the direct-mode contract is
+		// best-effort info, and the tests cover that degradation too.
+		Error: func(error) {},
+	}
+	pkg, _ := conf.Check("p", fset, []*ast.File{f}, info)
+
+	var got []string
+	pass := &Pass{
+		Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info,
+		Report: func(d Diagnostic) {
+			got = append(got, strings.TrimPrefix(fset.Position(d.Pos).String(), "src.go:"))
+		},
+	}
+	if err := Determinism.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		got[i] = g[:strings.Index(g, ":")] // keep the line only
+	}
+	return got
+}
+
+func TestDeterminismMapRange(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"sort"
+)
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func goodSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodCounting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func goodSlice(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	got := runOnSource(t, src)
+	// One finding per bad function: lines of the two range statements.
+	if len(got) != 2 {
+		t.Fatalf("got findings at lines %v, want exactly 2 (bad and badPrint)", got)
+	}
+	if got[0] != "10" || got[1] != "17" {
+		t.Errorf("finding lines = %v, want [10 17]", got)
+	}
+}
+
+func TestDeterminismTimeAndRand(t *testing.T) {
+	src := `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	rand.Shuffle(3, func(i, j int) {})
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+type fake struct{}
+
+func (fake) Intn(int) int { return 0 }
+
+func goodShadow() int {
+	rand := fake{}
+	return rand.Intn(10)
+}
+`
+	got := runOnSource(t, src)
+	if len(got) != 3 {
+		t.Fatalf("got findings at lines %v, want 3 (Shuffle, time.Now, Intn)", got)
+	}
+	if got[0] != "9" || got[1] != "10" || got[2] != "10" {
+		t.Errorf("finding lines = %v, want [9 10 10]", got)
+	}
+}
+
+func TestDeterminismAliasedImport(t *testing.T) {
+	src := `package p
+
+import mrand "math/rand"
+
+func bad() int { return mrand.Int() }
+`
+	got := runOnSource(t, src)
+	if len(got) != 1 || got[0] != "5" {
+		t.Errorf("aliased math/rand not caught: findings %v", got)
+	}
+}
+
+// TestDeterminismNoTypeInfo pins the degradation contract: without
+// type info the map-range check stays silent (no guessing), while the
+// import-driven call checks still work.
+func TestDeterminismNoTypeInfo(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func f(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	_ = time.Now()
+	return out
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	pass := &Pass{
+		Fset: fset, Files: []*ast.File{f},
+		Report: func(d Diagnostic) { got = append(got, d.Message) },
+	}
+	if err := Determinism.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "time.Now") {
+		t.Errorf("syntactic-mode findings = %v, want only the time.Now report", got)
+	}
+}

@@ -116,6 +116,24 @@ type Options struct {
 	// in DESIGN.md); counterexample paths are re-verified with Replay
 	// before being reported.
 	Workers int
+	// POR enables independence-powered partial-order reduction for the
+	// DFS/BFS strategies (RandomWalk ignores it: sampled schedules are
+	// not an interleaving fixpoint). The static effect analysis
+	// (internal/lint/effects) partitions the world's processes into
+	// clusters that share no globals and exchange no messages; the
+	// checker then explores each cluster's projection (model.World.
+	// Project) instead of their product, cutting visited states from
+	// the product of the cluster sizes to their sum. When the analysis
+	// finds a single cluster the run is identical to POR off.
+	//
+	// Soundness assumptions, both documented in DESIGN.md: the scenario
+	// offers a state-independent event set (true of every registry
+	// scenario), and each property reads only globals written within
+	// one cluster (true of every props.* property). The violation set —
+	// the (property, description) pairs — is then exactly the full
+	// product's; counterexample paths are cluster-local and replay
+	// against the cluster's projection.
+	POR bool
 	// Budget optionally shares a pool of distinct-state tokens across
 	// several runs (a screening campaign's global bound). When the pool
 	// dries up the run truncates, exactly like MaxStates.
@@ -132,7 +150,7 @@ type Options struct {
 func (o Options) IsZero() bool {
 	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
 		!o.StopAtFirst && !o.Paranoid && !o.SkipLint && o.LintSuppress == nil &&
-		o.Walks == 0 && o.Seed == 0 &&
+		o.Walks == 0 && o.Seed == 0 && !o.POR &&
 		o.Workers == 0 && o.Budget == nil && o.Cancel == nil
 }
 
@@ -243,6 +261,15 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 			return nil, err
 		}
 	}
+	if opt.POR && (opt.Strategy == DFS || opt.Strategy == BFS) {
+		return runPOR(w, props, sc, opt)
+	}
+	return dispatch(w, props, sc, opt)
+}
+
+// dispatch routes an already-defaulted, already-prescreened run to its
+// exploration engine.
+func dispatch(w *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	var res *Result
 	var err error
 	switch opt.Strategy {

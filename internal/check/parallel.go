@@ -458,25 +458,36 @@ func dedupeViolations(vs []Violation) []Violation {
 // before it leaves the package (mirroring the paper's screening →
 // validation hand-off, §3.2.3).
 func reverify(w0 *model.World, props []Property, vs []Violation) error {
-	byName := make(map[string]Property, len(props))
+	// Several monitors may share one property name (per-instance
+	// monitors of a multi-UE world, e.g. props.DataServiceOKIn); a
+	// violation reproduces when any monitor of its name reports the
+	// recorded description on the replayed state.
+	byName := make(map[string][]Property, len(props))
 	for _, p := range props {
-		byName[p.Name()] = p
+		byName[p.Name()] = append(byName[p.Name()], p)
 	}
 	for _, v := range vs {
 		end, err := Replay(w0, v.Path)
 		if err != nil {
 			return fmt.Errorf("check: counterexample for %s failed replay re-verification: %w", v.Property, err)
 		}
-		p, ok := byName[v.Property]
-		if !ok {
+		ps := byName[v.Property]
+		if len(ps) == 0 {
 			return fmt.Errorf("check: violation of unknown property %q", v.Property)
 		}
 		var last model.Step
 		if len(v.Path) > 0 {
 			last = v.Path[len(v.Path)-1]
 		}
-		if got := p.Check(end, last); got != v.Desc {
-			return fmt.Errorf("check: counterexample for %s does not reproduce on replay: got %q, want %q", v.Property, got, v.Desc)
+		reproduced := false
+		for _, p := range ps {
+			if p.Check(end, last) == v.Desc {
+				reproduced = true
+				break
+			}
+		}
+		if !reproduced {
+			return fmt.Errorf("check: counterexample for %s does not reproduce on replay: no monitor of that name reports %q", v.Property, v.Desc)
 		}
 	}
 	return nil

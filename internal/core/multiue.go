@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/names"
+	"cnetverifier/internal/props"
+	"cnetverifier/internal/protocols/gmm"
+	"cnetverifier/internal/protocols/rrc3g"
+	"cnetverifier/internal/protocols/sm"
+	"cnetverifier/internal/types"
+)
+
+// MultiUEWorld composes n independent copies of the S4 PS stack
+// (GMM + SM, device and SGSN side) in one world. Each copy lives in
+// its own namespace: process names carry a "ue<k>"/"sgsn<k>" element
+// prefix, peers are wired instance-locally, and every global is
+// rewritten by fsm.NamespaceGlobals, so the copies share no context at
+// all — the worst case for the raw interleaving fixpoint (the product
+// of n identical state spaces) and the best case for the cluster
+// decomposition of check.Options.POR, which the static effect analysis
+// proves apart and explores as n separate projections (the sum).
+//
+// This is the scaling shape the paper hits when screening multi-device
+// scenarios (§7: several UEs under one SGSN interact only through
+// shared infrastructure, not through each other's NAS state), and the
+// world the ci POR gate and BenchmarkScreenMultiUE measure.
+func MultiUEWorld(n int, fixed bool) Scoped {
+	if n < 1 {
+		panic(fmt.Sprintf("core: MultiUEWorld: need at least 1 UE, got %d", n))
+	}
+	globals := make(map[string]int, 2*n)
+	procs := make([]model.ProcConfig, 0, 4*n)
+	var events []model.EnvEvent
+	properties := make([]check.Property, 0, n)
+	for k := 1; k <= n; k++ {
+		ns := fmt.Sprintf("ue%d", k)
+		ueGMM := fmt.Sprintf("ue%d.gmm", k)
+		sgsnGMM := fmt.Sprintf("sgsn%d.gmm", k)
+		ueSM := fmt.Sprintf("ue%d.sm", k)
+		sgsnSM := fmt.Sprintf("sgsn%d.sm", k)
+		globals[names.Namespaced(names.GSys, ns)] = int(types.SysNone)
+		globals[names.Namespaced(names.GModulation, ns)] = rrc3g.Mod64QAM
+		procs = append(procs,
+			model.ProcConfig{Name: ueGMM, Spec: fsm.NamespaceGlobals(
+				gmm.DeviceSpec(gmm.DeviceOptions{FixParallelUpdate: fixed, Peer: sgsnGMM}), ns)},
+			model.ProcConfig{Name: sgsnGMM, Spec: fsm.NamespaceGlobals(
+				gmm.SGSNSpec(gmm.SGSNOptions{Peer: ueGMM}), ns)},
+			model.ProcConfig{Name: ueSM, Spec: fsm.NamespaceGlobals(
+				sm.DeviceSpec(sm.DeviceOptions{FixParallelUpdate: fixed, Peer: sgsnSM}), ns)},
+			model.ProcConfig{Name: sgsnSM, Spec: fsm.NamespaceGlobals(
+				sm.SGSNSpec(sm.SGSNOptions{Peer: ueSM}), ns)},
+		)
+		events = append(events,
+			env(ueGMM, types.MsgPowerOn),
+			env(ueGMM, types.MsgUserMove),
+			env(ueSM, types.MsgUserDataOn),
+		)
+		properties = append(properties, props.DataServiceOKIn(ns))
+	}
+	w := mustWorld(model.Config{Globals: globals, Procs: procs})
+	sc := check.ScenarioFunc(func(w *model.World) []model.EnvEvent {
+		return events
+	})
+	return Scoped{
+		Finding:  S4,
+		Fixed:    fixed,
+		World:    w,
+		Scenario: sc,
+		Props:    properties,
+		Options:  check.Options{MaxDepth: 48, MaxStates: 1 << 20},
+	}
+}

@@ -64,13 +64,14 @@ func SpecNames() []string {
 // environment hints do not depend on sampler randomness).
 func StandardWorlds(fixed bool) map[string]Scoped {
 	return map[string]Scoped{
-		"s1":   S1World(fixed),
-		"s2":   S2World(fixed),
-		"s3":   S3World(fixed, names.SwitchReselect),
-		"s4cs": S4CSWorld(fixed),
-		"s4ps": S4PSWorld(fixed),
-		"s6":   S6World(fixed),
-		"full": FullWorld(FullConfig{Fixed: fixed}),
+		"s1":      S1World(fixed),
+		"s2":      S2World(fixed),
+		"s3":      S3World(fixed, names.SwitchReselect),
+		"s4cs":    S4CSWorld(fixed),
+		"s4ps":    S4PSWorld(fixed),
+		"s6":      S6World(fixed),
+		"full":    FullWorld(FullConfig{Fixed: fixed}),
+		"multiue": MultiUEWorld(3, fixed),
 	}
 }
 

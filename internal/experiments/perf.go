@@ -16,6 +16,7 @@ import (
 type PerfRun struct {
 	World        string  `json:"world"`
 	Workers      int     `json:"workers"`
+	POR          bool    `json:"por,omitempty"`
 	States       int     `json:"states"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	StatesPerSec float64 `json:"states_per_sec"`
@@ -88,6 +89,50 @@ func PerfScreen(workerCounts []int) ([]PerfRun, error) {
 			}
 			out = append(out, run)
 		}
+	}
+	return out, nil
+}
+
+// PerfPOR benchmarks the partial-order reduction on the 3-UE world:
+// the same screening run with check.Options.POR off and on. The state
+// counts are the acceptance numbers of the cluster decomposition (the
+// full product versus the sum of the per-cluster projections) and the
+// rows land in BENCH_screen.json next to the throughput runs.
+func PerfPOR() ([]PerfRun, error) {
+	var out []PerfRun
+	for _, por := range []bool{false, true} {
+		s := core.MultiUEWorld(3, false)
+		opt := s.Options
+		opt.POR = por
+		states := 0
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Screen(s, opt)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				states = res.Result.States
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("perf: multiue por=%v: %w", por, benchErr)
+		}
+		run := PerfRun{
+			World:       "multiue",
+			Workers:     1,
+			POR:         por,
+			States:      states,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if sec := r.T.Seconds(); sec > 0 {
+			run.StatesPerSec = float64(states) * float64(r.N) / sec
+		}
+		out = append(out, run)
 	}
 	return out, nil
 }

@@ -1,0 +1,111 @@
+package fsm
+
+import (
+	"sync"
+
+	"cnetverifier/internal/types"
+)
+
+// NamespaceGlobals returns a copy of the spec whose guards and actions
+// see every "g."-prefixed variable rewritten into a namespace:
+// "g.sys" becomes "g.<ns>.sys". Machine-local variables, indexed slot
+// access, sends, outputs and traces pass through unchanged.
+//
+// The transform is what lets several instances of the same protocol
+// stack coexist in one world without sharing context (core.MultiUEWorld
+// composes N namespaced UE/SGSN stacks this way): the specs stay
+// written against the canonical names package keys, and the namespace
+// is applied at the context boundary. Because the rewrite happens on
+// the live context, probing a namespaced spec with a recording context
+// (internal/lint/effects) automatically yields namespace-resolved
+// effect sets — the independence analysis sees "g.ue1.sys" and
+// "g.ue2.sys" as the distinct globals they are.
+//
+// The returned spec is a distinct *Spec (its own layout and facts cache
+// identity) named "<name>#<ns>". An empty namespace returns s itself.
+func NamespaceGlobals(s *Spec, ns string) *Spec {
+	if ns == "" {
+		return s
+	}
+	rw := &nsRewriter{ns: ns}
+	out := &Spec{
+		Name:        s.Name + "#" + ns,
+		Proto:       s.Proto,
+		Init:        s.Init,
+		Vars:        s.Vars,
+		Transitions: make([]Transition, len(s.Transitions)),
+	}
+	for i, t := range s.Transitions {
+		nt := t
+		if g := t.Guard; g != nil {
+			nt.Guard = func(c Ctx, e Event) bool {
+				nc := rw.wrap(c)
+				ok := g(nc, e)
+				rw.release(nc)
+				return ok
+			}
+		}
+		if a := t.Action; a != nil {
+			nt.Action = func(c Ctx, e Event) {
+				nc := rw.wrap(c)
+				a(nc, e)
+				rw.release(nc)
+			}
+		}
+		out.Transitions[i] = nt
+	}
+	return out
+}
+
+// nsRewriter rewrites global names into one namespace. The rewritten
+// strings are memoized (sync.Map: guards of a shared spec run
+// concurrently across parallel exploration workers) and the wrapper
+// contexts are pooled — wrapping sits on the Enabled/Apply hot path.
+type nsRewriter struct {
+	ns    string
+	names sync.Map // original name -> namespaced name
+	pool  sync.Pool
+}
+
+func (r *nsRewriter) rewrite(name string) string {
+	if !isGlobal(name) {
+		return name
+	}
+	if v, ok := r.names.Load(name); ok {
+		return v.(string)
+	}
+	// Same rule as names.Namespaced — keep the two in sync.
+	v := "g." + r.ns + "." + name[2:]
+	actual, _ := r.names.LoadOrStore(name, v)
+	return actual.(string)
+}
+
+func (r *nsRewriter) wrap(c Ctx) *nsCtx {
+	if v := r.pool.Get(); v != nil {
+		nc := v.(*nsCtx)
+		nc.inner = c
+		return nc
+	}
+	return &nsCtx{r: r, inner: c}
+}
+
+func (r *nsRewriter) release(nc *nsCtx) {
+	nc.inner = nil
+	r.pool.Put(nc)
+}
+
+// nsCtx delegates to the wrapped context with global names rewritten
+// into the namespace. The inner context is the machine wrapper, so
+// local names and slot access still resolve against the machine.
+type nsCtx struct {
+	r     *nsRewriter
+	inner Ctx
+}
+
+func (c *nsCtx) Get(name string) int              { return c.inner.Get(c.r.rewrite(name)) }
+func (c *nsCtx) Set(name string, v int)           { c.inner.Set(c.r.rewrite(name), v) }
+func (c *nsCtx) GetI(slot int32) int32            { return c.inner.GetI(slot) }
+func (c *nsCtx) SetI(slot int32, v int32)         { c.inner.SetI(slot, v) }
+func (c *nsCtx) Send(to string, m types.Message)  { c.inner.Send(to, m) }
+func (c *nsCtx) Output(m types.Message)           { c.inner.Output(m) }
+func (c *nsCtx) Trace(format string, args ...any) { c.inner.Trace(format, args...) }

@@ -1,0 +1,135 @@
+package fsm
+
+import (
+	"testing"
+
+	"cnetverifier/internal/types"
+)
+
+// nsProbe is a minimal recording Ctx for exercising the namespace
+// wrapper directly.
+type nsProbe struct {
+	gets   []string
+	sets   map[string]int
+	slots  map[int32]int32
+	sends  []string
+	outs   []types.MsgKind
+	traces int
+}
+
+func newNSProbe() *nsProbe {
+	return &nsProbe{sets: map[string]int{}, slots: map[int32]int32{}}
+}
+
+func (p *nsProbe) Get(name string) int {
+	p.gets = append(p.gets, name)
+	return p.sets[name]
+}
+func (p *nsProbe) Set(name string, v int)   { p.sets[name] = v }
+func (p *nsProbe) GetI(slot int32) int32    { return p.slots[slot] }
+func (p *nsProbe) SetI(slot int32, v int32) { p.slots[slot] = v }
+func (p *nsProbe) Send(to string, m types.Message) {
+	p.sends = append(p.sends, to+"/"+m.Kind.String())
+}
+func (p *nsProbe) Output(m types.Message)           { p.outs = append(p.outs, m.Kind) }
+func (p *nsProbe) Trace(format string, args ...any) { p.traces++ }
+
+func nsTestSpec() *Spec {
+	return &Spec{
+		Name:  "base",
+		Proto: types.ProtoGMM,
+		Init:  "A",
+		Vars:  map[string]int{"local": 7},
+		Transitions: []Transition{
+			{
+				Name: "t0", From: "A", To: "B", On: types.MsgUserDataOn,
+				Guard: func(c Ctx, e Event) bool { return c.Get("g.mode") == 0 },
+				Action: func(c Ctx, e Event) {
+					c.Set("g.done", 1)
+					c.Set("local", c.Get("local")+1)
+					c.SetI(0, c.GetI(0)+1)
+					c.Send("peer", types.NewMessage(types.MsgAttachRequest, types.ProtoGMM))
+					c.Output(types.NewMessage(types.MsgDetachRequest, types.ProtoGMM))
+					c.Trace("fired")
+				},
+			},
+		},
+	}
+}
+
+// TestNamespaceGlobalsRewrite pins the context-boundary rewrite:
+// "g."-prefixed names gain the namespace element, everything else —
+// locals, slots, sends, outputs, traces — passes through untouched.
+func TestNamespaceGlobalsRewrite(t *testing.T) {
+	ns := NamespaceGlobals(nsTestSpec(), "ue3")
+	tr := ns.Transitions[0]
+	probe := newNSProbe()
+
+	if !tr.Guard(probe, Ev(types.MsgUserDataOn)) {
+		t.Fatal("guard false on zero-valued probe")
+	}
+	tr.Action(probe, Ev(types.MsgUserDataOn))
+
+	wantGets := []string{"g.ue3.mode", "local"}
+	if len(probe.gets) != 2 || probe.gets[0] != wantGets[0] || probe.gets[1] != wantGets[1] {
+		t.Errorf("gets = %v, want %v", probe.gets, wantGets)
+	}
+	if probe.sets["g.ue3.done"] != 1 {
+		t.Errorf("global write not namespaced: sets = %v", probe.sets)
+	}
+	if _, leaked := probe.sets["g.done"]; leaked {
+		t.Error("un-namespaced global name leaked through the wrapper")
+	}
+	if probe.sets["local"] != 1 {
+		t.Errorf("local write rewritten or lost: sets = %v", probe.sets)
+	}
+	if probe.slots[0] != 1 {
+		t.Errorf("slot access did not pass through: slots = %v", probe.slots)
+	}
+	if len(probe.sends) != 1 || probe.sends[0] != "peer/"+types.MsgAttachRequest.String() {
+		t.Errorf("sends = %v, want untouched peer send", probe.sends)
+	}
+	if len(probe.outs) != 1 || probe.outs[0] != types.MsgDetachRequest {
+		t.Errorf("outputs = %v, want untouched output", probe.outs)
+	}
+	if probe.traces != 1 {
+		t.Errorf("traces = %d, want pass-through", probe.traces)
+	}
+}
+
+// TestNamespaceGlobalsIdentity pins the spec-identity contract: a
+// namespaced spec is a distinct *Spec with a derived name (its own
+// layout and effect-cache key), the base spec is not mutated, and the
+// empty namespace is the identity.
+func TestNamespaceGlobalsIdentity(t *testing.T) {
+	base := nsTestSpec()
+	ns := NamespaceGlobals(base, "ue3")
+	if ns == base {
+		t.Fatal("NamespaceGlobals returned the base spec for a nonempty namespace")
+	}
+	if ns.Name != "base#ue3" {
+		t.Errorf("namespaced name = %q, want base#ue3", ns.Name)
+	}
+	if ns.Proto != base.Proto || ns.Init != base.Init || len(ns.Transitions) != len(base.Transitions) {
+		t.Error("namespacing changed spec structure beyond the name")
+	}
+	if got := NamespaceGlobals(base, ""); got != base {
+		t.Error("empty namespace must return the spec itself")
+	}
+
+	// Base spec closures still see un-namespaced names.
+	probe := newNSProbe()
+	base.Transitions[0].Action(probe, Ev(types.MsgUserDataOn))
+	if probe.sets["g.done"] != 1 {
+		t.Errorf("base spec was mutated by namespacing: sets = %v", probe.sets)
+	}
+
+	// Distinct namespaces from one base do not share a rewriter.
+	other := NamespaceGlobals(base, "ue4")
+	p3, p4 := newNSProbe(), newNSProbe()
+	ns.Transitions[0].Action(p3, Ev(types.MsgUserDataOn))
+	other.Transitions[0].Action(p4, Ev(types.MsgUserDataOn))
+	if p3.sets["g.ue3.done"] != 1 || p4.sets["g.ue4.done"] != 1 {
+		t.Errorf("namespaces cross-contaminated: %v / %v", p3.sets, p4.sets)
+	}
+}

@@ -1,0 +1,195 @@
+package effects
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/types"
+)
+
+// GraphEdge is one edge of the cross-protocol interaction graph: some
+// transition of From sends (or outputs) Kind on the given channel, and
+// To handles Kind in at least one of its states — From's sends feed
+// To's guards. Dim classifies the interaction per the paper's taxonomy
+// when the endpoints run different protocols (0 when they run the
+// same protocol, e.g. a UE/SGSN peer pair).
+type GraphEdge struct {
+	From, To string
+	Kind     types.MsgKind
+	Proto    types.Protocol
+	Output   bool
+	Dim      types.Dimension
+	// Handled reports that To's spec reacts to Kind in some state. An
+	// unhandled flow still appears in the graph (dashed in DOT): it is
+	// exactly the raw material of the MSG003/EFF001 lint rules.
+	Handled bool
+}
+
+// classify maps a sender/receiver protocol pair onto the paper's
+// interaction taxonomy: differing systems dominate, then differing
+// domains, then layering.
+func classify(from, to types.Protocol) types.Dimension {
+	if from == to {
+		return 0
+	}
+	if from.System() != to.System() {
+		return types.CrossSystem
+	}
+	if from.Domain() != to.Domain() {
+		return types.CrossDomain
+	}
+	return types.CrossLayer
+}
+
+// GraphEdges returns the interaction graph in canonical order: every
+// distinct (From, To, Kind, Output) flow between different processes,
+// annotated with whether the receiving spec statically handles the
+// kind.
+func (we *WorldEffects) GraphEdges() []GraphEdge {
+	idx := make(map[string]int, len(we.Procs))
+	for i, pe := range we.Procs {
+		idx[pe.Proc] = i
+	}
+	seen := map[GraphEdge]bool{}
+	var out []GraphEdge
+	for _, pe := range we.Procs {
+		for _, f := range pe.Flows {
+			ti, ok := idx[f.To]
+			if !ok || f.To == pe.Proc {
+				continue
+			}
+			dst := we.Procs[ti]
+			ge := GraphEdge{
+				From:    pe.Proc,
+				To:      f.To,
+				Kind:    f.Kind,
+				Proto:   f.Proto,
+				Output:  f.Output,
+				Dim:     classify(pe.Spec.Spec.Proto, dst.Spec.Spec.Proto),
+				Handled: handlesKind(dst.Spec, f.Kind),
+			}
+			if !seen[ge] {
+				seen[ge] = true
+				out = append(out, ge)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return !a.Output && b.Output
+	})
+	return out
+}
+
+func handlesKind(se *SpecEffects, k types.MsgKind) bool {
+	for _, h := range se.Handles {
+		if h == k {
+			return true
+		}
+	}
+	return false
+}
+
+// GraphDOT renders the interaction graph as Graphviz DOT (the cnetlint
+// -graph output). Processes cluster by protocol system, edges carry
+// the message kind, cross-dimension edges are colored by taxonomy, and
+// statically-unhandled flows are dashed.
+func (we *WorldEffects) GraphDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph interactions {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+
+	bySystem := map[types.System][]string{}
+	for _, pe := range we.Procs {
+		sys := pe.Spec.Spec.Proto.System()
+		bySystem[sys] = append(bySystem[sys], pe.Proc)
+	}
+	var systems []types.System
+	for s := range bySystem {
+		systems = append(systems, s)
+	}
+	sort.Slice(systems, func(i, j int) bool { return systems[i] < systems[j] })
+	for _, s := range systems {
+		fmt.Fprintf(&b, "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n", s, s)
+		for _, name := range bySystem[s] {
+			fmt.Fprintf(&b, "    %q;\n", name)
+		}
+		b.WriteString("  }\n")
+	}
+
+	for _, e := range we.GraphEdges() {
+		var attrs []string
+		attrs = append(attrs, fmt.Sprintf("label=%q", e.Kind.String()))
+		switch e.Dim {
+		case types.CrossSystem:
+			attrs = append(attrs, "color=red")
+		case types.CrossDomain:
+			attrs = append(attrs, "color=blue")
+		case types.CrossLayer:
+			attrs = append(attrs, "color=darkgreen")
+		}
+		if e.Output {
+			attrs = append(attrs, "arrowhead=open")
+		}
+		if !e.Handled {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Reachable reports whether the interaction graph has a directed path
+// from process a to process b (by index). The EFF003 lint uses it to
+// decide whether two writers of the same global are ever ordered by a
+// message chain.
+func (we *WorldEffects) Reachable(a, b int) bool {
+	if a == b {
+		return true
+	}
+	idx := make(map[string]int, len(we.Procs))
+	for i, pe := range we.Procs {
+		idx[pe.Proc] = i
+	}
+	adj := make([][]int, len(we.Procs))
+	for i, pe := range we.Procs {
+		dsts := map[int]bool{}
+		for _, f := range pe.Flows {
+			if j, ok := idx[f.To]; ok && j != i {
+				dsts[j] = true
+			}
+		}
+		for j := range dsts {
+			adj[i] = append(adj[i], j)
+		}
+	}
+	seen := make([]bool, len(we.Procs))
+	stack := []int{a}
+	seen[a] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range adj[p] {
+			if q == b {
+				return true
+			}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/lint/effects"
+)
+
+var updateEffects = flag.Bool("update", false, "rewrite the effect-summary goldens under testdata/effects")
+
+// TestEffectGoldens pins the static effect extraction for every
+// registered seed spec: the per-edge summaries (globals read/written,
+// sends and outputs with their channel coordinates, guard
+// satisfiability under the probe defaults) rendered by
+// effects.SpecText must match the checked-in goldens. A diff here
+// means the probing semantics or a protocol model changed — regenerate
+// with `go test ./internal/lint -run TestEffectGoldens -update` and
+// review the diff like any other behavioral change: the independence
+// relation POR trusts is built from exactly these facts.
+func TestEffectGoldens(t *testing.T) {
+	specs := core.AllSpecs()
+	for _, name := range core.SpecNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			got := effects.SpecText(effects.ForSpec(specs[name]))
+			path := filepath.Join("testdata", "effects", name+".txt")
+			if *updateEffects {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("effect summary for %s drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

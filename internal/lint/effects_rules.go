@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnetverifier/internal/lint/effects"
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/types"
+)
+
+// lintEffects reports the EFF* rules derived from the static effect
+// analysis (internal/lint/effects): per-target cross-layer delivery
+// gaps, send/receive protocol-channel mismatches, and write-write
+// global conflicts no message chain ever orders. They are the lint
+// face of the same analysis that powers check.Options.POR.
+func lintEffects(r *Report, o Options, w *model.World) {
+	we := effects.Analyze(w)
+	lintOutputGaps(r, o, we)
+	lintChannelProto(r, o, we)
+	lintUnorderedWrites(r, o, we)
+}
+
+// lintOutputGaps reports EFF001: a cross-layer Output kind that one
+// OutputTo target handles while another handles in no state. MSG003
+// already covers the total failure (no target handles); the per-target
+// gap is invisible to it, yet it is exactly the paper's "necessary
+// problem" shape — the layer that should have seen the signal is wired
+// in but deaf to it.
+func lintOutputGaps(r *Report, o Options, we *effects.WorldEffects) {
+	for i, pe := range we.Procs {
+		targets := we.OutputTargets(i)
+		if len(targets) < 2 {
+			continue
+		}
+		for _, e := range pe.Spec.Edges {
+			for _, out := range e.Outputs {
+				var deaf, hears []string
+				for _, t := range targets {
+					ti, ok := we.ProcIndex(t)
+					if !ok {
+						continue // absent target is WIRE001's finding
+					}
+					if specHandles(we.Procs[ti].Spec, out.Kind) {
+						hears = append(hears, t)
+					} else {
+						deaf = append(deaf, t)
+					}
+				}
+				if len(hears) == 0 || len(deaf) == 0 {
+					continue // total failure is MSG003; full coverage is healthy
+				}
+				sort.Strings(deaf)
+				sort.Strings(hears)
+				r.add(o, Finding{Rule: RuleOutputPartial, Severity: Warn,
+					Proc: pe.Proc, Spec: pe.Spec.Spec.Name, Transition: e.Transition,
+					Detail: fmt.Sprintf("outputs %s across layers; %s handles it but %s handles it in no state — the cross-layer signal reaches only part of the stack",
+						out.Kind, strings.Join(hears, ", "), strings.Join(deaf, ", "))})
+			}
+		}
+	}
+}
+
+// lintChannelProto reports EFF002: a Send whose message travels on a
+// protocol channel different from the receiving process's protocol
+// (both declared). Peer signaling is intra-protocol by construction in
+// the 3GPP models; a mismatched channel means the spec stamps messages
+// with the wrong types.NewMessage protocol or addresses the wrong
+// layer with a Send where an Output belongs. Outputs are exempt: the
+// co-located cross-layer interface legitimately crosses protocols.
+func lintChannelProto(r *Report, o Options, we *effects.WorldEffects) {
+	for _, pe := range we.Procs {
+		for _, e := range pe.Spec.Edges {
+			for _, s := range e.Sends {
+				ti, ok := we.ProcIndex(s.To)
+				if !ok {
+					continue // absent target is WIRE005's finding
+				}
+				dst := we.Procs[ti]
+				if s.Proto == types.ProtoNone || dst.Spec.Spec.Proto == types.ProtoNone {
+					continue
+				}
+				if s.Proto != dst.Spec.Spec.Proto {
+					r.add(o, Finding{Rule: RuleChannelProtoMismatch, Severity: Warn,
+						Proc: pe.Proc, Spec: pe.Spec.Spec.Name, Transition: e.Transition,
+						Detail: fmt.Sprintf("sends %s on the %s channel to %q, whose machine speaks %s: mis-stamped message or a Send where a cross-layer Output belongs",
+							s.Kind, s.Proto, s.To, dst.Spec.Spec.Proto)})
+				}
+			}
+		}
+	}
+}
+
+// lintUnorderedWrites reports EFF003: a global written by two processes
+// between which the interaction graph has no directed message path in
+// either direction. Nothing in the composed system ever orders the two
+// writes, so the global's value depends purely on the interleaving the
+// checker happens to pick — either the global encodes a genuine
+// cross-stack race (the paper's S1 shape: 4G and 3G MM both own the
+// serving-system variable with no coordination channel) or the sharing
+// is accidental. Warn: the checker explores both orders, so screening
+// results stay trustworthy; the flag marks where they will diverge.
+func lintUnorderedWrites(r *Report, o Options, we *effects.WorldEffects) {
+	writers := make(map[string][]int)
+	for i, pe := range we.Procs {
+		for _, g := range pe.Spec.Writes {
+			writers[g] = append(writers[g], i)
+		}
+	}
+	var globals []string
+	for g, ws := range writers {
+		if len(ws) > 1 {
+			globals = append(globals, g)
+		}
+	}
+	sort.Strings(globals)
+	for _, g := range globals {
+		ws := writers[g]
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if we.Reachable(ws[i], ws[j]) || we.Reachable(ws[j], ws[i]) {
+					continue
+				}
+				a, b := we.Procs[ws[i]].Proc, we.Procs[ws[j]].Proc
+				r.add(o, Finding{Rule: RuleUnorderedWrites, Severity: Warn, Proc: a,
+					Detail: fmt.Sprintf("global %q is written by both %q and %q with no message path between them in either direction: nothing orders the writes, the final value is pure interleaving choice",
+						g, a, b)})
+			}
+		}
+	}
+}
+
+func specHandles(se *effects.SpecEffects, k types.MsgKind) bool {
+	for _, h := range se.Handles {
+		if h == k {
+			return true
+		}
+	}
+	return false
+}

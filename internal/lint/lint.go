@@ -113,6 +113,10 @@ const (
 
 	RuleGlobalWriteOnly = "GVAR001" // global set but never read by any machine
 	RuleGlobalReadOnly  = "GVAR002" // global read but never set or initialized
+
+	RuleOutputPartial        = "EFF001" // cross-layer Output heard by some targets, deaf at others
+	RuleChannelProtoMismatch = "EFF002" // Send on a protocol channel the receiver does not speak
+	RuleUnorderedWrites      = "EFF003" // write-write global conflict never ordered by a message path
 )
 
 // Rule describes one lint pass for the catalog (cnetlint -rules and
@@ -156,6 +160,9 @@ func Rules() []Rule {
 		{RuleEnvTargetGone, Warn, "world", "environment event targets a process absent from this world: the scenario silently shrinks (the static mirror of a runtime misroute)"},
 		{RuleGlobalWriteOnly, Info, "world", "global written but read by no machine (may be a property observable)"},
 		{RuleGlobalReadOnly, Warn, "world", "global read by a machine but never written by any machine nor initialized"},
+		{RuleOutputPartial, Warn, "world", "a cross-layer Output kind is handled by some OutputTo targets but by no state of another: the signal reaches only part of the stack"},
+		{RuleChannelProtoMismatch, Warn, "world", "a Send travels on a protocol channel the receiving machine does not speak: mis-stamped message or a Send where an Output belongs"},
+		{RuleUnorderedWrites, Warn, "world", "a global is written by two processes with no message path between them: nothing orders the writes (the S1 shape)"},
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
 	return rules

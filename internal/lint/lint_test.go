@@ -391,6 +391,7 @@ func TestRuleCatalog(t *testing.T) {
 		lint.RuleChannelMismatch, lint.RuleSendTargetGone, lint.RuleNegativeCap,
 		lint.RuleReorderNotLossy, lint.RuleEnvTargetGone,
 		lint.RuleGlobalWriteOnly, lint.RuleGlobalReadOnly,
+		lint.RuleOutputPartial, lint.RuleChannelProtoMismatch, lint.RuleUnorderedWrites,
 	}
 	rules := lint.Rules()
 	if len(rules) != len(ids) {

@@ -38,6 +38,7 @@ func World(w *model.World, o Options) *Report {
 	lintWiring(r, o, w)
 	lintMessageFlow(r, o, w, facts)
 	lintGlobals(r, o, w, facts)
+	lintEffects(r, o, w)
 	r.Sort()
 	return r
 }

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"fmt"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/types"
+)
+
+// Project builds a sub-world containing only the named processes,
+// copying their current machine states, queued messages and channel
+// flags from w. The globals slab is copied whole (globals a projected
+// process never touches stay constant, so they cost encoding bytes but
+// no state-space growth), and OutputTo lists are filtered to the kept
+// processes. The relative process order of w is preserved, so step
+// enumeration over the projection is deterministic in the same way.
+//
+// Projection is the mechanism behind check.Options.POR: when the static
+// effect analysis (internal/lint/effects) proves a world decomposes
+// into non-interacting clusters, the checker explores each cluster's
+// projection instead of their product. Environment events targeting
+// processes outside the projection are skipped by StepsEnvAppend, so a
+// shared scenario drives every projection unchanged.
+func (w *World) Project(names []string) (*World, error) {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := w.procIdx[n]; !ok {
+			return nil, fmt.Errorf("model: project: unknown process %q", n)
+		}
+		keep[n] = true
+	}
+	var sel []int
+	for i, p := range w.Procs {
+		if keep[p.Name] {
+			sel = append(sel, i)
+		}
+	}
+	n := len(sel)
+	pw := &World{
+		Procs:    make([]*Proc, n),
+		Chans:    make([]*Channel, n),
+		procIdx:  make(map[string]int, n),
+		chanIdx:  make(map[string]int, n),
+		procs:    make([]Proc, n),
+		chans:    make([]Channel, n),
+		machines: make([]fsm.Machine, n),
+	}
+	pw.Stats = w.Stats
+	pw.glay = w.glay
+	pw.gvals = append([]int32(nil), w.gvals...)
+	for j, i := range sel {
+		src := w.Procs[i]
+		src.M.CloneInto(&pw.machines[j])
+		var outs []string
+		for _, dst := range src.OutputTo {
+			if keep[dst] {
+				outs = append(outs, dst)
+			}
+		}
+		pw.procs[j] = Proc{Name: src.Name, M: &pw.machines[j], OutputTo: outs}
+		pw.procIdx[src.Name] = j
+		pw.Procs[j] = &pw.procs[j]
+
+		sc := w.Chan(src.Name)
+		dc := &pw.chans[j]
+		if sc != nil {
+			dc.Name, dc.Cap, dc.Lossy, dc.Reorder = sc.Name, sc.Cap, sc.Lossy, sc.Reorder
+			dc.Queue = append([]types.Message(nil), sc.Queue...)
+		} else {
+			dc.Name = src.Name
+		}
+		pw.chanIdx[src.Name] = j
+		pw.Chans[j] = &pw.chans[j]
+	}
+	return pw, nil
+}

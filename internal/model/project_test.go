@@ -1,0 +1,165 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"cnetverifier/internal/types"
+)
+
+// projWorld is a four-process world shaped for projection tests: two
+// independent ping/pong pairs (A→B, C→D) plus an Output wire from A to
+// both B and C so OutputTo filtering has something to cut.
+func projWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := New(Config{
+		Procs: []ProcConfig{
+			{Name: "A", Spec: pingSpec("B"), OutputTo: []string{"B", "C"}},
+			{Name: "B", Spec: pongSpec()},
+			{Name: "C", Spec: pingSpec("D")},
+			{Name: "D", Spec: pongSpec()},
+		},
+		Globals: map[string]int{"g.total": 0, "g.flag": 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestProjectStateFidelity pins what a projection carries over: the
+// selected machines' current control state and variables, their queued
+// messages, the whole globals slab — all deep-copied, so stepping the
+// projection never disturbs the source world.
+func TestProjectStateFidelity(t *testing.T) {
+	w := projWorld(t)
+	// Move the A/B pair mid-flight: A has fired, B's inbox holds the
+	// PowerOn, the global g.total is still 0.
+	env := []EnvEvent{{Proc: "A", Msg: types.Message{Kind: types.MsgUserDataOn}}}
+	if _, err := w.Apply(w.Steps(env)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	pw, err := w.Project([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.Procs) != 2 || pw.Procs[0].Name != "A" || pw.Procs[1].Name != "B" {
+		t.Fatalf("projected procs = %v, want [A B] in world order", pw.Procs)
+	}
+	if got := pw.Proc("A").M.State(); got != "SENT" {
+		t.Errorf("A state = %s, want the source world's SENT", got)
+	}
+	if pw.QueueLen("B") != 1 {
+		t.Errorf("B queue = %d, want the in-flight PowerOn copied", pw.QueueLen("B"))
+	}
+	if pw.Global("g.flag") != 5 || pw.Global("g.total") != 0 {
+		t.Errorf("globals not carried: flag=%d total=%d", pw.Global("g.flag"), pw.Global("g.total"))
+	}
+	if pw.Proc("C") != nil || pw.Chan("C") != nil {
+		t.Error("excluded process C leaked into the projection")
+	}
+
+	// Drain the projection to completion; the source world must not move.
+	for {
+		steps := pw.Steps(nil)
+		if len(steps) == 0 {
+			break
+		}
+		if _, err := pw.Apply(steps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pw.Global("g.total") != 1 {
+		t.Errorf("projected run: g.total = %d, want 1", pw.Global("g.total"))
+	}
+	if w.Global("g.total") != 0 {
+		t.Error("stepping the projection mutated the source world's globals")
+	}
+	if w.QueueLen("B") != 1 {
+		t.Error("stepping the projection drained the source world's queue")
+	}
+}
+
+// TestProjectOutputToFiltered pins the wiring cut: OutputTo entries
+// pointing outside the projection are dropped, entries inside survive.
+func TestProjectOutputToFiltered(t *testing.T) {
+	w := projWorld(t)
+	pw, err := w.Project([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pw.Proc("A").OutputTo; !reflect.DeepEqual(got, []string{"B"}) {
+		t.Errorf("projected OutputTo = %v, want [B] (C filtered out)", got)
+	}
+	if got := w.Proc("A").OutputTo; !reflect.DeepEqual(got, []string{"B", "C"}) {
+		t.Errorf("source OutputTo mutated: %v", got)
+	}
+}
+
+// TestProjectUnknownProc pins the error contract for a name the world
+// does not have.
+func TestProjectUnknownProc(t *testing.T) {
+	w := projWorld(t)
+	if _, err := w.Project([]string{"A", "nope"}); err == nil {
+		t.Fatal("Project accepted an unknown process name")
+	}
+}
+
+// TestProjectChannelFlags pins that channel capacity/lossy/reorder
+// flags survive projection (drop steps must stay explorable in the
+// cluster runs).
+func TestProjectChannelFlags(t *testing.T) {
+	w, err := New(Config{
+		Procs: []ProcConfig{
+			{Name: "A", Spec: pingSpec("B")},
+			{Name: "B", Spec: pongSpec(), Lossy: true, Reorder: true, Cap: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := w.Project([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := pw.Chan("B")
+	if !ch.Lossy || !ch.Reorder || ch.Cap != 3 {
+		t.Errorf("channel flags lost: %+v", ch)
+	}
+}
+
+// TestProjectEnvEventsSkipAbsentProcs pins the scenario contract POR
+// relies on: a shared scenario offering events for every process
+// drives a projection unchanged, with events for absent processes
+// silently skipped by StepsEnvAppend.
+func TestProjectEnvEventsSkipAbsentProcs(t *testing.T) {
+	w := projWorld(t)
+	pw, err := w.Project([]string{"C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := []EnvEvent{
+		{Proc: "A", Msg: types.Message{Kind: types.MsgUserDataOn}},
+		{Proc: "C", Msg: types.Message{Kind: types.MsgUserDataOn}},
+	}
+	steps := pw.Steps(env)
+	if len(steps) != 1 || steps[0].Proc != "C" || steps[0].Kind != StepEnv {
+		t.Fatalf("projected steps = %v, want only C's env step", steps)
+	}
+}
+
+// TestProjectEncodeDeterministic pins that two projections of the same
+// world state encode identically — the checker dedups cluster states
+// by encoding, so projection must not smuggle in iteration order.
+func TestProjectEncodeDeterministic(t *testing.T) {
+	w := projWorld(t)
+	p1, err1 := w.Project([]string{"A", "B"})
+	p2, err2 := w.Project([]string{"A", "B"})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(p1.Encode(nil), p2.Encode(nil)) {
+		t.Error("two projections of one state encode differently")
+	}
+}

@@ -106,3 +106,17 @@ const (
 	SwitchHandover
 	SwitchReselect
 )
+
+// Namespaced rewrites a global key into a namespace: "g.sys" with
+// namespace "ue1" becomes "g.ue1.sys". It is the naming half of
+// fsm.NamespaceGlobals (which applies the same rule inside guards and
+// actions — keep the two in sync); world builders composing several
+// instances of one protocol stack use it to declare the per-instance
+// globals and to parametrize properties. Non-global keys pass through
+// unchanged.
+func Namespaced(key, ns string) string {
+	if ns == "" || len(key) < 3 || key[0] != 'g' || key[1] != '.' {
+		return key
+	}
+	return "g." + ns + "." + key[2:]
+}

@@ -81,6 +81,24 @@ func DataServiceOK() check.Property {
 	}
 }
 
+// DataServiceOKIn returns the DataService_OK monitor for one
+// namespaced stack instance (fsm.NamespaceGlobals): it reads the
+// instance's own "g.<ns>.dataDelayed" and names the instance in its
+// description, so violations from different instances of a multi-UE
+// world stay distinct (property, description) entries.
+func DataServiceOKIn(ns string) check.Property {
+	key := names.Namespaced(names.GDataDelayed, ns)
+	return prop{
+		name: "DataService_OK",
+		f: func(w *model.World, last model.Step) string {
+			if w.Global(key) == 1 {
+				return fmt.Sprintf("outgoing data request delayed behind routing area update (HOL blocking) [%s]", ns)
+			}
+			return ""
+		},
+	}
+}
+
 // MMOK returns the MM_OK monitor: a pending inter-system switch must
 // eventually be served. The monitor fires when the world is quiescent
 // (no signaling in flight) yet the return-to-4G obligation raised by a

@@ -85,6 +85,36 @@ func BenchmarkScreenMultiUE(b *testing.B) {
 	}
 }
 
+// BenchmarkScreenMultiUEShared measures symmetry reduction on the
+// shared-core 3-UE world, where one MME/HSS context block couples every
+// stack into a single effect cluster and POR degenerates: the same
+// screening over the {POR off/on} x {Symmetry off/on} square. Like the
+// POR benchmark, the states metric in the logs is the point — the
+// canonical quotient divides the state count by close to 3!.
+func BenchmarkScreenMultiUEShared(b *testing.B) {
+	for _, por := range []bool{false, true} {
+		for _, sym := range []bool{false, true} {
+			b.Run(fmt.Sprintf("por=%v/sym=%v", por, sym), func(b *testing.B) {
+				s := core.MultiUEWorldShared(3, false)
+				opt := s.Options
+				opt.POR = por
+				opt.Symmetry = sym
+				b.ReportAllocs()
+				states := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := core.Screen(s, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					states = r.Result.States
+				}
+				b.ReportMetric(float64(states), "states")
+			})
+		}
+	}
+}
+
 // BenchmarkScreenWorkers measures the widest scoped world (S6) under
 // the work-stealing frontier engine as the worker count grows.
 func BenchmarkScreenWorkers(b *testing.B) {

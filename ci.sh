@@ -52,6 +52,20 @@ cmp /tmp/viol_plain.$$ /tmp/viol_por.$$
 rm -f /tmp/viol_plain.$$ /tmp/viol_por.$$
 echo ok
 
+echo "== symmetry gate (shared-core 3-UE world: -sym and -por -sym must keep the violation set) =="
+go run ./cmd/cnetverify -world multiue-shared -violations >/tmp/viol_plain.$$
+go run ./cmd/cnetverify -world multiue-shared -sym -violations >/tmp/viol_sym.$$
+cmp /tmp/viol_plain.$$ /tmp/viol_sym.$$
+go run ./cmd/cnetverify -world multiue-shared -por -violations >/tmp/viol_por.$$
+go run ./cmd/cnetverify -world multiue-shared -por -sym -violations >/tmp/viol_porsym.$$
+cmp /tmp/viol_por.$$ /tmp/viol_porsym.$$
+rm -f /tmp/viol_plain.$$ /tmp/viol_sym.$$ /tmp/viol_por.$$ /tmp/viol_porsym.$$
+echo ok
+
+echo "== symmetry alloc budget (canonical visited hashing stays on the alloc-free hot path) =="
+go test -run 'TestScreenSymAllocBudget' ./internal/core
+go test -run 'TestAppendCanonicalHashAllocFree' ./internal/model
+
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/netemu ./internal/emu ./internal/fixes
 

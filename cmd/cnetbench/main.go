@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por)")
+		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por, sym, por+sym)")
 		runs    = flag.Int("runs", 100, "runs per distribution-style experiment")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		out     = flag.String("o", "", "write the report to FILE instead of stdout")
@@ -177,6 +177,32 @@ func main() {
 			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cnetbench: por:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, s)
+		} else {
+			fmt.Fprintln(w, experiments.RenderPerfTable(prs))
+		}
+	}
+
+	if want == "sym" || want == "por+sym" {
+		// Symmetry reduction on the shared-core 4-UE world (the world
+		// POR cannot decompose): the same screening run with
+		// check.Options.Symmetry off and on — composed with POR for
+		// -exp por+sym. Not part of -exp all: the plain leg enumerates
+		// the full 34^4-state product. The state-count ratio is the
+		// canonicalization acceptance number recorded in
+		// BENCH_screen.json under this label.
+		ran = true
+		prs, err := experiments.PerfSym(want == "por+sym")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench:", want, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetbench:", want, err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(w, s)

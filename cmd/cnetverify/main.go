@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6|multiue] [-fixed] [-strategy dfs|bfs|walk]
+//	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6|multiue|multiue-shared] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
-//	           [-por] [-violations]
+//	           [-por] [-sym] [-violations]
 //	           [-workers N] [-parallel N] [-budget N] [-first]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -16,6 +16,14 @@
 // separately. -violations prints only the canonical sorted
 // finding/property/description lines, so a -por run can be
 // byte-compared against a plain run (paths and step counts differ).
+//
+// -sym enables symmetry reduction for dfs/bfs on worlds declaring a
+// replica structure (multiue, multiue-shared): the visited set is keyed
+// by the canonical encoding that sorts replica sub-encodings, so the
+// search explores one representative per UE-permutation orbit and the
+// violation set is closed back over the permutations afterwards. A -sym
+// -violations run byte-compares equal against a plain run. -sym and
+// -por compose: each cluster projection canonicalizes its own replicas.
 //
 // -cpuprofile and -memprofile write pprof profiles of the campaign (the
 // heap profile is taken after the run, post-GC); feed them to
@@ -53,7 +61,7 @@ import (
 
 func main() {
 	var (
-		world    = flag.String("world", "all", "scoped world: all, s1, s2, s3, s4cs, s4ps, s6, multiue")
+		world    = flag.String("world", "all", "scoped world: all, s1, s2, s3, s4cs, s4ps, s6, multiue, multiue-shared")
 		fixed    = flag.Bool("fixed", false, "enable the §8 fixes")
 		strategy = flag.String("strategy", "dfs", "exploration strategy: dfs, bfs, walk")
 		depth    = flag.Int("depth", 0, "max path depth (0 = world default)")
@@ -65,6 +73,7 @@ func main() {
 		coverage = flag.Bool("coverage", false, "print per-process transition coverage of each screening run")
 		skipLint = flag.Bool("skip-lint", false, "skip the structural lint gate and explore the world even with error-severity findings")
 		por      = flag.Bool("por", false, "enable partial-order reduction (cluster decomposition over the static effect analysis; dfs/bfs only)")
+		sym      = flag.Bool("sym", false, "enable symmetry reduction (canonical replica-permutation quotient; dfs/bfs only)")
 		onlyViol = flag.Bool("violations", false, "print only the canonical violation set (sorted property/description lines), for byte-comparing runs")
 		workers  = flag.Int("workers", 1, "exploration workers per world (>1 = parallel engine)")
 		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
@@ -132,6 +141,7 @@ func main() {
 			opt.SkipLint = true
 		}
 		opt.POR = *por
+		opt.Symmetry = *sym
 		return opt
 	}
 	results, err := core.ScreenWorlds(scoped, perWorld, core.CampaignOptions{
@@ -231,6 +241,8 @@ func selectWorlds(name string, fixed bool) ([]core.Scoped, error) {
 		return []core.Scoped{core.S6World(fixed)}, nil
 	case "multiue":
 		return []core.Scoped{core.MultiUEWorld(3, fixed)}, nil
+	case "multiue-shared":
+		return []core.Scoped{core.MultiUEWorldShared(3, fixed)}, nil
 	default:
 		return nil, fmt.Errorf("unknown world %q", name)
 	}

@@ -134,6 +134,27 @@ type Options struct {
 	// product's; counterexample paths are cluster-local and replay
 	// against the cluster's projection.
 	POR bool
+	// Symmetry enables replica-symmetry reduction for the DFS/BFS
+	// strategies (RandomWalk ignores it, like POR: sampled schedules are
+	// not a dedup fixpoint to quotient). The visited set keys states by
+	// model.World.AppendCanonicalHash instead of AppendHash: per the
+	// world's Symmetry descriptor, the per-replica sub-encodings are
+	// sorted lexicographically before the inline FNV hash, so all n!
+	// permutations of an n-replica state share one visited entry and the
+	// exploration walks the quotient. A world without a descriptor is
+	// unaffected (the canonical encoding degenerates to the plain one).
+	//
+	// Replica-labeled properties (e.g. props.DataServiceOKIn("ue2")) can
+	// fire on permuted twins the quotient prunes, so Run closes the
+	// violation set under the declared permutations afterwards
+	// (symmetrizeViolations): the reported (property, description) set
+	// equals the plain run's exactly — see DESIGN.md for the soundness
+	// argument and its assumptions (equivariant scenario and monitors).
+	//
+	// Composes with POR: cluster projections carry the filtered
+	// descriptor and canonicalize within each cluster, and the closure
+	// runs once at the top level over the full world's descriptor.
+	Symmetry bool
 	// Budget optionally shares a pool of distinct-state tokens across
 	// several runs (a screening campaign's global bound). When the pool
 	// dries up the run truncates, exactly like MaxStates.
@@ -150,7 +171,7 @@ type Options struct {
 func (o Options) IsZero() bool {
 	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
 		!o.StopAtFirst && !o.Paranoid && !o.SkipLint && o.LintSuppress == nil &&
-		o.Walks == 0 && o.Seed == 0 && !o.POR &&
+		o.Walks == 0 && o.Seed == 0 && !o.POR && !o.Symmetry &&
 		o.Workers == 0 && o.Budget == nil && o.Cancel == nil
 }
 
@@ -261,10 +282,26 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 			return nil, err
 		}
 	}
+	var res *Result
+	var err error
 	if opt.POR && (opt.Strategy == DFS || opt.Strategy == BFS) {
-		return runPOR(w, props, sc, opt)
+		res, err = runPOR(w, props, sc, opt)
+	} else {
+		res, err = dispatch(w, props, sc, opt)
 	}
-	return dispatch(w, props, sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Symmetry && (opt.Strategy == DFS || opt.Strategy == BFS) {
+		// Close the violation set under the world's replica permutations:
+		// the quotient search visits one representative per orbit, so a
+		// replica-labeled property may have fired only on the
+		// representative's labeling. Runs once here, over the full
+		// world's descriptor, whether the states came from the plain
+		// engines or from POR cluster projections.
+		symmetrizeViolations(res, w.Symmetry())
+	}
+	return res, nil
 }
 
 // dispatch routes an already-defaulted, already-prescreened run to its

@@ -149,5 +149,53 @@ func FuzzStateHash(f *testing.F) {
 		if w.Hash() != before {
 			t.Fatal("mutating a clone changed the original's hash")
 		}
+
+		// Symmetry leg: the same byte stream drives the namespaced
+		// two-replica world (fuzz_sym_test.go) and its mirror image
+		// through a canonical paranoid visited set. Permutation-
+		// equivalent states must share one visited entry — the mirror
+		// of every freshly marked state is a pure revisit — and
+		// paranoid mode verifies the stored canonical bytes match, so
+		// a same-hash-different-encoding slip fails loudly.
+		sw := fuzzSymWorld(t)
+		mw := fuzzSymWorld(t)
+		sv := newVisitedSet(Options{Paranoid: true, Symmetry: true, Strategy: DFS})
+		var sbuf []byte
+		smark := func(w *model.World, depth int) markResult {
+			var m markResult
+			if m, sbuf, err = markVisited(sv, w, depth, sbuf); err != nil {
+				t.Fatalf("canonical hash collision: %v", err)
+			}
+			return m
+		}
+		if m := smark(sw, 0); !m.isNew {
+			t.Fatal("initial sym state not new")
+		}
+		if m := smark(mw, 1); m.isNew {
+			t.Fatal("swap image of the initial state claimed a new entry")
+		}
+		sdepth := 1
+		crossed := false
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 13
+			if op >= 11 {
+				// Cross-replica senders are not canonicalized (see
+				// mutateSym): the mirror may legitimately be a new
+				// entry from here on. It still goes through the
+				// paranoid set — false merges would fail loudly.
+				crossed = true
+			}
+			mutateSym(sw, op, data[i+1])
+			mutateSym(mw, symMirror[op], data[i+1])
+			smark(sw, sdepth)
+			if m := smark(mw, sdepth+1); !crossed {
+				if m.isNew {
+					t.Fatal("mirror of a visited state claimed a new entry")
+				} else if m.expand {
+					t.Fatal("mirror re-mark at a deeper depth asked for re-expansion")
+				}
+			}
+			sdepth++
+		}
 	})
 }

@@ -88,10 +88,15 @@ const visitedShards = 64
 // parallel engine cannot afford.)
 type visitedSet struct {
 	paranoid bool
-	limit    int64 // MaxStates
-	budget   *Budget
-	states   atomic.Int64
-	shards   [visitedShards]struct {
+	// canon keys states by the symmetry-canonical encoding
+	// (model.World.AppendCanonicalHash) instead of the plain one —
+	// Options.Symmetry under DFS/BFS. Every engine sharing the set then
+	// dedups permutation-equivalent states into one entry.
+	canon  bool
+	limit  int64 // MaxStates
+	budget *Budget
+	states atomic.Int64
+	shards [visitedShards]struct {
 		mu    sync.Mutex
 		depth map[uint64]int
 		enc   map[uint64][]byte // full encodings, paranoid mode only
@@ -99,7 +104,12 @@ type visitedSet struct {
 }
 
 func newVisitedSet(opt Options) *visitedSet {
-	v := &visitedSet{paranoid: opt.Paranoid, limit: int64(opt.MaxStates), budget: opt.Budget}
+	v := &visitedSet{
+		paranoid: opt.Paranoid,
+		canon:    opt.Symmetry && (opt.Strategy == DFS || opt.Strategy == BFS),
+		limit:    int64(opt.MaxStates),
+		budget:   opt.Budget,
+	}
 	for i := range v.shards {
 		v.shards[i].depth = make(map[uint64]int)
 		if v.paranoid {
@@ -129,7 +139,12 @@ type markResult struct {
 // reallocating). In paranoid mode a hash hit is verified byte-for-byte
 // against the stored encoding and a genuine collision is an error.
 func markVisited(v *visitedSet, w *model.World, depth int, buf []byte) (markResult, []byte, error) {
-	h, buf := w.AppendHash(buf)
+	var h uint64
+	if v.canon {
+		h, buf = w.AppendCanonicalHash(buf)
+	} else {
+		h, buf = w.AppendHash(buf)
+	}
 	s := &v.shards[h&(visitedShards-1)]
 	s.mu.Lock()
 	defer s.mu.Unlock()

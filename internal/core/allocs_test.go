@@ -48,3 +48,51 @@ func TestScreenAllocBudget(t *testing.T) {
 			perState, maxAllocsPerState)
 	}
 }
+
+// TestScreenSymAllocBudget extends the allocation guard to symmetry
+// reduction: a warm screen of the shared-core 2-UE world with
+// Options.Symmetry must hold the same allocs-per-state budget as plain
+// screening. EncodeCanonical keeps all working storage in per-world
+// scratch, so canonicalizing the visited set adds no per-state heap
+// allocations; the only extra work is the per-run violation closure,
+// which amortizes to noise. The 2x cross-check against the plain run
+// catches a regression that hides under the absolute budget.
+func TestScreenSymAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := MultiUEWorldShared(2, false)
+	opt := s.Options
+	opt.SkipLint = true
+
+	perState := func(sym bool) float64 {
+		o := opt
+		o.Symmetry = sym
+		r, err := Screen(s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.States == 0 {
+			t.Fatal("shared 2-UE screen explored no states")
+		}
+		avg := testing.AllocsPerRun(5, func() {
+			if _, err := Screen(s, o); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ps := avg / float64(r.Result.States)
+		t.Logf("shared 2-UE sym=%v: %d states, %.0f allocs/run, %.2f allocs/state (budget %.0f)",
+			sym, r.Result.States, avg, ps, maxAllocsPerState)
+		return ps
+	}
+	plain := perState(false)
+	sym := perState(true)
+	if sym > maxAllocsPerState {
+		t.Fatalf("symmetry screening allocates %.2f allocs/state, budget is %.0f: canonicalization left the alloc-free hot path",
+			sym, maxAllocsPerState)
+	}
+	if sym > 2*plain {
+		t.Fatalf("symmetry screening allocates %.2f allocs/state vs %.2f plain: canonicalization regressed the hot path",
+			sym, plain)
+	}
+}

@@ -44,6 +44,20 @@ func AllSpecs() map[string]*fsm.Spec {
 		"rrc3g-ue":      rrc3g.DeviceSpec(rrc3g.DeviceOptions{}),
 		"rrc3g-fixed":   rrc3g.DeviceSpec(rrc3g.DeviceOptions{FixCSFBTag: true, FixDecoupleChannels: true}),
 		"rrc4g-ue":      rrc4g.DeviceSpec(rrc4g.DeviceOptions{}),
+		// The shared-core namespaced variants (MultiUEWorldShared's
+		// per-UE rewrite): every global moves into the "ue1" namespace
+		// except the shared MME/HSS session context block, which stays
+		// un-namespaced — the effect goldens pin that g.pdp/g.eps keep
+		// their shared coordinates while everything else resolves to
+		// g.ue1.*, the fact that couples the stacks into one POR cluster.
+		"gmm-ue-ns-shared": fsm.NamespaceGlobalsShared(
+			gmm.DeviceSpec(gmm.DeviceOptions{}), "ue1", names.GPDP, names.GEPS),
+		"gmm-sgsn-ns-shared": fsm.NamespaceGlobalsShared(
+			gmm.SGSNSpec(gmm.SGSNOptions{}), "ue1", names.GPDP, names.GEPS),
+		"sm-ue-ns-shared": fsm.NamespaceGlobalsShared(
+			sm.DeviceSpec(sm.DeviceOptions{}), "ue1", names.GPDP, names.GEPS),
+		"sm-sgsn-ns-shared": fsm.NamespaceGlobalsShared(
+			sm.SGSNSpec(sm.SGSNOptions{}), "ue1", names.GPDP, names.GEPS),
 	}
 }
 
@@ -64,14 +78,15 @@ func SpecNames() []string {
 // environment hints do not depend on sampler randomness).
 func StandardWorlds(fixed bool) map[string]Scoped {
 	return map[string]Scoped{
-		"s1":      S1World(fixed),
-		"s2":      S2World(fixed),
-		"s3":      S3World(fixed, names.SwitchReselect),
-		"s4cs":    S4CSWorld(fixed),
-		"s4ps":    S4PSWorld(fixed),
-		"s6":      S6World(fixed),
-		"full":    FullWorld(FullConfig{Fixed: fixed}),
-		"multiue": MultiUEWorld(3, fixed),
+		"s1":             S1World(fixed),
+		"s2":             S2World(fixed),
+		"s3":             S3World(fixed, names.SwitchReselect),
+		"s4cs":           S4CSWorld(fixed),
+		"s4ps":           S4PSWorld(fixed),
+		"s6":             S6World(fixed),
+		"full":           FullWorld(FullConfig{Fixed: fixed}),
+		"multiue":        MultiUEWorld(3, fixed),
+		"multiue-shared": MultiUEWorldShared(2, fixed),
 	}
 }
 

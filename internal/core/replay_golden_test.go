@@ -116,3 +116,59 @@ func TestReplayGolden(t *testing.T) {
 		})
 	}
 }
+
+// TestReplayGoldenMultiUEShared pins the S4-class counterexample of
+// the shared-core 2-UE world (one g.pdp/g.eps context block, per-UE
+// namespaces otherwise): the first canonical violation of a plain
+// screening run, replayed and serialized like the S1–S6 goldens.
+// Refresh intentionally with:
+//
+//	go test ./internal/core -run TestReplayGoldenMultiUEShared -update
+func TestReplayGoldenMultiUEShared(t *testing.T) {
+	s := MultiUEWorldShared(2, false)
+	r, err := Screen(s, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Result.Violations) == 0 {
+		t.Fatal("defective shared 2-UE world reported no violation")
+	}
+	got, err := renderGolden(s, r.Result.Violations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "s4shared.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for s4shared:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The symmetry quotient finds some violations only through the
+	// permutation closure, which rewrites counterexample paths along
+	// the permutation. Those rewritten paths must still be genuine
+	// executions: every violation of a -sym run replays cleanly.
+	opt := s.Options
+	opt.Symmetry = true
+	rs, err := Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Result.Violations) != len(r.Result.Violations) {
+		t.Fatalf("sym run found %d violations, plain %d",
+			len(rs.Result.Violations), len(r.Result.Violations))
+	}
+	for _, v := range rs.Result.Violations {
+		if _, err := check.Replay(s.World, v.Path); err != nil {
+			t.Errorf("sym violation %q [%s] does not replay: %v", v.Property, v.Desc, err)
+		}
+	}
+}

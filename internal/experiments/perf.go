@@ -17,6 +17,7 @@ type PerfRun struct {
 	World        string  `json:"world"`
 	Workers      int     `json:"workers"`
 	POR          bool    `json:"por,omitempty"`
+	Sym          bool    `json:"sym,omitempty"`
 	States       int     `json:"states"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	StatesPerSec float64 `json:"states_per_sec"`
@@ -137,6 +138,58 @@ func PerfPOR() ([]PerfRun, error) {
 	return out, nil
 }
 
+// PerfSym benchmarks the symmetry reduction on the shared-core 4-UE
+// world (core.MultiUEWorldShared — one MME/HSS context block couples
+// every stack, so the effect analysis sees a single cluster and POR
+// degenerates): the same screening run over the flag square {POR off/on}
+// x {Symmetry off/on}. The state counts are the acceptance numbers of
+// the canonicalization (the full 4-UE product versus its quotient under
+// UE permutations, ~4! smaller) and the rows land in BENCH_screen.json
+// under the labels "sym" and "por+sym". MaxStates is raised above the
+// world default: the plain product (34^4 states) must be enumerated in
+// full for the ratio to mean anything.
+func PerfSym(por bool) ([]PerfRun, error) {
+	var out []PerfRun
+	for _, sym := range []bool{false, true} {
+		s := core.MultiUEWorldShared(4, false)
+		opt := s.Options
+		opt.POR = por
+		opt.Symmetry = sym
+		opt.MaxStates = 1 << 21
+		states := 0
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Screen(s, opt)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				states = res.Result.States
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("perf: multiue-shared4 por=%v sym=%v: %w", por, sym, benchErr)
+		}
+		run := PerfRun{
+			World:       "multiue-shared4",
+			Workers:     1,
+			POR:         por,
+			Sym:         sym,
+			States:      states,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if sec := r.T.Seconds(); sec > 0 {
+			run.StatesPerSec = float64(states) * float64(r.N) / sec
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
 // RenderPerfJSON serializes a perf report for BENCH_screen.json.
 func RenderPerfJSON(label string, runs []PerfRun) (string, error) {
 	b, err := json.MarshalIndent(PerfReport{Label: label, Runs: runs}, "", "  ")
@@ -149,11 +202,20 @@ func RenderPerfJSON(label string, runs []PerfRun) (string, error) {
 // RenderPerfTable renders perf runs as a plain-text table.
 func RenderPerfTable(runs []PerfRun) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %8s %9s %14s %12s %12s\n",
-		"world", "workers", "states", "states/sec", "allocs/op", "B/op")
+	fmt.Fprintf(&b, "%-15s %8s %8s %9s %14s %12s %12s\n",
+		"world", "workers", "flags", "states", "states/sec", "allocs/op", "B/op")
 	for _, r := range runs {
-		fmt.Fprintf(&b, "%-6s %8d %9d %14.0f %12d %12d\n",
-			r.World, r.Workers, r.States, r.StatesPerSec, r.AllocsPerOp, r.BytesPerOp)
+		flags := "-"
+		switch {
+		case r.POR && r.Sym:
+			flags = "por+sym"
+		case r.POR:
+			flags = "por"
+		case r.Sym:
+			flags = "sym"
+		}
+		fmt.Fprintf(&b, "%-15s %8d %8s %9d %14.0f %12d %12d\n",
+			r.World, r.Workers, flags, r.States, r.StatesPerSec, r.AllocsPerOp, r.BytesPerOp)
 	}
 	return b.String()
 }

@@ -24,10 +24,29 @@ import (
 // The returned spec is a distinct *Spec (its own layout and facts cache
 // identity) named "<name>#<ns>". An empty namespace returns s itself.
 func NamespaceGlobals(s *Spec, ns string) *Spec {
+	return NamespaceGlobalsShared(s, ns)
+}
+
+// NamespaceGlobalsShared is NamespaceGlobals with exceptions: the
+// listed global names pass through un-namespaced, modeling state that
+// several namespaced stacks genuinely share (e.g. one MME/HSS session
+// context block serving every UE, core.MultiUEWorldShared). Together
+// with the sorted globals layout this groups a world's per-UE state
+// into replica-indexed sub-slab spans — each namespace "g.<ns>." is a
+// contiguous run of the layout, with the shared keys outside every
+// span — which is what model.World.EncodeCanonical sorts to
+// canonicalize replica permutations.
+func NamespaceGlobalsShared(s *Spec, ns string, shared ...string) *Spec {
 	if ns == "" {
 		return s
 	}
 	rw := &nsRewriter{ns: ns}
+	if len(shared) > 0 {
+		rw.shared = make(map[string]bool, len(shared))
+		for _, k := range shared {
+			rw.shared[k] = true
+		}
+	}
 	out := &Spec{
 		Name:        s.Name + "#" + ns,
 		Proto:       s.Proto,
@@ -62,13 +81,14 @@ func NamespaceGlobals(s *Spec, ns string) *Spec {
 // concurrently across parallel exploration workers) and the wrapper
 // contexts are pooled — wrapping sits on the Enabled/Apply hot path.
 type nsRewriter struct {
-	ns    string
-	names sync.Map // original name -> namespaced name
-	pool  sync.Pool
+	ns     string
+	shared map[string]bool // pass-through globals (nil = none)
+	names  sync.Map        // original name -> namespaced name
+	pool   sync.Pool
 }
 
 func (r *nsRewriter) rewrite(name string) string {
-	if !isGlobal(name) {
+	if !isGlobal(name) || r.shared[name] {
 		return name
 	}
 	if v, ok := r.names.Load(name); ok {

@@ -138,10 +138,18 @@ type World struct {
 	glay  *glayout
 	gvals []int32
 
-	// scratch and enbuf are reusable per-world working storage for
-	// Steps/Apply (never shared between worlds; CloneInto skips them).
-	scratch *ctx
-	enbuf   []int
+	// sym/symRes are the replica-symmetry descriptor and its resolved
+	// process indices (see symmetry.go); both are immutable after
+	// SetSymmetry and shared by clones.
+	sym    *Symmetry
+	symRes *symResolution
+
+	// scratch, enbuf and symScratch are reusable per-world working
+	// storage for Steps/Apply/EncodeCanonical (never shared between
+	// worlds; CloneInto skips them).
+	scratch    *ctx
+	enbuf      []int
+	symScratch *symScratch
 }
 
 // Config declares the construction of a World.
@@ -335,6 +343,7 @@ func (w *World) CloneInto(dst *World) {
 	dst.procIdx, dst.chanIdx = w.procIdx, w.chanIdx
 	dst.glay = w.glay
 	dst.gvals = append(dst.gvals[:0], w.gvals...)
+	dst.sym, dst.symRes = w.sym, w.symRes
 }
 
 // Encode appends a canonical binary encoding of the full global state.

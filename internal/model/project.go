@@ -72,5 +72,13 @@ func (w *World) Project(names []string) (*World, error) {
 		pw.chanIdx[src.Name] = j
 		pw.Chans[j] = &pw.chans[j]
 	}
+	// Carry the symmetry descriptor filtered to fully-kept replicas, so
+	// POR cluster projections canonicalize within each cluster
+	// (check.Options.POR composed with Options.Symmetry).
+	if fs := w.filterSymmetry(keep); fs != nil {
+		if err := pw.SetSymmetry(fs); err != nil {
+			return nil, fmt.Errorf("model: project: %w", err)
+		}
+	}
 	return pw, nil
 }

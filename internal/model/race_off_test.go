@@ -1,0 +1,5 @@
+//go:build !race
+
+package model
+
+const raceEnabled = false

@@ -1,0 +1,360 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symmetry declares the replica structure of a world: groups of
+// interchangeable process bundles ("replicas" — e.g. the GMM+SM stack
+// of one UE together with its SGSN peers) whose wholesale exchange maps
+// reachable states onto reachable states. The checker uses it
+// (check.Options.Symmetry) to explore the quotient under replica
+// permutations: the canonical encoding sorts the per-replica
+// sub-encodings lexicographically before hashing, so all n!
+// permutations of a multi-UE state collapse into one visited-set entry.
+//
+// A declaration is sound when the replicas really are symmetric: same
+// specs in the same role order, instance-local wiring (replica processes
+// send only within their replica or to shared non-replica processes),
+// per-replica globals confined to the replica's "g.<NS>." namespace,
+// and a scenario offering the same events to every replica. The
+// permutation-invariance suite (symmetry_test.go) checks the encoding
+// half of this contract; core's world builders own the modeling half.
+type Symmetry struct {
+	Groups []SymGroup
+}
+
+// SymGroup is one orbit of interchangeable replicas.
+type SymGroup struct {
+	Replicas []SymReplica
+}
+
+// SymReplica names the state owned by one replica.
+type SymReplica struct {
+	// Procs lists the replica's process names. Position is the role:
+	// Procs[j] of every replica in a group must play the same part
+	// (e.g. j=0 is always the device-side GMM).
+	Procs []string
+	// NS is the replica's globals namespace: every global named
+	// "g.<NS>.<suffix>" belongs to this replica (the fsm.NamespaceGlobals
+	// convention). The sorted globals layout keeps the namespace a
+	// contiguous span, so the encoder finds it by binary search.
+	NS string
+	// Atoms are the name fragments identifying this replica inside
+	// property descriptions and step notes (e.g. ["sgsn1", "ue1"]).
+	// Position is the role, like Procs. The checker rewrites violations
+	// along permutations by exchanging corresponding atoms.
+	Atoms []string
+}
+
+// symResolution is the per-world resolved form of a Symmetry: process
+// indices instead of names. It is immutable after SetSymmetry and
+// shared by clones (CloneInto preserves process order).
+type symResolution struct {
+	groups [][]symReplicaRes
+	// rest lists the processes belonging to no replica, in world order.
+	rest []int
+}
+
+type symReplicaRes struct {
+	procs  []int
+	prefix string // "g." + NS + "."
+}
+
+// symScratch is per-world reusable working storage for EncodeCanonical
+// (never shared between worlds; CloneInto skips it, like scratch).
+type symScratch struct {
+	subs  [][]byte
+	order []int
+	spans []gspan
+}
+
+// gspan is a half-open range of globals-layout indices.
+type gspan struct{ lo, hi int }
+
+// SetSymmetry attaches a replica-symmetry descriptor to the world and
+// resolves it against the current process table. Clones share the
+// resolved descriptor. Passing nil detaches it (EncodeCanonical then
+// degenerates to Encode).
+func (w *World) SetSymmetry(sym *Symmetry) error {
+	if sym == nil {
+		w.sym, w.symRes = nil, nil
+		return nil
+	}
+	if len(w.Procs) != len(w.Chans) {
+		return fmt.Errorf("model: symmetry: world has %d procs but %d channels", len(w.Procs), len(w.Chans))
+	}
+	res := &symResolution{}
+	inReplica := make(map[int]bool)
+	seenNS := make(map[string]bool)
+	for gi, g := range sym.Groups {
+		if len(g.Replicas) == 0 {
+			return fmt.Errorf("model: symmetry: group %d has no replicas", gi)
+		}
+		role := len(g.Replicas[0].Procs)
+		grp := make([]symReplicaRes, 0, len(g.Replicas))
+		for ri, r := range g.Replicas {
+			if len(r.Procs) != role {
+				return fmt.Errorf("model: symmetry: group %d replica %d has %d procs, want %d",
+					gi, ri, len(r.Procs), role)
+			}
+			if r.NS == "" {
+				return fmt.Errorf("model: symmetry: group %d replica %d has no namespace", gi, ri)
+			}
+			if seenNS[r.NS] {
+				return fmt.Errorf("model: symmetry: namespace %q used by two replicas", r.NS)
+			}
+			seenNS[r.NS] = true
+			rr := symReplicaRes{prefix: "g." + r.NS + ".", procs: make([]int, 0, role)}
+			for _, name := range r.Procs {
+				idx := -1
+				for i, p := range w.Procs {
+					if p.Name == name {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					return fmt.Errorf("model: symmetry: unknown process %q", name)
+				}
+				if inReplica[idx] {
+					return fmt.Errorf("model: symmetry: process %q claimed by two replicas", name)
+				}
+				inReplica[idx] = true
+				rr.procs = append(rr.procs, idx)
+			}
+			grp = append(grp, rr)
+		}
+		res.groups = append(res.groups, grp)
+	}
+	for i := range w.Procs {
+		if !inReplica[i] {
+			res.rest = append(res.rest, i)
+		}
+	}
+	w.sym, w.symRes = sym, res
+	return nil
+}
+
+// Symmetry returns the attached replica-symmetry descriptor, or nil.
+func (w *World) Symmetry() *Symmetry { return w.sym }
+
+// filterSymmetry builds the descriptor for a projection keeping only
+// the given processes: replicas survive when every one of their
+// processes is kept, groups survive when any replica does (a
+// single-replica group canonicalizes trivially but keeps the encoding
+// layout consistent across sibling projections). Returns nil when
+// nothing survives.
+func (w *World) filterSymmetry(keep map[string]bool) *Symmetry {
+	if w.sym == nil {
+		return nil
+	}
+	var out Symmetry
+	for _, g := range w.sym.Groups {
+		var ng SymGroup
+		for _, r := range g.Replicas {
+			all := true
+			for _, p := range r.Procs {
+				if !keep[p] {
+					all = false
+					break
+				}
+			}
+			if all {
+				ng.Replicas = append(ng.Replicas, r)
+			}
+		}
+		if len(ng.Replicas) > 0 {
+			out.Groups = append(out.Groups, ng)
+		}
+	}
+	if len(out.Groups) == 0 {
+		return nil
+	}
+	return &out
+}
+
+// globalsSpan returns the half-open index range of the sorted globals
+// layout carrying the given name prefix. Namespaced globals grow
+// lazily (first write), so the span is recomputed per call against the
+// current layout — a binary search plus a linear scan of the span.
+func (w *World) globalsSpan(prefix string) (int, int) {
+	if w.glay == nil {
+		return 0, 0
+	}
+	names := w.glay.names
+	lo := sort.SearchStrings(names, prefix)
+	hi := lo
+	for hi < len(names) && strings.HasPrefix(names[hi], prefix) {
+		hi++
+	}
+	return lo, hi
+}
+
+// encodeQueueLocal appends the queue encoding of one channel with
+// replica-relative sender names: a message sent from inside the replica
+// encodes as its sender's role index (tag 1), so the bytes are
+// identical across corresponding replicas; any other sender (shared
+// infrastructure, the environment) encodes by name (tag 0). The other
+// message fields match Encode's fixed-width record.
+func (w *World) encodeQueueLocal(buf []byte, c *Channel, local []int) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(c.Queue)))
+	buf = append(buf, tmp[:2]...)
+	for _, m := range c.Queue {
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(m.Kind))
+		buf = append(buf, tmp[:2]...)
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(m.Cause))
+		buf = append(buf, tmp[:2]...)
+		binary.LittleEndian.PutUint32(tmp[:4], m.Seq)
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, byte(m.System), byte(m.Domain), byte(m.Proto))
+		role := -1
+		for j, pi := range local {
+			if w.Procs[pi].Name == m.From {
+				role = j
+				break
+			}
+		}
+		if role >= 0 {
+			buf = append(buf, 1, byte(role))
+		} else {
+			buf = append(buf, 0)
+			buf = append(buf, m.From...)
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// EncodeCanonical appends the symmetry-canonical encoding of the world:
+// for each group, the replica sub-encodings (machines in role order,
+// queues with replica-relative senders, the replica's namespaced
+// globals span) are length-prefixed and sorted lexicographically, so
+// every permutation of a group's replicas encodes identically; the
+// non-replica machines, queues and globals follow positionally exactly
+// as in Encode. Without a symmetry descriptor it IS Encode.
+//
+// The hot-path contract matches Encode: memoized machine encodings, no
+// map iteration, no string building, and all working storage lives in
+// the world's reusable scratch — steady state allocates nothing.
+func (w *World) EncodeCanonical(buf []byte) []byte {
+	if w.sym == nil || w.symRes == nil {
+		return w.Encode(buf)
+	}
+	sc := w.symScratch
+	if sc == nil {
+		sc = &symScratch{}
+		w.symScratch = sc
+	}
+	var tmp [4]byte
+	sc.spans = sc.spans[:0]
+	for _, grp := range w.symRes.groups {
+		for len(sc.subs) < len(grp) {
+			sc.subs = append(sc.subs, nil)
+		}
+		for ri := range grp {
+			rep := &grp[ri]
+			sub := sc.subs[ri][:0]
+			for _, pi := range rep.procs {
+				sub = w.Procs[pi].M.Encode(sub)
+			}
+			for _, pi := range rep.procs {
+				sub = w.encodeQueueLocal(sub, w.Chans[pi], rep.procs)
+			}
+			lo, hi := w.globalsSpan(rep.prefix)
+			sc.spans = append(sc.spans, gspan{lo, hi})
+			binary.LittleEndian.PutUint16(tmp[:2], uint16(hi-lo))
+			sub = append(sub, tmp[:2]...)
+			for i := lo; i < hi; i++ {
+				sub = append(sub, w.glay.names[i][len(rep.prefix):]...)
+				sub = append(sub, 0)
+				binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
+				sub = append(sub, tmp[:4]...)
+			}
+			sc.subs[ri] = sub
+		}
+		// Insertion-sort the replica order by sub-encoding bytes — the
+		// canonicalization step. Group sizes are small (one entry per
+		// UE), so insertion sort beats sort.Slice and allocates nothing.
+		order := sc.order[:0]
+		for i := range grp {
+			j := len(order)
+			for j > 0 && bytes.Compare(sc.subs[order[j-1]], sc.subs[i]) > 0 {
+				j--
+			}
+			order = append(order, 0)
+			copy(order[j+1:], order[j:])
+			order[j] = i
+		}
+		sc.order = order
+		for _, ri := range order {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(sc.subs[ri])))
+			buf = append(buf, tmp[:4]...)
+			buf = append(buf, sc.subs[ri]...)
+		}
+	}
+	for _, pi := range w.symRes.rest {
+		buf = w.Procs[pi].M.Encode(buf)
+	}
+	for _, pi := range w.symRes.rest {
+		buf = w.encodeQueueLocal(buf, w.Chans[pi], nil)
+	}
+	// Non-replica globals: the complement of the namespaced spans.
+	nglob := 0
+	if w.glay != nil {
+		nglob = len(w.glay.names)
+	}
+	spans := sc.spans
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j-1].lo > spans[j].lo; j-- {
+			spans[j-1], spans[j] = spans[j], spans[j-1]
+		}
+	}
+	rest := nglob
+	for _, s := range spans {
+		rest -= s.hi - s.lo
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(rest))
+	buf = append(buf, tmp[:2]...)
+	si := 0
+	for i := 0; i < nglob; i++ {
+		for si < len(spans) && i >= spans[si].hi {
+			si++
+		}
+		if si < len(spans) && i >= spans[si].lo {
+			i = spans[si].hi - 1
+			continue
+		}
+		buf = append(buf, w.glay.names[i]...)
+		buf = append(buf, 0)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
+		buf = append(buf, tmp[:4]...)
+	}
+	return buf
+}
+
+// CanonicalHash returns the FNV-64a digest of the symmetry-canonical
+// encoding (EncodeCanonical), equal for permutation-equivalent worlds.
+func (w *World) CanonicalHash() uint64 {
+	h, _ := w.AppendCanonicalHash(nil)
+	return h
+}
+
+// AppendCanonicalHash is AppendHash over the symmetry-canonical
+// encoding: it encodes into buf[:0] and returns the FNV-64a digest plus
+// the reused buffer.
+func (w *World) AppendCanonicalHash(buf []byte) (uint64, []byte) {
+	buf = w.EncodeCanonical(buf[:0])
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h, buf
+}

@@ -28,14 +28,15 @@ go test ./...
 
 echo "== detlint (determinism analyzers over the deterministic-replay packages) =="
 go build -o /tmp/detlint.$$ ./cmd/detlint
-if go vet -vettool=/tmp/detlint.$$ ./internal/check ./internal/core ./internal/fuzz; then
+DETLINT_PKGS="./internal/check ./internal/core ./internal/fuzz ./internal/campaign ./internal/userstudy ./internal/workload"
+if go vet -vettool=/tmp/detlint.$$ $DETLINT_PKGS; then
     echo ok
 else
     # The vettool protocol is an internal go-command contract; if a
     # toolchain change breaks the handshake, the analyzers still gate
     # via the standalone mode (type-driven checks degrade, see detlint).
     echo "vettool run failed; retrying in detlint direct mode"
-    /tmp/detlint.$$ ./internal/check ./internal/core ./internal/fuzz
+    /tmp/detlint.$$ $DETLINT_PKGS
     echo ok
 fi
 rm -f /tmp/detlint.$$
@@ -75,6 +76,9 @@ go test -race ./internal/check ./internal/core
 echo "== go test -race (sweep campaign engine) =="
 go test -race ./internal/validate
 
+echo "== go test -race (population load engine: worker determinism matrix) =="
+go test -race -run 'TestCampaign' ./internal/campaign
+
 echo "== go test -race (coverage-guided fuzzer) =="
 go test -race ./internal/fuzz
 
@@ -95,6 +99,17 @@ go run ./cmd/cnetsim -sweep -findings S1 -loss 0.2 -seeds 4 -workers 8 -format c
 cmp /tmp/sweep1.csv /tmp/sweep8.csv
 rm -f /tmp/sweep1.csv /tmp/sweep8.csv
 echo ok
+
+echo "== campaign gates (golden fixture, alloc budget, worker determinism) =="
+go test -run 'TestCampaignGolden|TestCampaignAllocBudget' ./internal/campaign
+go run ./cmd/cnetsim -campaign -ues 20000 -horizon 5m -workers 1 -format json >/tmp/camp1.json
+go run ./cmd/cnetsim -campaign -ues 20000 -horizon 5m -workers 8 -format json >/tmp/camp8.json
+cmp /tmp/camp1.json /tmp/camp8.json
+rm -f /tmp/camp1.json /tmp/camp8.json
+echo ok
+
+echo "== fuzz smoke (campaign occurrence-row codec, 15s) =="
+go test ./internal/campaign -run '^$' -fuzz FuzzCampaignRow -fuzztime 15s >/dev/null
 
 echo "== screening bench smoke (alloc-counted, 1 iteration) =="
 go test -run '^$' -bench Screen -benchtime=1x -benchmem . >/dev/null

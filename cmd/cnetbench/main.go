@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por, sym, por+sym)")
+		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por, sym, por+sym, campaign)")
 		runs    = flag.Int("runs", 100, "runs per distribution-style experiment")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		out     = flag.String("o", "", "write the report to FILE instead of stdout")
@@ -177,6 +177,29 @@ func main() {
 			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cnetbench: por:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, s)
+		} else {
+			fmt.Fprintln(w, experiments.RenderPerfTable(prs))
+		}
+	}
+
+	if want == "campaign" {
+		// Population-scale load engine throughput: a 100k-UE campaign
+		// per worker count under testing.Benchmark. Not part of -exp
+		// all for the same reason as perf; states_per_sec reads as
+		// procedure occurrences per second.
+		ran = true
+		prs, err := experiments.PerfCampaign(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench: campaign:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetbench: campaign:", err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(w, s)

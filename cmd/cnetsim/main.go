@@ -20,6 +20,18 @@
 //	cnetsim -sweep [-loss 0:0.5:0.05] [-seeds 32] [-workers N]
 //	        [-findings S1,S4] [-profile OP-II] [-fixes reliable,parallel]
 //	        [-noreliab] [-format table|json|csv] [-seed 1]
+//
+// With -campaign it runs the population-scale control-plane load
+// engine: 10^5–10^6 lightweight UE sessions drawing per-procedure
+// inter-arrivals, reporting core-element signaling load and the S1–S6
+// occurrence table at population scale. The report is byte-identical
+// at any -workers value.
+//
+//	cnetsim -campaign [-ues 100000] [-frac4g 0.6] [-horizon 1h]
+//	        [-workers N] [-seed 1] [-shard 4096]
+//	        [-attach exp:806400] [-detach exp:86400] [-service lognormal:5.897,1]
+//	        [-handover exp:1800] [-call exp:72000]
+//	        [-format table|json|csv] [-series FILE]
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"cnetverifier/internal/campaign"
 	"cnetverifier/internal/core"
 	"cnetverifier/internal/emu"
 	"cnetverifier/internal/netemu"
@@ -58,12 +71,29 @@ func main() {
 		profile  = flag.String("profile", "OP-II", "operator profile: OP-I or OP-II (sweep)")
 		fixesF   = flag.String("fixes", "", "§8 fixes: comma list of reliable,parallel,decouple,crosssys or 'all' (sweep)")
 		noReliab = flag.Bool("noreliab", false, "disable the NAS retransmission layer (sweep)")
-		format   = flag.String("format", "table", "sweep output: table, json, or csv")
+		format   = flag.String("format", "table", "sweep/campaign output: table, json, or csv")
+
+		campaignF = flag.Bool("campaign", false, "run a population-scale load campaign instead of a socket role")
+		ues       = flag.Int("ues", 100000, "population size (campaign)")
+		frac4G    = flag.Float64("frac4g", 12.0/20, "fraction of 4G-capable UEs (campaign)")
+		horizon   = flag.Duration("horizon", time.Hour, "simulated span (campaign)")
+		shard     = flag.Int("shard", 4096, "UE shard size; part of the report identity (campaign)")
+		attachD   = flag.String("attach", "", "attach inter-arrival dist, e.g. exp:806400 (campaign)")
+		detachD   = flag.String("detach", "", "detach inter-arrival dist (campaign)")
+		serviceD  = flag.String("service", "", "service-request inter-arrival dist (campaign)")
+		handoverD = flag.String("handover", "", "mobility-update inter-arrival dist (campaign)")
+		callD     = flag.String("call", "", "voice-call inter-arrival dist (campaign)")
+		seriesF   = flag.String("series", "", "write the per-bucket element-load series CSV to FILE (campaign)")
 	)
 	flag.Parse()
 
 	if *sweep {
 		runSweep(*loss, *seeds, *workers, *findings, *profile, *fixesF, *noReliab, *format, *seed)
+		return
+	}
+	if *campaignF {
+		runCampaign(*ues, *frac4G, *horizon, *workers, *seed, *shard,
+			[5]string{*attachD, *detachD, *serviceD, *handoverD, *callD}, *format, *seriesF)
 		return
 	}
 
@@ -165,6 +195,52 @@ func runSweep(lossSpec string, seeds, workers int, findingsSpec, profileName, fi
 		fmt.Print(res.CSV())
 	default:
 		fatal(fmt.Errorf("unknown -format %q (want table, json, or csv)", format))
+	}
+}
+
+// runCampaign parses the campaign flags and runs the load engine.
+func runCampaign(ues int, frac4G float64, horizon time.Duration, workers int, seed int64, shard int, dists [5]string, format, seriesFile string) {
+	cfg := campaign.Config{
+		UEs:       ues,
+		Frac4G:    frac4G,
+		Horizon:   horizon,
+		Workers:   workers,
+		Seed:      seed,
+		ShardSize: shard,
+		Arrivals:  campaign.DefaultArrivals(),
+	}
+	for i, dst := range []*campaign.Dist{
+		&cfg.Arrivals.Attach, &cfg.Arrivals.Detach, &cfg.Arrivals.Service,
+		&cfg.Arrivals.Handover, &cfg.Arrivals.Call,
+	} {
+		if dists[i] == "" {
+			continue
+		}
+		d, err := campaign.ParseDist(dists[i])
+		fatal(err)
+		*dst = d
+	}
+	rep, err := campaign.Run(cfg)
+	fatal(err)
+
+	switch format {
+	case "table":
+		fmt.Print(rep.Table())
+	case "json":
+		fmt.Print(rep.JSON())
+	case "csv":
+		fmt.Print(rep.CSV())
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want table, json, or csv)", format))
+	}
+	if seriesFile != "" {
+		f, err := os.Create(seriesFile)
+		fatal(err)
+		err = rep.WriteSeriesCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
 	}
 }
 

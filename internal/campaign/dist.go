@@ -1,0 +1,189 @@
+// Package campaign is the population-scale control-plane load engine:
+// it multiplexes 10^5–10^6 lightweight UE sessions over the shared
+// MME/SGSN/HSS element models of internal/netemu, driving each session
+// from per-procedure inter-arrival processes (attach, service request,
+// handover, detach, call) in the style of "Characterizing and Modeling
+// Control-Plane Traffic for Mobile Core Network" — and rebuilds the
+// paper's Table 5 occurrence rates from a cohort 50,000× the §7 user
+// study, reusing the internal/userstudy mechanism triggers.
+//
+// Determinism contract: a campaign report is a pure function of its
+// Config. UEs are partitioned into fixed-size shards, each simulated
+// from its own seed-derived generator over its own timer wheel;
+// workers claim whole shards from an atomic cursor and write into
+// per-shard accumulators, so any worker count produces byte-identical
+// reports.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Dist is an inter-arrival (or holding-time) distribution over seconds.
+// Implementations must be pure functions of the supplied generator —
+// equal seeds must yield identical sample streams — and must report
+// their analytic mean and variance, which the property tests check the
+// empirical moments against.
+type Dist interface {
+	// Sample draws one value in seconds (always >= 0).
+	Sample(rng *rand.Rand) float64
+	// Mean returns the analytic mean in seconds.
+	Mean() float64
+	// Variance returns the analytic variance in seconds².
+	Variance() float64
+	// String renders the distribution in the form ParseDist accepts.
+	String() string
+}
+
+// Fixed is a degenerate point mass: every arrival exactly Sec apart.
+type Fixed struct{ Sec float64 }
+
+func (f Fixed) Sample(*rand.Rand) float64 { return f.Sec }
+func (f Fixed) Mean() float64             { return f.Sec }
+func (f Fixed) Variance() float64         { return 0 }
+func (f Fixed) String() string            { return fmt.Sprintf("fixed:%s", ftoa(f.Sec)) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+func (u Uniform) Mean() float64                 { return (u.Lo + u.Hi) / 2 }
+func (u Uniform) Variance() float64             { d := u.Hi - u.Lo; return d * d / 12 }
+func (u Uniform) String() string {
+	return fmt.Sprintf("uniform:%s,%s", ftoa(u.Lo), ftoa(u.Hi))
+}
+
+// Exp is the exponential distribution with the given mean — the
+// memoryless Poisson-process inter-arrival.
+type Exp struct{ MeanSec float64 }
+
+func (e Exp) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.MeanSec }
+func (e Exp) Mean() float64                 { return e.MeanSec }
+func (e Exp) Variance() float64             { return e.MeanSec * e.MeanSec }
+func (e Exp) String() string                { return fmt.Sprintf("exp:%s", ftoa(e.MeanSec)) }
+
+// LogNormal is exp(N(Mu, Sigma²)) — the heavy-tailed fit the
+// control-plane traffic study reports for service-request
+// inter-arrivals.
+type LogNormal struct{ Mu, Sigma float64 }
+
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal:%s,%s", ftoa(l.Mu), ftoa(l.Sigma))
+}
+
+// Weibull has shape K and scale Lambda (seconds); K < 1 gives the
+// bursty, overdispersed arrivals the traffic study measures for
+// attach/detach.
+type Weibull struct{ K, Lambda float64 }
+
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	// Inverse-CDF: λ(-ln U)^(1/k); 1-Float64() keeps U in (0,1].
+	return w.Lambda * math.Pow(-math.Log(1-rng.Float64()), 1/w.K)
+}
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+func (w Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/w.K)
+	return w.Lambda * w.Lambda * (math.Gamma(1+2/w.K) - g1*g1)
+}
+func (w Weibull) String() string {
+	return fmt.Sprintf("weibull:%s,%s", ftoa(w.K), ftoa(w.Lambda))
+}
+
+// ftoa renders a float in the shortest form that round-trips.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// distArity is the exact parameter count per family; ParseDist rejects
+// specs with extra or missing parameters.
+var distArity = map[string]int{
+	"fixed": 1, "uniform": 2, "exp": 1, "lognormal": 2, "weibull": 2,
+}
+
+// ParseDist parses the "name:params" forms the String methods render:
+//
+//	fixed:SEC  uniform:LO,HI  exp:MEAN  lognormal:MU,SIGMA  weibull:K,LAMBDA
+//
+// Parameters are validated (positive scales, Lo <= Hi) so a malformed
+// CLI flag fails loudly instead of producing a degenerate process.
+func ParseDist(spec string) (Dist, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	args := strings.Split(rest, ",")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if want, known := distArity[name]; known && len(args) != want {
+		return nil, fmt.Errorf("campaign: dist %q: want %d parameters, got %d", spec, want, len(args))
+	}
+	num := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("campaign: dist %q: missing parameter %d", spec, i+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("campaign: dist %q: bad parameter %q", spec, args[i])
+		}
+		return v, nil
+	}
+	switch name {
+	case "fixed":
+		sec, err := num(0)
+		if err != nil || sec < 0 {
+			return nil, orErr(err, "campaign: dist %q: need sec >= 0", spec)
+		}
+		return Fixed{Sec: sec}, nil
+	case "uniform":
+		lo, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := num(1)
+		if err != nil || lo < 0 || hi < lo {
+			return nil, orErr(err, "campaign: dist %q: need 0 <= lo <= hi", spec)
+		}
+		return Uniform{Lo: lo, Hi: hi}, nil
+	case "exp":
+		mean, err := num(0)
+		if err != nil || mean <= 0 {
+			return nil, orErr(err, "campaign: dist %q: need mean > 0", spec)
+		}
+		return Exp{MeanSec: mean}, nil
+	case "lognormal":
+		mu, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		sigma, err := num(1)
+		if err != nil || sigma <= 0 {
+			return nil, orErr(err, "campaign: dist %q: need sigma > 0", spec)
+		}
+		return LogNormal{Mu: mu, Sigma: sigma}, nil
+	case "weibull":
+		k, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		lambda, err := num(1)
+		if err != nil || k <= 0 || lambda <= 0 {
+			return nil, orErr(err, "campaign: dist %q: need k > 0, lambda > 0", spec)
+		}
+		return Weibull{K: k, Lambda: lambda}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown dist %q (want fixed, uniform, exp, lognormal, or weibull)", spec)
+}
+
+// orErr returns err if non-nil, else the formatted validation error.
+func orErr(err error, format string, args ...interface{}) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf(format, args...)
+}

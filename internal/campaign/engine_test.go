@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"time"
+)
+
+// matrixConfig is the race-sized campaign the determinism matrix runs:
+// several shards (so the atomic cursor actually contends), a couple of
+// minutes of horizon, and every procedure family active.
+func matrixConfig(seed int64) Config {
+	return Config{
+		UEs:       2000,
+		ShardSize: 256, // 8 shards
+		Horizon:   2 * time.Minute,
+		Seed:      seed,
+		Arrivals: Arrivals{
+			// Compressed inter-arrivals so the short horizon still fires
+			// thousands of procedures of every kind.
+			Attach:   Exp{MeanSec: 300},
+			Detach:   Exp{MeanSec: 600},
+			Service:  LogNormal{Mu: 2.6, Sigma: 0.8},
+			Handover: Exp{MeanSec: 45},
+			Call:     Exp{MeanSec: 90},
+		},
+	}
+}
+
+// seriesDigest hashes the streamed per-bucket element-load series.
+func seriesDigest(t *testing.T, r *Report) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteSeriesCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestCampaignWorkerMatrix is the determinism matrix: every worker
+// count must produce byte-identical occurrence reports and identical
+// element-load digests, per seed — the campaign analogue of the
+// TestSym* canonicalization matrices. Run under -race in CI, it also
+// exercises the shard-claiming cursor for data races.
+func TestCampaignWorkerMatrix(t *testing.T) {
+	for _, seed := range []int64{1, 99} {
+		base, err := Run(matrixConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Totals.Msgs == 0 {
+			t.Fatalf("seed %d: campaign emitted no signaling", seed)
+		}
+		baseJSON, baseCSV, baseDigest := base.JSON(), base.CSV(), seriesDigest(t, base)
+		for _, workers := range []int{2, 8} {
+			cfg := matrixConfig(seed)
+			cfg.Workers = workers
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.JSON(); got != baseJSON {
+				t.Errorf("seed %d workers %d: JSON differs from single-worker run", seed, workers)
+			}
+			if got := r.CSV(); got != baseCSV {
+				t.Errorf("seed %d workers %d: CSV differs from single-worker run", seed, workers)
+			}
+			if got := seriesDigest(t, r); got != baseDigest {
+				t.Errorf("seed %d workers %d: element-load series digest %s != %s", seed, workers, got, baseDigest)
+			}
+		}
+	}
+}
+
+// TestCampaignShardSizeChangesDeal documents that ShardSize is part of
+// the report identity (it re-deals the per-shard generators), unlike
+// Workers which must never matter.
+func TestCampaignShardSizeChangesDeal(t *testing.T) {
+	a := matrixConfig(1)
+	b := matrixConfig(1)
+	b.ShardSize = 512
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.JSON() == rb.JSON() {
+		t.Error("changing ShardSize left the report identical; params block must differ at minimum")
+	}
+}
+
+// TestCampaignSanity checks the engine's internal accounting: totals
+// reconcile across views, exposure denominators dominate event counts,
+// and the mechanism rates land near their configured probabilities.
+func TestCampaignSanity(t *testing.T) {
+	cfg := matrixConfig(7)
+	cfg.UEs = 5000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elemMsgs int64
+	for _, e := range r.Elements {
+		elemMsgs += e.Msgs
+		if e.MeanRate < 0 || e.PeakRate < e.MeanRate {
+			t.Errorf("%s: mean rate %v, peak %v", e.Element, e.MeanRate, e.PeakRate)
+		}
+		if e.PeakQueue < e.MeanQueue {
+			t.Errorf("%s: mean queue %v above peak %v", e.Element, e.MeanQueue, e.PeakQueue)
+		}
+	}
+	if elemMsgs != r.Totals.Msgs {
+		t.Errorf("element msgs sum %d != total %d", elemMsgs, r.Totals.Msgs)
+	}
+	if r.Totals.CSFBCalls > r.Totals.Calls {
+		t.Errorf("CSFB calls %d exceed calls %d", r.Totals.CSFBCalls, r.Totals.Calls)
+	}
+	for _, p := range []struct {
+		name string
+		n    int64
+	}{
+		{"attach", r.Totals.Attaches}, {"detach", r.Totals.Detaches},
+		{"service", r.Totals.Services}, {"handover", r.Totals.Handovers},
+		{"call", r.Totals.Calls},
+	} {
+		if p.n == 0 {
+			t.Errorf("no %s procedures fired", p.name)
+		}
+	}
+	for _, o := range r.Occurrences {
+		if o.Events > o.Exposure {
+			t.Errorf("%s: events %d exceed exposure %d", o.Finding, o.Events, o.Exposure)
+		}
+		if o.Rate < 0 || o.Rate > 1 || o.CILow > o.Rate || o.CIHigh < o.Rate {
+			t.Errorf("%s: rate %v outside CI [%v, %v]", o.Finding, o.Rate, o.CILow, o.CIHigh)
+		}
+	}
+	// S5 is the highest-rate Table 5 mechanism (~77%); with thousands
+	// of 3G calls the campaign estimate must be in its neighborhood,
+	// and every S5 event contributes affected data volume.
+	s5 := r.Occurrences[4]
+	if s5.Exposure < 100 {
+		t.Fatalf("S5 exposure %d too small for a rate check", s5.Exposure)
+	}
+	if s5.Rate < 0.70 || s5.Rate > 0.85 {
+		t.Errorf("S5 rate %v, want ≈0.774", s5.Rate)
+	}
+	if s5.Events > 0 && r.Totals.AffectedKB <= 0 {
+		t.Error("S5 events recorded but no affected volume")
+	}
+}
+
+// TestCampaignConfigValidation: malformed configs fail loudly.
+func TestCampaignConfigValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"negative ues":    func(c *Config) { c.UEs = -1 },
+		"frac4g over one": func(c *Config) { c.Frac4G = 1.5 },
+		"bucket not tick-aligned": func(c *Config) {
+			c.Tick = 300 * time.Millisecond
+			c.Bucket = time.Second
+		},
+		"huge tick count": func(c *Config) {
+			c.Tick = time.Nanosecond
+			c.Horizon = time.Hour
+		},
+		"missing dist": func(c *Config) { c.Arrivals = Arrivals{Attach: Fixed{Sec: 1}} },
+	} {
+		cfg := matrixConfig(1)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+}
+
+// maxAllocsPerUE is the checked-in allocation budget per UE session for
+// a campaign run, covering session setup, wheel churn and accumulator
+// merge. A 10000-UE run measures ≈0.6 allocs/UE (the engine's hot loop
+// is allocation-free; the residue is shard setup and report
+// assembly). The 2 allocs/UE budget leaves >2x headroom while still
+// failing on any per-event allocation creeping into the loop, which
+// would land at tens of allocs per UE.
+const maxAllocsPerUE = 2.0
+
+// TestCampaignAllocBudget is the allocation regression guard sized in
+// allocs per UE session, in the style of TestScreenAllocBudget.
+func TestCampaignAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	cfg := matrixConfig(3)
+	cfg.UEs = 10000
+	cfg.ShardSize = 2048
+	if _, err := Run(cfg); err != nil { // warm: page in code paths
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perUE := avg / float64(cfg.UEs)
+	t.Logf("%d UEs: %.0f allocs/run, %.3f allocs/UE (budget %.1f)", cfg.UEs, avg, perUE, maxAllocsPerUE)
+	if perUE > maxAllocsPerUE {
+		t.Fatalf("campaign allocates %.3f allocs/UE, budget is %.1f: a per-event allocation crept into the hot loop", perUE, maxAllocsPerUE)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// raceEnabled gates tests whose assertions (allocation counting) are
+// meaningless under the race detector's instrumented allocator.
+const raceEnabled = true

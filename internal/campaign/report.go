@@ -1,0 +1,352 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"cnetverifier/internal/netemu"
+	"cnetverifier/internal/stats"
+	"cnetverifier/internal/validate"
+)
+
+// findingNames are the Table 5 rows in index order.
+var findingNames = [numFindings]string{"S1", "S2", "S3", "S4", "S5", "S6"}
+
+// Params is the report's identity block: the configuration the numbers
+// are a pure function of. Workers is deliberately absent — the worker
+// count must not change the report.
+type Params struct {
+	UEs          int     `json:"ues"`
+	Frac4G       float64 `json:"frac_4g"`
+	HorizonSec   float64 `json:"horizon_sec"`
+	TickSec      float64 `json:"tick_sec"`
+	BucketSec    float64 `json:"bucket_sec"`
+	Seed         int64   `json:"seed"`
+	ShardSize    int     `json:"shard_size"`
+	PInterSystem float64 `json:"p_inter_system"`
+	Attach       string  `json:"attach"`
+	Detach       string  `json:"detach"`
+	Service      string  `json:"service"`
+	Handover     string  `json:"handover"`
+	Call         string  `json:"call"`
+}
+
+// Totals are the population-wide event counts.
+type Totals struct {
+	Attaches   int64   `json:"attaches"`
+	Detaches   int64   `json:"detaches"`
+	Services   int64   `json:"services"`
+	Handovers  int64   `json:"handovers"`
+	Calls      int64   `json:"calls"`
+	CSFBCalls  int64   `json:"csfb_calls"`
+	Switches   int64   `json:"switches"`
+	Msgs       int64   `json:"msgs"`
+	AffectedKB float64 `json:"affected_kb"`
+}
+
+// ElementLoad summarizes one core element's signaling load over the
+// horizon: arrival rates against its service capacity, and the queue
+// occupancy of a per-bucket fluid model
+// (q ← max(0, q + arrivals − capacity·bucket)).
+type ElementLoad struct {
+	Element     string  `json:"element"`
+	Msgs        int64   `json:"msgs"`
+	MeanRate    float64 `json:"mean_rate"`
+	PeakRate    float64 `json:"peak_rate"`
+	Capacity    float64 `json:"capacity"`
+	Utilization float64 `json:"utilization"`
+	MeanQueue   float64 `json:"mean_queue"`
+	PeakQueue   float64 `json:"peak_queue"`
+}
+
+// OccurrenceRow is one Table 5 finding at population scale, with a
+// Wilson 95% interval over the exposure denominator.
+type OccurrenceRow struct {
+	Finding  string  `json:"finding"`
+	Events   int64   `json:"events"`
+	Exposure int64   `json:"exposure"`
+	Rate     float64 `json:"rate"`
+	CILow    float64 `json:"ci_low"`
+	CIHigh   float64 `json:"ci_high"`
+}
+
+// Report is the campaign artifact: identity, totals, per-element load,
+// and the S1–S6 occurrence table. The per-bucket series backing the
+// element summaries is kept unexported and streamed via WriteSeriesCSV
+// rather than embedded — at 10^6 UEs and 1 s buckets it dwarfs the
+// summary.
+type Report struct {
+	Params      Params          `json:"params"`
+	Totals      Totals          `json:"totals"`
+	Elements    []ElementLoad   `json:"elements"`
+	Occurrences []OccurrenceRow `json:"occurrences"`
+
+	series [netemu.NumElements][]int64
+}
+
+// buildReport merges the per-shard accumulators in shard order and
+// computes the derived summaries.
+func buildReport(cfg Config, accs []shardAcc, nBuckets int) *Report {
+	r := &Report{
+		Params: Params{
+			UEs:          cfg.UEs,
+			Frac4G:       cfg.Frac4G,
+			HorizonSec:   cfg.Horizon.Seconds(),
+			TickSec:      cfg.Tick.Seconds(),
+			BucketSec:    cfg.Bucket.Seconds(),
+			Seed:         cfg.Seed,
+			ShardSize:    cfg.ShardSize,
+			PInterSystem: cfg.PInterSystem,
+			Attach:       cfg.Arrivals.Attach.String(),
+			Detach:       cfg.Arrivals.Detach.String(),
+			Service:      cfg.Arrivals.Service.String(),
+			Handover:     cfg.Arrivals.Handover.String(),
+			Call:         cfg.Arrivals.Call.String(),
+		},
+	}
+	var procs [numProcs]int64
+	var events, exposure [numFindings]int64
+	for e := range r.series {
+		r.series[e] = make([]int64, nBuckets)
+	}
+	for _, a := range accs {
+		for p := range procs {
+			procs[p] += a.procs[p]
+		}
+		for f := 0; f < numFindings; f++ {
+			events[f] += a.events[f]
+			exposure[f] += a.exposure[f]
+		}
+		r.Totals.CSFBCalls += a.csfbCalls
+		r.Totals.Switches += a.switches
+		r.Totals.Msgs += a.msgs
+		r.Totals.AffectedKB += a.affectedKB
+		for e := range a.load {
+			for b, v := range a.load[e] {
+				r.series[e][b] += v
+			}
+		}
+	}
+	r.Totals.Attaches = procs[ProcAttach]
+	r.Totals.Detaches = procs[ProcDetach]
+	r.Totals.Services = procs[ProcService]
+	r.Totals.Handovers = procs[ProcHandover]
+	r.Totals.Calls = procs[ProcCall]
+
+	bucketSec := cfg.Bucket.Seconds()
+	horizonSec := cfg.Horizon.Seconds()
+	for _, el := range netemu.Elements() {
+		cap := cfg.Capacity[el]
+		var msgs, peak int64
+		var q, qSum, qPeak float64
+		for _, v := range r.series[el] {
+			msgs += v
+			if v > peak {
+				peak = v
+			}
+			q += float64(v) - cap*bucketSec
+			if q < 0 {
+				q = 0
+			}
+			qSum += q
+			if q > qPeak {
+				qPeak = q
+			}
+		}
+		load := ElementLoad{
+			Element:   el.String(),
+			Msgs:      msgs,
+			Capacity:  cap,
+			PeakRate:  float64(peak) / bucketSec,
+			MeanQueue: qSum / float64(nBuckets),
+			PeakQueue: qPeak,
+		}
+		if horizonSec > 0 {
+			load.MeanRate = float64(msgs) / horizonSec
+		}
+		if cap > 0 {
+			load.Utilization = load.MeanRate / cap
+		}
+		r.Elements = append(r.Elements, load)
+	}
+
+	for f := 0; f < numFindings; f++ {
+		row := OccurrenceRow{
+			Finding:  findingNames[f],
+			Events:   events[f],
+			Exposure: exposure[f],
+		}
+		if row.Exposure > 0 {
+			row.Rate = float64(row.Events) / float64(row.Exposure)
+		}
+		row.CILow, row.CIHigh = stats.Wilson(int(row.Events), int(row.Exposure), stats.Z95)
+		r.Occurrences = append(r.Occurrences, row)
+	}
+	return r
+}
+
+// JSON renders the report (params, totals, element loads, occurrence
+// table) with a trailing newline.
+func (r *Report) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic("campaign: marshal report: " + err.Error())
+	}
+	return string(b) + "\n"
+}
+
+// DecodeJSON parses a Report.JSON rendering. Unknown fields fail
+// loudly, mirroring the validate sweep codec.
+func DecodeJSON(data []byte) (*Report, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("campaign: decode report JSON: %w", err)
+	}
+	return &r, nil
+}
+
+// csvFields is the occurrence-row schema, derived from the json tags so
+// the JSON and CSV renderings cannot drift apart.
+func csvFields() []string { return validate.CSVFields(OccurrenceRow{}) }
+
+// CSVHeader returns the occurrence CSV header (no trailing newline).
+func CSVHeader() string { return strings.Join(csvFields(), ",") }
+
+// RenderRow renders one occurrence row as a CSV line (no newline).
+// Floats use the shortest round-tripping form, so
+// ParseRow(RenderRow(r)) == r exactly.
+func RenderRow(row OccurrenceRow) string {
+	return strings.Join([]string{
+		row.Finding,
+		strconv.FormatInt(row.Events, 10),
+		strconv.FormatInt(row.Exposure, 10),
+		ftoa(row.Rate),
+		ftoa(row.CILow),
+		ftoa(row.CIHigh),
+	}, ",")
+}
+
+// ParseRow parses one occurrence CSV line.
+func ParseRow(line string) (OccurrenceRow, error) {
+	var row OccurrenceRow
+	cols := strings.Split(line, ",")
+	if len(cols) != len(csvFields()) {
+		return row, fmt.Errorf("campaign: occurrence row has %d columns, want %d", len(cols), len(csvFields()))
+	}
+	row.Finding = cols[0]
+	if strings.ContainsAny(row.Finding, ",\n\r") || row.Finding == "" {
+		return row, fmt.Errorf("campaign: bad finding %q", row.Finding)
+	}
+	var err error
+	if row.Events, err = strconv.ParseInt(cols[1], 10, 64); err != nil {
+		return row, fmt.Errorf("campaign: bad events %q", cols[1])
+	}
+	if row.Exposure, err = strconv.ParseInt(cols[2], 10, 64); err != nil {
+		return row, fmt.Errorf("campaign: bad exposure %q", cols[2])
+	}
+	for i, dst := range []*float64{&row.Rate, &row.CILow, &row.CIHigh} {
+		v, err := strconv.ParseFloat(cols[3+i], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return row, fmt.Errorf("campaign: bad %s %q", csvFields()[3+i], cols[3+i])
+		}
+		*dst = v
+	}
+	return row, nil
+}
+
+// CSV renders the occurrence table with header and trailing newline.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(CSVHeader())
+	b.WriteByte('\n')
+	for _, row := range r.Occurrences {
+		b.WriteString(RenderRow(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DecodeCSV parses a Report.CSV rendering back into occurrence rows.
+// The header must match exactly.
+func DecodeCSV(data string) ([]OccurrenceRow, error) {
+	lines := strings.Split(strings.TrimRight(data, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != CSVHeader() {
+		return nil, fmt.Errorf("campaign: CSV header %q does not match %q", lines[0], CSVHeader())
+	}
+	rows := make([]OccurrenceRow, 0, len(lines)-1)
+	for ln, line := range lines[1:] {
+		row, err := ParseRow(line)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: CSV row %d: %w", ln+2, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table renders a human-readable summary.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d UEs, %.0f s horizon, seed %d\n",
+		r.Params.UEs, r.Params.HorizonSec, r.Params.Seed)
+	fmt.Fprintf(&b, "procedures: %d attach, %d detach, %d service, %d handover, %d call (%d CSFB), %d switches\n",
+		r.Totals.Attaches, r.Totals.Detaches, r.Totals.Services,
+		r.Totals.Handovers, r.Totals.Calls, r.Totals.CSFBCalls, r.Totals.Switches)
+	fmt.Fprintf(&b, "signaling: %d msgs, S5 affected volume %.1f KB\n\n", r.Totals.Msgs, r.Totals.AffectedKB)
+	fmt.Fprintf(&b, "%-6s %12s %10s %10s %6s %12s %12s\n",
+		"elem", "msgs", "mean/s", "peak/s", "util", "mean queue", "peak queue")
+	for _, e := range r.Elements {
+		fmt.Fprintf(&b, "%-6s %12d %10.1f %10.1f %5.0f%% %12.1f %12.1f\n",
+			e.Element, e.Msgs, e.MeanRate, e.PeakRate, 100*e.Utilization, e.MeanQueue, e.PeakQueue)
+	}
+	fmt.Fprintf(&b, "\n%-8s %12s %12s %8s %18s\n", "finding", "events", "exposure", "rate", "95% CI")
+	for _, o := range r.Occurrences {
+		fmt.Fprintf(&b, "%-8s %12d %12d %7.2f%% [%6.2f%%, %6.2f%%]\n",
+			o.Finding, o.Events, o.Exposure, 100*o.Rate, 100*o.CILow, 100*o.CIHigh)
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV streams the per-bucket element arrival series
+// (bucket index, then one msgs column per element) without
+// materializing the whole rendering — the path sized for 10^6-UE
+// campaigns with long horizons.
+func (r *Report) WriteSeriesCSV(w io.Writer) error {
+	cols := []string{"bucket"}
+	for _, el := range netemu.Elements() {
+		cols = append(cols, strings.ToLower(el.String())+"_msgs")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range r.series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	var line []byte
+	for b := 0; b < n; b++ {
+		line = line[:0]
+		line = strconv.AppendInt(line, int64(b), 10)
+		for e := range r.series {
+			line = append(line, ',')
+			var v int64
+			if b < len(r.series[e]) {
+				v = r.series[e][b]
+			}
+			line = strconv.AppendInt(line, v, 10)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

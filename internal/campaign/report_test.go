@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign fixtures")
+
+// goldenConfig is the n=1000 campaign the golden fixtures pin down: any
+// change to the samplers, the firing rules, the draw order, the queue
+// model or the renderers shows up as a golden diff. Refresh
+// intentionally with:
+//
+//	go test ./internal/campaign -run TestCampaignGolden -update
+func goldenConfig() Config {
+	return Config{
+		UEs:       1000,
+		ShardSize: 128,
+		Horizon:   time.Minute,
+		Seed:      42,
+		Arrivals: Arrivals{
+			Attach:   Exp{MeanSec: 240},
+			Detach:   Exp{MeanSec: 480},
+			Service:  LogNormal{Mu: 2.3, Sigma: 0.7},
+			Handover: Exp{MeanSec: 30},
+			Call:     Exp{MeanSec: 60},
+		},
+	}
+}
+
+// TestCampaignGolden pins the three renderings of a small campaign —
+// report JSON, occurrence CSV, and the streamed element-load series —
+// against checked-in fixtures.
+func TestCampaignGolden(t *testing.T) {
+	r, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series strings.Builder
+	if err := r.WriteSeriesCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		got  string
+	}{
+		{"campaign_n1000.json", r.JSON()},
+		{"campaign_n1000.csv", r.CSV()},
+		{"campaign_n1000_series.csv", series.String()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(tc.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if tc.got != string(want) {
+				t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", tc.got, want)
+			}
+		})
+	}
+}
+
+// TestReportJSONRoundTrip: DecodeJSON inverts JSON on the exported
+// report, and rejects schema drift.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON([]byte(r.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Params, r.Params) || !reflect.DeepEqual(back.Totals, r.Totals) ||
+		!reflect.DeepEqual(back.Elements, r.Elements) || !reflect.DeepEqual(back.Occurrences, r.Occurrences) {
+		t.Error("decoded report differs from original")
+	}
+	if back.JSON() != r.JSON() {
+		t.Error("re-encoding the decoded report is not a fixpoint")
+	}
+	if _, err := DecodeJSON([]byte(`{"params":{},"bogus":1}`)); err == nil {
+		t.Error("DecodeJSON accepted an unknown field")
+	}
+}
+
+// TestReportCSVRoundTrip: DecodeCSV inverts CSV, exactly.
+func TestReportCSVRoundTrip(t *testing.T) {
+	r, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := DecodeCSV(r.CSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, r.Occurrences) {
+		t.Errorf("decoded rows differ:\n%v\n%v", rows, r.Occurrences)
+	}
+	if _, err := DecodeCSV("finding,events\nS1,2"); err == nil {
+		t.Error("DecodeCSV accepted a mismatched header")
+	}
+}
+
+// FuzzCampaignRow fuzzes the occurrence-row codec with the same
+// contract as the trace record fuzzer: any line ParseRow accepts must
+// render canonically, reparse to the identical row, and be a render
+// fixpoint.
+func FuzzCampaignRow(f *testing.F) {
+	r, err := Run(goldenConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, row := range r.Occurrences {
+		f.Add(RenderRow(row))
+	}
+	f.Add("S1,0,0,0,0,1")
+	f.Add("S5,881,1138,0.7741652021089631,0.7487603542213264,0.7977399918159212")
+	f.Add("bad line")
+	f.Add("S1,1,2,0.5,0.4")
+	f.Fuzz(func(t *testing.T, line string) {
+		row, err := ParseRow(line)
+		if err != nil {
+			return
+		}
+		canon := RenderRow(row)
+		again, err := ParseRow(canon)
+		if err != nil {
+			t.Fatalf("canonical render %q does not reparse: %v", canon, err)
+		}
+		if again != row {
+			t.Fatalf("reparse drift: %+v != %+v", again, row)
+		}
+		if RenderRow(again) != canon {
+			t.Fatalf("render not a fixpoint: %q != %q", RenderRow(again), canon)
+		}
+	})
+}

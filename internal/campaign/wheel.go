@@ -1,0 +1,113 @@
+package campaign
+
+// The timer wheel multiplexes a shard's UE sessions over virtual time.
+// Each session keeps one pending entry — its earliest due procedure —
+// so the wheel holds at most shardSize timers regardless of how many
+// procedures a session schedules. Two 256-slot levels cover 2^16 ticks
+// of horizon (at the default 100 ms tick: ~1.8 h) with O(1) schedule
+// and batched per-slot expiry; later timers overflow to a far list
+// cascaded level-wise, so arbitrarily distant due times are accepted
+// without cost on the hot path.
+//
+// Determinism: slots are plain slices processed in insertion order, and
+// insertion order is itself a deterministic function of the simulation
+// — no heaps with tie-breaking hazards, no maps.
+
+const (
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits          // 256
+	wheelMask  = wheelSlots - 1          // low-bits slot index
+	wheelSpan  = wheelSlots << wheelBits // ticks covered by both levels
+)
+
+// timerEntry is one scheduled session.
+type timerEntry struct {
+	due int32 // absolute tick
+	idx int32 // session index within the shard
+}
+
+// wheel is a two-level hierarchical timer wheel over int32 ticks.
+type wheel struct {
+	now      int32
+	l0       [wheelSlots][]timerEntry // due - now < 256: exact slot
+	l1       [wheelSlots][]timerEntry // due - now < 65536: cascaded on entry
+	overflow []timerEntry             // farther: rescanned on l1 wrap
+	batch    []timerEntry             // reused expiry buffer
+}
+
+func newWheel() *wheel { return &wheel{} }
+
+// schedule adds a timer. due must be > the current tick; entries due at
+// or before now would never fire and indicate a scheduling bug, so they
+// are clamped forward one tick.
+func (w *wheel) schedule(idx int32, due int32) {
+	if due <= w.now {
+		due = w.now + 1
+	}
+	switch delta := due - w.now; {
+	case delta < wheelSlots:
+		s := due & wheelMask
+		w.l0[s] = append(w.l0[s], timerEntry{due: due, idx: idx})
+	case delta < wheelSpan:
+		s := (due >> wheelBits) & wheelMask
+		w.l1[s] = append(w.l1[s], timerEntry{due: due, idx: idx})
+	default:
+		w.overflow = append(w.overflow, timerEntry{due: due, idx: idx})
+	}
+}
+
+// advance moves the wheel to tick and returns the batch of sessions due
+// exactly then, in deterministic (insertion) order. The caller must
+// advance tick by tick; the batch slice is reused across calls.
+func (w *wheel) advance(tick int32) []timerEntry {
+	w.now = tick
+	if tick&wheelMask == 0 {
+		w.cascade(tick)
+	}
+	slot := tick & wheelMask
+	w.batch = w.batch[:0]
+	pending := w.l0[slot][:0]
+	for _, e := range w.l0[slot] {
+		if e.due == tick {
+			w.batch = append(w.batch, e)
+		} else {
+			// A later lap of this slot: keep for a future pass.
+			pending = append(pending, e)
+		}
+	}
+	w.l0[slot] = pending
+	return w.batch
+}
+
+// cascade refills level 0 from the level-1 slot covering the next 256
+// ticks, and — on a full level-1 wrap — pulls newly-near overflow
+// timers down into the levels.
+func (w *wheel) cascade(tick int32) {
+	if tick&(wheelSpan-1) == 0 && len(w.overflow) > 0 {
+		keep := w.overflow[:0]
+		for _, e := range w.overflow {
+			if e.due-tick < wheelSpan {
+				s := (e.due >> wheelBits) & wheelMask
+				w.l1[s] = append(w.l1[s], e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		w.overflow = keep
+	}
+	slot := (tick >> wheelBits) & wheelMask
+	if len(w.l1[slot]) == 0 {
+		return
+	}
+	for _, e := range w.l1[slot] {
+		if e.due >= tick && e.due-tick < wheelSlots {
+			s := e.due & wheelMask
+			w.l0[s] = append(w.l0[s], e)
+		} else {
+			// A later lap of the l1 slot: push back (rare; happens only
+			// with horizons beyond wheelSpan).
+			w.overflow = append(w.overflow, e)
+		}
+	}
+	w.l1[slot] = w.l1[slot][:0]
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cnetverifier/internal/campaign"
+)
+
+// PerfCampaign benchmarks the population-scale load engine: a
+// 100k-UE, 10-minute campaign at each worker count, via
+// testing.Benchmark. The rows reuse the PerfRun schema with States
+// holding the number of procedure occurrences fired (the campaign's
+// unit of work), so states_per_sec reads as procedures/sec in
+// BENCH_screen.json.
+func PerfCampaign(workerCounts []int) ([]PerfRun, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4, 8}
+	}
+	var out []PerfRun
+	for _, workers := range workerCounts {
+		cfg := campaign.Config{
+			UEs:     100000,
+			Horizon: 10 * time.Minute,
+			Workers: workers,
+		}
+		events := int64(0)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := campaign.Run(cfg)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				events = rep.Totals.Attaches + rep.Totals.Detaches +
+					rep.Totals.Services + rep.Totals.Handovers + rep.Totals.Calls
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("perf: campaign workers=%d: %w", workers, benchErr)
+		}
+		run := PerfRun{
+			World:       "campaign-100k",
+			Workers:     workers,
+			States:      int(events),
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if sec := r.T.Seconds(); sec > 0 {
+			run.StatesPerSec = float64(events) * float64(r.N) / sec
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}

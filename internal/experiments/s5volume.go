@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"cnetverifier/internal/netemu"
-	"cnetverifier/internal/radio"
 	"cnetverifier/internal/workload"
 )
 
@@ -28,41 +26,24 @@ func (s S5Stats) String() string {
 		s.Calls, s.AvgCallSec, s.AvgAffectedKB, s.Under550KB, s.Over4MB, s.MaxMB)
 }
 
-// S5AffectedVolumes simulates the §7 cohort's affected-traffic volumes:
-// most calls run light background traffic (tens of kbps) while a small
-// fraction carries a bulk transfer that saturates the degraded shared
-// channel — the four heavy calls of the study.
+// S5AffectedVolumes simulates the §7 cohort's affected-traffic volumes
+// through the shared workload.S5CallModel: most calls run light
+// background traffic (tens of kbps) while a small fraction carries a
+// bulk transfer that saturates the degraded shared channel — the four
+// heavy calls of the study. The generator is threaded explicitly so
+// the campaign engine reproduces the same per-call accounting from its
+// own deterministic stream.
 func S5AffectedVolumes(calls int, seed int64) S5Stats {
 	rng := rand.New(rand.NewSource(seed))
 	ch := netemu.SharedChannelFor(netemu.OPII(), netemu.FixSet{}, false)
 	ch.CallActive = true
+	model := workload.DefaultS5CallModel()
 
 	var stats S5Stats
 	stats.Calls = calls
 	var totalSec, totalKB float64
 	for i := 0; i < calls; i++ {
-		// Call duration: mean ≈67 s with spread (§7).
-		dur := time.Duration(30+rng.ExpFloat64()*37) * time.Second
-		if dur > 8*time.Minute {
-			dur = 8 * time.Minute
-		}
-
-		// Demand: ~96% light background traffic, ~4% bulk transfers
-		// that ride the degraded channel.
-		var rate radio.Mbps
-		if rng.Float64() < 0.035 {
-			load := 0.05 + rng.Float64()*0.25
-			rate = ch.DataRateDL(load) // bulk: channel-limited
-		} else {
-			rate = 0.005 + rng.Float64()*0.018 // light: 5–23 kbps
-		}
-		kb := workload.AffectedVolume(rate, dur)
-		// Bulk objects are finite: cap a single transfer at ~18.5 MB,
-		// the largest affected volume the study observed.
-		if kb > 18.5*1024 {
-			kb = 18.5 * 1024
-		}
-
+		dur, kb := model.SampleAffected(rng, ch.DataRateDL)
 		totalSec += dur.Seconds()
 		totalKB += kb
 		if kb < 550 {

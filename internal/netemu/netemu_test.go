@@ -399,3 +399,48 @@ func TestProcessingDelays(t *testing.T) {
 		t.Fatalf("wired LAU took %v, want ≥2s", slow)
 	}
 }
+
+// The signaling cost tables stay internally consistent: every element
+// named, non-negative costs, and the composite procedures dominate
+// their parts.
+func TestSignalingCosts(t *testing.T) {
+	if got := len(Elements()); got != int(NumElements) {
+		t.Fatalf("Elements() = %d entries, want %d", got, NumElements)
+	}
+	for _, e := range Elements() {
+		if e.String() == "?" {
+			t.Fatalf("element %d unnamed", e)
+		}
+	}
+	if Element(99).String() != "?" {
+		t.Fatal("out-of-range element must render as ?")
+	}
+	c := DefaultSignalingCosts()
+	for name, pc := range map[string]ProcedureCost{
+		"attach": c.Attach, "detach": c.Detach, "service": c.ServiceRequest,
+		"tau": c.TAU, "rau": c.RAU, "switch": c.InterSystemSwitch,
+		"csfb": c.CSFBCall, "cs": c.CSCall,
+	} {
+		if pc.Total() <= 0 {
+			t.Errorf("%s: no signaling cost", name)
+		}
+		for e, v := range pc {
+			if v < 0 {
+				t.Errorf("%s: negative cost at %v", name, Element(e))
+			}
+		}
+	}
+	// A CSFB call must cost strictly more than a plain CS call (it adds
+	// the fallback and the LAU), and the switch must touch the SGSN.
+	if c.CSFBCall.Total() <= c.CSCall.Total() {
+		t.Error("CSFB call not costlier than a CS call")
+	}
+	if c.InterSystemSwitch[ElemSGSN] == 0 {
+		t.Error("inter-system switch bypasses the SGSN")
+	}
+	for _, cap := range DefaultElementCapacity() {
+		if cap <= 0 {
+			t.Fatal("non-positive element capacity")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package netemu
+
+// This file gives the shared core-network elements of §2 a load
+// identity: which element each control-plane procedure exercises, and
+// how many signaling messages it costs there. The per-world emulator
+// models one UE against the core in full protocol detail; the campaign
+// engine (internal/campaign) multiplexes 10^5–10^6 lightweight UE
+// sessions over these shared element models and needs only the message
+// counts — the procedure flows below are the standard 3GPP ladders
+// collapsed to per-element message tallies.
+
+// Element identifies a shared core-network element.
+type Element int
+
+const (
+	// ElemMME is the 4G mobility-management entity (EMM/ESM peer).
+	ElemMME Element = iota
+	// ElemSGSN is the 3G packet/circuit core node (GMM/MM/SM peer; the
+	// MSC's CS signaling is folded in, as in the paper's §2 model).
+	ElemSGSN
+	// ElemHSS is the subscriber database (HSS/HLR: authentication and
+	// location registers).
+	ElemHSS
+	// NumElements sizes per-element arrays.
+	NumElements
+)
+
+// String names the element.
+func (e Element) String() string {
+	switch e {
+	case ElemMME:
+		return "MME"
+	case ElemSGSN:
+		return "SGSN"
+	case ElemHSS:
+		return "HSS"
+	}
+	return "?"
+}
+
+// Elements returns all shared elements in index order.
+func Elements() []Element {
+	return []Element{ElemMME, ElemSGSN, ElemHSS}
+}
+
+// ProcedureCost is the per-element control-plane message count of one
+// procedure occurrence, indexed by Element.
+type ProcedureCost [NumElements]int
+
+// Total sums the messages across elements.
+func (c ProcedureCost) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// SignalingCosts maps each campaign-driven procedure to its element
+// message costs.
+type SignalingCosts struct {
+	// Attach is the 4G attach ladder at the MME (request, authentication
+	// exchange, security mode, accept/complete) plus the HSS
+	// authentication-info and update-location legs.
+	Attach ProcedureCost
+	// Detach is the UE-initiated detach (request/accept) plus the HSS
+	// purge.
+	Detach ProcedureCost
+	// ServiceRequest is the idle-to-connected transition (service
+	// request, initial-context setup, release) — MME-only.
+	ServiceRequest ProcedureCost
+	// TAU is an intra-4G tracking-area update without SGW relocation.
+	TAU ProcedureCost
+	// RAU is the 3G routing-area update at the SGSN.
+	RAU ProcedureCost
+	// InterSystemSwitch is a 4G↔3G reselection: RAU at the SGSN, a
+	// context transfer with the MME, and an HSS location update — the
+	// paper's §5.1 switch signaling.
+	InterSystemSwitch ProcedureCost
+	// CSFBCall is one CSFB call: extended service request and context
+	// release at the MME, LAU plus CS call control at the SGSN/MSC, and
+	// an HSS location update (§6.3).
+	CSFBCall ProcedureCost
+	// CSCall is a plain 3G CS call at the SGSN/MSC.
+	CSCall ProcedureCost
+}
+
+// DefaultSignalingCosts returns message counts read off the standard
+// procedure ladders (3GPP TS 23.401/23.060 flows collapsed per
+// element).
+func DefaultSignalingCosts() SignalingCosts {
+	return SignalingCosts{
+		Attach:            ProcedureCost{ElemMME: 6, ElemSGSN: 0, ElemHSS: 2},
+		Detach:            ProcedureCost{ElemMME: 2, ElemSGSN: 0, ElemHSS: 1},
+		ServiceRequest:    ProcedureCost{ElemMME: 3, ElemSGSN: 0, ElemHSS: 0},
+		TAU:               ProcedureCost{ElemMME: 4, ElemSGSN: 0, ElemHSS: 0},
+		RAU:               ProcedureCost{ElemMME: 0, ElemSGSN: 3, ElemHSS: 0},
+		InterSystemSwitch: ProcedureCost{ElemMME: 2, ElemSGSN: 3, ElemHSS: 1},
+		CSFBCall:          ProcedureCost{ElemMME: 3, ElemSGSN: 4, ElemHSS: 1},
+		CSCall:            ProcedureCost{ElemMME: 0, ElemSGSN: 3, ElemHSS: 0},
+	}
+}
+
+// ElementCapacity is the per-element service rate in messages per
+// second — the denominator of the campaign's utilization and queue
+// model.
+type ElementCapacity [NumElements]float64
+
+// DefaultElementCapacity returns service rates sized so a 10^6-UE
+// campaign at the default procedure rates lands in the
+// interesting regime (high utilization at the MME, moderate
+// elsewhere): queue occupancy becomes visible without the model
+// diverging.
+func DefaultElementCapacity() ElementCapacity {
+	return ElementCapacity{ElemMME: 8000, ElemSGSN: 4000, ElemHSS: 2000}
+}

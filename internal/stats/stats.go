@@ -84,6 +84,47 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// Variance returns the unbiased sample variance (0 for samples of
+// fewer than two points).
+func Variance(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Variance()
+}
+
+// Welford accumulates mean and variance online in one pass (Welford's
+// algorithm), so population-scale harnesses can summarize millions of
+// samples without retaining them. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
 // Z95 is the standard-normal quantile for a two-sided 95% confidence
 // interval.
 const Z95 = 1.959964

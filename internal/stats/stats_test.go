@@ -180,3 +180,34 @@ func TestQuickSummaryConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Welford matches the two-pass mean/variance on a fixed sample and
+// keeps the one-pass invariants at every prefix.
+func TestWelford(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for i, x := range xs {
+		w.Add(x)
+		if w.N() != i+1 {
+			t.Fatalf("N = %d, want %d", w.N(), i+1)
+		}
+	}
+	if got, want := w.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Two-pass unbiased variance: sum((x-5)^2)/(n-1) = 32/7.
+	if got, want := w.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, want)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", got)
+	}
+	// Degenerate samples.
+	if Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Fatal("short-sample variance must be 0")
+	}
+	var z Welford
+	if z.Mean() != 0 || z.Variance() != 0 || z.N() != 0 {
+		t.Fatal("zero Welford not zero")
+	}
+}

@@ -130,6 +130,96 @@ func (r Result) Table() string {
 	return b.String()
 }
 
+// OutgoingCallFraction is the share of 3G CS calls that are
+// mobile-originated (§7: 79 of the 146 observed calls) — only an
+// outgoing call can land inside an ongoing location update (S4).
+const OutgoingCallFraction = 79.0 / 146
+
+// CSFBCallSample is the mechanism outcome of one CSFB call: the §5/§6
+// triggers a single 4G voice call can fire. Exposure flags accompany
+// the event flags so callers can tally Table 5 denominators without
+// re-deriving the mechanism conditions.
+type CSFBCallSample struct {
+	// DataOn reports mobile data enabled during the call.
+	DataOn bool
+	// S1Exposed/S1: a data-on switch, and 3G deactivated the PDP
+	// context before the return switch (§5.1).
+	S1Exposed, S1 bool
+	// S3Exposed/S3: data-on exposure, and the OP-II reselection policy
+	// keeps the device stuck in 3G (§5.3) — deterministic given the
+	// operator, so no extra draw.
+	S3Exposed, S3 bool
+	// S6: the CSFB location update failed and the failure propagated
+	// (§6.3). Every CSFB call is exposed.
+	S6 bool
+}
+
+// SampleCSFBCall draws the mechanism triggers of one CSFB call. The
+// draw order (data-on, then S1 if exposed, then S6) is part of the
+// package's determinism contract: Run and the campaign engine consume
+// the identical stream.
+func (c Config) SampleCSFBCall(rng *rand.Rand, onOPII bool) CSFBCallSample {
+	s := CSFBCallSample{DataOn: rng.Float64() < c.PDataOnDuringCSFB}
+	if s.DataOn {
+		s.S3Exposed = true
+		s.S3 = onOPII
+		s.S1Exposed = true
+		s.S1 = rng.Float64() < c.PPDPDeactInThreeG
+	}
+	s.S6 = rng.Float64() < c.PCSFBLUFailure
+	return s
+}
+
+// CSCallSample is the mechanism outcome of one 3G CS call.
+type CSCallSample struct {
+	// S5: data traffic was flowing during the call, so the shared
+	// channel downgraded its modulation (§6.2) — the occurrence rate is
+	// the concurrency rate.
+	S5 bool
+	// Outgoing reports a mobile-originated call; only those are S4
+	// exposed.
+	Outgoing bool
+	// S4Exposed/S4: an outgoing dial, and it landed inside an ongoing
+	// location-area update (§6.1).
+	S4Exposed, S4 bool
+}
+
+// SampleCSCall3G draws the mechanism triggers of one 3G CS call.
+func (c Config) SampleCSCall3G(rng *rand.Rand) CSCallSample {
+	s := CSCallSample{S5: rng.Float64() < c.PDataTrafficDuringCall}
+	s.Outgoing = rng.Float64() < OutgoingCallFraction
+	if s.Outgoing {
+		s.S4Exposed = true
+		s.S4 = rng.Float64() < c.PDialDuringLAU
+	}
+	return s
+}
+
+// SwitchSample is the mechanism outcome of one non-CSFB inter-system
+// switch (mobility or carrier-initiated).
+type SwitchSample struct {
+	// DataOn reports mobile data enabled across the switch (the S1
+	// exposure condition).
+	DataOn bool
+	// S1: 3G deactivated the PDP context before the return switch.
+	S1 bool
+}
+
+// SampleSwitch draws the S1 trigger of one non-CSFB switch.
+func (c Config) SampleSwitch(rng *rand.Rand) SwitchSample {
+	s := SwitchSample{DataOn: rng.Float64() < c.PDataOnDuringCSFB}
+	if s.DataOn {
+		s.S1 = rng.Float64() < c.PPDPDeactInThreeG
+	}
+	return s
+}
+
+// SampleAttach draws the S2 trigger of one attach: whether attach
+// signaling was lost under good coverage (§4).
+func (c Config) SampleAttach(rng *rand.Rand) bool {
+	return rng.Float64() < c.PAttachSignalLoss
+}
+
 // poisson draws a Poisson variate via Knuth inversion (small means).
 func poisson(rng *rand.Rand, mean float64) int {
 	if mean <= 0 {
@@ -151,7 +241,14 @@ func poisson(rng *rand.Rand, mean float64) int {
 
 // Run simulates the study with the configuration and seed.
 func Run(cfg Config, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+	return RunWith(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// RunWith simulates the study drawing every trigger from the supplied
+// generator — the caller owns the seed, so a larger harness (the
+// campaign engine, a sweep) can thread one deterministic stream through
+// the whole run instead of each phase constructing its own.
+func RunWith(cfg Config, rng *rand.Rand) Result {
 	var res Result
 
 	var s1Events, s1Exposure int
@@ -169,32 +266,21 @@ func Run(cfg Config, seed int64) Result {
 			for c := 0; c < calls; c++ {
 				res.CSFBCalls++
 				res.InterSystemSwitches += 2 // fall to 3G and return
-				dataOn := rng.Float64() < cfg.PDataOnDuringCSFB
-
-				// S3: stuck in 3G after the call — mechanism: the
-				// reselection policy (OP-II) cannot leave a connected
-				// RRC state while data is on (§5.3).
-				if dataOn {
+				s := cfg.SampleCSFBCall(rng, onOPII)
+				if s.S3Exposed {
 					s3Exposure++
-					if onOPII {
+					if s.S3 {
 						s3Events++
 					}
 				}
-
-				// S1 exposure: a 4G→3G switch with mobile data on; the
-				// event fires when 3G deactivates the PDP context
-				// before the return (§5.1).
-				if dataOn {
+				if s.S1Exposed {
 					s1Exposure++
-					if rng.Float64() < cfg.PPDPDeactInThreeG {
+					if s.S1 {
 						s1Events++
 					}
 				}
-
-				// S6: the CSFB location updates fail and the failure
-				// propagates (§6.3).
 				s6Exposure++
-				if rng.Float64() < cfg.PCSFBLUFailure {
+				if s.S6 {
 					s6Events++
 				}
 			}
@@ -203,9 +289,9 @@ func Run(cfg Config, seed int64) Result {
 		extra := poisson(rng, cfg.ExtraSwitchesPerUser4G)
 		res.InterSystemSwitches += extra
 		for i := 0; i < extra; i++ {
-			if rng.Float64() < cfg.PDataOnDuringCSFB {
+			if sw := cfg.SampleSwitch(rng); sw.DataOn {
 				s1Exposure++
-				if rng.Float64() < cfg.PPDPDeactInThreeG {
+				if sw.S1 {
 					s1Events++
 				}
 			}
@@ -218,18 +304,14 @@ func Run(cfg Config, seed int64) Result {
 			calls := poisson(rng, cfg.CallsPerUser3GPerDay)
 			for c := 0; c < calls; c++ {
 				res.CSCalls3G++
-				// S5: a CS call while data traffic flows shares the
-				// channel and downgrades the modulation (§6.2) —
-				// mechanism-deterministic given concurrent traffic, so
-				// the occurrence rate is the concurrency rate.
+				s := cfg.SampleCSCall3G(rng)
 				s5Exposure++
-				if rng.Float64() < cfg.PDataTrafficDuringCall {
+				if s.S5 {
 					s5Events++
 				}
-				// Roughly half the calls are outgoing (§7: 79 of 146).
-				if rng.Float64() < 79.0/146 {
+				if s.S4Exposed {
 					s4Exposure++
-					if rng.Float64() < cfg.PDialDuringLAU {
+					if s.S4 {
 						s4Events++
 					}
 				}
@@ -244,7 +326,7 @@ func Run(cfg Config, seed int64) Result {
 		res.Attaches += n
 		for i := 0; i < n; i++ {
 			s2Exposure++
-			if rng.Float64() < cfg.PAttachSignalLoss {
+			if cfg.SampleAttach(rng) {
 				s2Events++
 			}
 		}

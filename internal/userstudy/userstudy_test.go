@@ -2,6 +2,7 @@ package userstudy
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -105,6 +106,61 @@ func TestOccurrenceRateZeroExposure(t *testing.T) {
 	o := Occurrence{Finding: "X", Events: 0, Exposure: 0}
 	if o.Rate() != 0 {
 		t.Fatal("zero-exposure rate should be 0")
+	}
+}
+
+// Run is a thin wrapper over RunWith: a caller-owned generator seeded
+// identically reproduces the exact result, so harnesses that thread
+// their own rng (the campaign engine) stay on the same stream.
+func TestRunWithMatchesRun(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := Run(DefaultConfig(), seed)
+		b := RunWith(DefaultConfig(), rand.New(rand.NewSource(seed)))
+		if a != b {
+			t.Fatalf("seed %d: RunWith diverged from Run:\n  Run:     %+v\n  RunWith: %+v", seed, a, b)
+		}
+	}
+}
+
+// The mechanism samplers honor their documented conditional structure:
+// exposure flags gate event flags, and degenerate probabilities pin the
+// outcomes.
+func TestSamplerMechanisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := DefaultConfig()
+	for i := 0; i < 2000; i++ {
+		s := cfg.SampleCSFBCall(rng, i%2 == 0)
+		if s.S1Exposed != s.DataOn || s.S3Exposed != s.DataOn {
+			t.Fatalf("S1/S3 exposure must equal data-on: %+v", s)
+		}
+		if (s.S1 && !s.S1Exposed) || (s.S3 && !s.S3Exposed) {
+			t.Fatalf("event without exposure: %+v", s)
+		}
+		if s.S3Exposed && s.S3 != (i%2 == 0) {
+			t.Fatalf("S3 must be the OP-II policy verbatim: %+v", s)
+		}
+		c := cfg.SampleCSCall3G(rng)
+		if c.S4Exposed != c.Outgoing || (c.S4 && !c.S4Exposed) {
+			t.Fatalf("S4 gating broken: %+v", c)
+		}
+		w := cfg.SampleSwitch(rng)
+		if w.S1 && !w.DataOn {
+			t.Fatalf("switch S1 without data on: %+v", w)
+		}
+	}
+	// Degenerate configs force the branches.
+	sure := Config{PDataOnDuringCSFB: 1, PPDPDeactInThreeG: 1, PCSFBLUFailure: 1,
+		PDataTrafficDuringCall: 1, PDialDuringLAU: 1, PAttachSignalLoss: 1}
+	s := sure.SampleCSFBCall(rng, true)
+	if !s.DataOn || !s.S1 || !s.S3 || !s.S6 {
+		t.Fatalf("certain CSFB triggers did not all fire: %+v", s)
+	}
+	if !sure.SampleAttach(rng) {
+		t.Fatal("certain attach loss did not fire")
+	}
+	none := Config{}
+	if z := none.SampleCSFBCall(rng, true); z.DataOn || z.S1 || z.S3 || z.S6 {
+		t.Fatalf("zero-probability CSFB triggers fired: %+v", z)
 	}
 }
 

@@ -15,10 +15,15 @@ import (
 // json tags, so a field added to the cell struct shows up in both
 // formats (and in their round-trip tests) automatically.
 
-// csvFields returns the SweepCell json tag names in field order — the
-// shared schema of the JSON cells and the CSV columns.
-func csvFields() []string {
-	t := reflect.TypeOf(SweepCell{})
+// CSVFields returns the json tag names of the struct's fields in field
+// order — the shared schema of a JSON row type and its CSV columns.
+// Campaign-style report codecs (the loss sweep here, the population
+// campaign in internal/campaign) derive their CSV headers from it so a
+// field added to the row struct shows up in both formats — and in
+// their round-trip tests — automatically. Fields without a json name
+// (absent, "-") are skipped.
+func CSVFields(row interface{}) []string {
+	t := reflect.TypeOf(row)
 	out := make([]string, 0, t.NumField())
 	for i := 0; i < t.NumField(); i++ {
 		tag := t.Field(i).Tag.Get("json")
@@ -28,6 +33,9 @@ func csvFields() []string {
 	}
 	return out
 }
+
+// csvFields returns the SweepCell schema.
+func csvFields() []string { return CSVFields(SweepCell{}) }
 
 // CSVHeader returns the CSV header row (no trailing newline).
 func CSVHeader() string {

@@ -108,6 +108,68 @@ func AffectedVolume(degradedRate radio.Mbps, callDur time.Duration) float64 {
 	return degradedRate * callDur.Seconds() / 8 * 1000 // Mbit/s × s → KB
 }
 
+// S5CallModel captures §7's per-call S5 accounting: how much data one
+// 3G CS call degrades. Most affected calls carry light background
+// traffic (tens of kbps); a small fraction rides a bulk transfer that
+// saturates the degraded shared channel — the four heavy calls of the
+// study. Every draw comes from the caller's generator, so population-
+// scale harnesses stay deterministic end to end.
+type S5CallModel struct {
+	// MeanBaseSec/MeanExtraSec shape the call duration: base plus an
+	// exponential tail (§7: mean ≈67 s), capped at CapSec.
+	MeanBaseSec, MeanExtraSec, CapSec float64
+	// BulkFraction is the share of calls carrying a bulk transfer
+	// (≈4%: 4 of 113 observed moved over 4 MB).
+	BulkFraction float64
+	// LightMinMbps/LightSpanMbps bound the background-traffic rate
+	// (5–23 kbps observed).
+	LightMinMbps, LightSpanMbps radio.Mbps
+	// LoadMin/LoadSpan bound the channel share a bulk transfer obtains.
+	LoadMin, LoadSpan float64
+	// MaxKB caps a single transfer (18.5 MB, the largest affected
+	// volume the study observed).
+	MaxKB float64
+}
+
+// DefaultS5CallModel returns the §7-calibrated model.
+func DefaultS5CallModel() S5CallModel {
+	return S5CallModel{
+		MeanBaseSec:   30,
+		MeanExtraSec:  37,
+		CapSec:        480,
+		BulkFraction:  0.035,
+		LightMinMbps:  0.005,
+		LightSpanMbps: 0.018,
+		LoadMin:       0.05,
+		LoadSpan:      0.25,
+		MaxKB:         18.5 * 1024,
+	}
+}
+
+// SampleAffected draws one affected call: its duration and the data
+// volume (KB) moved at the degraded rate. bulkRate maps a channel load
+// share to the degraded bulk rate (radio.SharedChannel.DataRateDL with
+// the call active). The draw order — duration, bulk-or-light, then the
+// rate — is part of the determinism contract shared with the §7
+// experiment harness.
+func (m S5CallModel) SampleAffected(rng *rand.Rand, bulkRate func(load float64) radio.Mbps) (dur time.Duration, kb float64) {
+	dur = time.Duration((m.MeanBaseSec + rng.ExpFloat64()*m.MeanExtraSec) * float64(time.Second))
+	if cap := time.Duration(m.CapSec * float64(time.Second)); dur > cap {
+		dur = cap
+	}
+	var rate radio.Mbps
+	if rng.Float64() < m.BulkFraction {
+		rate = bulkRate(m.LoadMin + rng.Float64()*m.LoadSpan)
+	} else {
+		rate = m.LightMinMbps + radio.Mbps(rng.Float64())*m.LightSpanMbps
+	}
+	kb = AffectedVolume(rate, dur)
+	if kb > m.MaxKB {
+		kb = m.MaxKB
+	}
+	return dur, kb
+}
+
 // Jitter perturbs a rate by ±frac (uniform), modeling run-to-run
 // variance in the Figure 9 measurements.
 func Jitter(rate radio.Mbps, frac float64, rng *rand.Rand) radio.Mbps {

@@ -129,3 +129,37 @@ func TestJitter(t *testing.T) {
 		t.Fatalf("jitter mean = %v", mean)
 	}
 }
+
+// The S5 call model stays inside its documented envelope and is a pure
+// function of the caller's generator.
+func TestS5CallModel(t *testing.T) {
+	m := DefaultS5CallModel()
+	bulk := func(load float64) radio.Mbps { return radio.Mbps(load) * 11 } // 16QAM-ish
+	rng := rand.New(rand.NewSource(9))
+	var bulky int
+	for i := 0; i < 5000; i++ {
+		dur, kb := m.SampleAffected(rng, bulk)
+		if dur < time.Duration(m.MeanBaseSec*float64(time.Second)) || dur > time.Duration(m.CapSec*float64(time.Second)) {
+			t.Fatalf("duration %v outside [%.0fs, %.0fs]", dur, m.MeanBaseSec, m.CapSec)
+		}
+		if kb < 0 || kb > m.MaxKB {
+			t.Fatalf("affected %v KB outside [0, %.0f]", kb, m.MaxKB)
+		}
+		if kb > 4096 {
+			bulky++
+		}
+	}
+	if bulky == 0 {
+		t.Fatal("no bulk transfers in 5000 calls at 3.5% bulk fraction")
+	}
+	// Same seed, same stream.
+	a := rand.New(rand.NewSource(4))
+	b := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		da, ka := m.SampleAffected(a, bulk)
+		db, kb2 := m.SampleAffected(b, bulk)
+		if da != db || ka != kb2 {
+			t.Fatalf("equal seeds diverged at draw %d", i)
+		}
+	}
+}

@@ -63,8 +63,29 @@ cmp /tmp/viol_por.$$ /tmp/viol_porsym.$$
 rm -f /tmp/viol_plain.$$ /tmp/viol_sym.$$ /tmp/viol_por.$$ /tmp/viol_porsym.$$
 echo ok
 
-echo "== symmetry alloc budget (canonical visited hashing stays on the alloc-free hot path) =="
-go test -run 'TestScreenSymAllocBudget' ./internal/core
+echo "== visited-table gate (exact mode: violation sets byte-identical across worker counts, every standard world) =="
+for world in s1 s2 s3 s4cs s4ps s6 multiue multiue-shared; do
+    go run ./cmd/cnetverify -world "$world" -violations >/tmp/viol_w1.$$
+    go run ./cmd/cnetverify -world "$world" -workers 4 -violations >/tmp/viol_w4.$$
+    go run ./cmd/cnetverify -world "$world" -workers 8 -violations >/tmp/viol_w8.$$
+    cmp /tmp/viol_w1.$$ /tmp/viol_w4.$$
+    cmp /tmp/viol_w1.$$ /tmp/viol_w8.$$
+done
+rm -f /tmp/viol_w1.$$ /tmp/viol_w4.$$ /tmp/viol_w8.$$
+echo ok
+
+echo "== hash-compaction gate (shared-core 3-UE world: -compact keeps the violation set at screening scale) =="
+go run ./cmd/cnetverify -world multiue-shared -sym -violations >/tmp/viol_exact.$$
+go run ./cmd/cnetverify -world multiue-shared -sym -compact -violations >/tmp/viol_compact.$$
+cmp /tmp/viol_exact.$$ /tmp/viol_compact.$$
+rm -f /tmp/viol_exact.$$ /tmp/viol_compact.$$
+echo ok
+
+echo "== visited-table race leg (lock-free claims, min-depth merges, cooperative growth) =="
+go test -race -run 'TestVTable' ./internal/check
+
+echo "== alloc budgets (flat visited table + canonical hashing stay on the alloc-free hot path) =="
+go test -run 'TestScreenAllocBudget|TestScreenSymAllocBudget' ./internal/core
 go test -run 'TestAppendCanonicalHashAllocFree' ./internal/model
 
 echo "== go test -race (concurrent packages) =="

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por, sym, por+sym, campaign)")
+		exp     = flag.String("exp", "all", "experiment to regenerate (table1..6, fig4..13, sec93, s5vol, inflation, coverage, validate, perf, por, sym, por+sym, vlean, vlean+por+sym, campaign)")
 		runs    = flag.Int("runs", 100, "runs per distribution-style experiment")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		out     = flag.String("o", "", "write the report to FILE instead of stdout")
@@ -200,6 +200,38 @@ func main() {
 			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cnetbench: campaign:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, s)
+		} else {
+			fmt.Fprintln(w, experiments.RenderPerfTable(prs))
+		}
+	}
+
+	if want == "vlean" || want == "vlean+por+sym" {
+		// Memory-lean visited table (lock-free fingerprint store +
+		// hash compaction): throughput/allocation rows for every scoped
+		// world and the exact-vs-compact comparison on the shared-core
+		// multi-UE worlds; "vlean+por+sym" is the completion demo where
+		// compact mode finishes a 4-UE POR+Symmetry screen inside a
+		// visited-set byte budget that truncates exact mode. Not part of
+		// -exp all for the same reason as perf.
+		ran = true
+		var prs []experiments.PerfRun
+		var err error
+		if want == "vlean" {
+			prs, err = experiments.PerfVlean()
+		} else {
+			prs, err = experiments.PerfVleanPorSym()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetbench:", want, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			s, err := experiments.RenderPerfJSON(*perfLbl, prs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetbench:", want, err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(w, s)

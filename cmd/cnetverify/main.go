@@ -6,7 +6,7 @@
 //
 //	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6|multiue|multiue-shared] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
-//	           [-por] [-sym] [-violations]
+//	           [-por] [-sym] [-compact] [-violations] [-stats]
 //	           [-workers N] [-parallel N] [-budget N] [-first]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -24,6 +24,20 @@
 // violation set is closed back over the permutations afterwards. A -sym
 // -violations run byte-compares equal against a plain run. -sym and
 // -por compose: each cluster projection canonicalizes its own replicas.
+//
+// -compact switches the visited set to hash compaction (Spin's
+// supertrace idea): only a 48-bit fingerprint is kept per state, ~8
+// bytes of table instead of the full encoding arena, at the price of a
+// bounded probability that two distinct states merge. The per-world
+// union bound on that probability is reported by -stats as "omission".
+// Use it to push depth/state bounds on the multi-UE worlds past what
+// exact screening can hold in memory; exact mode remains the default
+// and the only mode whose violation sets are certificates.
+//
+// -stats prints, per world, the visited-table diagnostics (slot
+// occupancy, growth count, probe-length histogram, arena bytes) and a
+// final process memory summary — the knobs to watch when sizing
+// -states against available memory.
 //
 // -cpuprofile and -memprofile write pprof profiles of the campaign (the
 // heap profile is taken after the run, post-GC); feed them to
@@ -75,6 +89,8 @@ func main() {
 		por      = flag.Bool("por", false, "enable partial-order reduction (cluster decomposition over the static effect analysis; dfs/bfs only)")
 		sym      = flag.Bool("sym", false, "enable symmetry reduction (canonical replica-permutation quotient; dfs/bfs only)")
 		onlyViol = flag.Bool("violations", false, "print only the canonical violation set (sorted property/description lines), for byte-comparing runs")
+		compact  = flag.Bool("compact", false, "hash-compaction visited set (~8 B/state, no exactness arena); the per-world omission-probability bound is reported with -stats")
+		stats    = flag.Bool("stats", false, "print per-world visited-table statistics (occupancy, probe histogram, arena bytes) and the process memory high-water mark")
 		workers  = flag.Int("workers", 1, "exploration workers per world (>1 = parallel engine)")
 		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
 		budget   = flag.Int("budget", 0, "shared distinct-state budget across the campaign (0 = none)")
@@ -142,6 +158,7 @@ func main() {
 		}
 		opt.POR = *por
 		opt.Symmetry = *sym
+		opt.Compact = *compact
 		return opt
 	}
 	results, err := core.ScreenWorlds(scoped, perWorld, core.CampaignOptions{
@@ -176,6 +193,20 @@ func main() {
 	}
 
 	fmt.Print(core.Report(results, *verbose))
+	if *stats {
+		for _, r := range results {
+			f, _ := core.FindingByID(r.Finding)
+			fmt.Printf("%s %s", f.ID, r.Result.Visited)
+			if r.Result.Omission > 0 {
+				fmt.Printf(", omission ≤ %.3g", r.Result.Omission)
+			}
+			fmt.Println()
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Printf("memory: heap %0.1f MB live / %0.1f MB sys, %0.1f MB allocated total\n",
+			float64(m.HeapAlloc)/(1<<20), float64(m.Sys)/(1<<20), float64(m.TotalAlloc)/(1<<20))
+	}
 	if *coverage {
 		for i, r := range results {
 			fmt.Print(core.CoverageSummary(scoped[i], r))

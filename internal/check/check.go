@@ -97,10 +97,21 @@ type Options struct {
 	// that deliberately project away a layer use this instead of
 	// SkipLint so every other rule still gates.
 	LintSuppress map[string][]string
-	// Paranoid stores full state encodings and fails on any hash
-	// collision instead of silently merging states. Slower; used by
-	// tests to validate the hashing scheme.
+	// Paranoid fails on any fingerprint collision in the visited table
+	// instead of resolving it (exact mode) — used by tests to validate
+	// the hashing scheme. Incompatible with Compact.
 	Paranoid bool
+	// Compact switches the visited table to hash-compaction mode
+	// (Spin's supertrace idea): states are recorded by 48-bit
+	// fingerprint only, without the full-encoding arena that exact mode
+	// uses to resolve fingerprint collisions, cutting the visited-set
+	// footprint to ~8 bytes of table per state. Two distinct states
+	// whose fingerprints collide are then silently merged — the
+	// unexplored subtree is an omission — so results are sound upper
+	// bounds with the omission-probability bound reported in
+	// Result.Omission. Use it for depth/state bounds that exhaust
+	// memory in exact mode; composes with POR, Symmetry and Workers.
+	Compact bool
 	// Walks and Seed configure RandomWalk: number of schedules sampled
 	// and the RNG seed (defaults 1000 and 1). Each walk derives its own
 	// RNG stream from (Seed, walk index), so the sampled schedule set —
@@ -170,7 +181,7 @@ type Options struct {
 // makes Options non-comparable, so == is not available for this.
 func (o Options) IsZero() bool {
 	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
-		!o.StopAtFirst && !o.Paranoid && !o.SkipLint && o.LintSuppress == nil &&
+		!o.StopAtFirst && !o.Paranoid && !o.Compact && !o.SkipLint && o.LintSuppress == nil &&
 		o.Walks == 0 && o.Seed == 0 && !o.POR && !o.Symmetry &&
 		o.Workers == 0 && o.Budget == nil && o.Cancel == nil
 }
@@ -241,6 +252,17 @@ type Result struct {
 	// a transition's losses once per exploration of it.
 	Misrouted int
 	Dropped   int
+	// Omission is the hash-compaction soundness bound (Options.
+	// Compact): an upper bound on the probability that at least one
+	// pair of distinct states shared a fingerprint and was merged,
+	// omitting a subtree from the search. Always 0 in exact mode. POR
+	// runs report the sum of their cluster runs' bounds.
+	Omission float64
+	// Visited describes the visited table after the run — occupancy,
+	// probe-length histogram, arena bytes (see VisitedStats). Slot
+	// placement depends on claim interleaving, so these diagnostics are
+	// outside the determinism contract.
+	Visited *VisitedStats
 }
 
 // Violated reports whether the named property was violated.
@@ -266,14 +288,24 @@ func (r *Result) ViolationsOf(property string) []Violation {
 
 type node struct {
 	w     *model.World
-	path  []model.Step
+	path  *pathNode
 	depth int
+}
+
+// violKey identifies a distinct violation. A comparable struct key —
+// not a concatenated string — so the per-transition duplicate check in
+// checkProps is allocation-free.
+type violKey struct {
+	prop, desc string
 }
 
 // Run explores the world from its current state under the scenario and
 // returns the checking result. The input world is not mutated.
 func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	if opt.Compact && opt.Paranoid {
+		return nil, fmt.Errorf("check: Options.Compact and Options.Paranoid are incompatible: compaction drops the encodings paranoid mode verifies against")
+	}
 	if sc == nil {
 		sc = ScenarioFunc(func(*model.World) []model.EnvEvent { return nil })
 	}
@@ -304,6 +336,26 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 	return res, nil
 }
 
+// parallelRootWidthMin is the spin-up threshold of the parallel
+// frontier search: a root frontier below it (a single enabled step)
+// leaves the workers nothing to share until the search has fanned out,
+// and BENCH_screen shows the parallel engine is a wash or worse on
+// such worlds (s1, s2, s4ps). dispatch then degrades to the sequential
+// engine — result-identical by the determinism contract, minus the
+// spin-up cost.
+const parallelRootWidthMin = 2
+
+// degradeParallel reports whether a parallel search request should run
+// on the sequential engine instead: the root frontier is too narrow to
+// amortize worker spin-up. Only meaningful for DFS/BFS (walk splitting
+// parallelizes over walks, not over the frontier).
+func degradeParallel(w *model.World, sc Scenario, opt Options) bool {
+	if opt.Workers <= 1 || (opt.Strategy != DFS && opt.Strategy != BFS) {
+		return false
+	}
+	return len(w.Steps(sc.Events(w))) < parallelRootWidthMin
+}
+
 // dispatch routes an already-defaulted, already-prescreened run to its
 // exploration engine.
 func dispatch(w *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
@@ -312,7 +364,7 @@ func dispatch(w *model.World, props []Property, sc Scenario, opt Options) (*Resu
 	switch opt.Strategy {
 	case DFS, BFS:
 		switch {
-		case opt.Workers > 1:
+		case opt.Workers > 1 && !degradeParallel(w, sc, opt):
 			res, err = runParallelSearch(w, props, sc, opt)
 		case opt.Strategy == DFS:
 			res, err = runDFS(w, props, sc, opt)
@@ -386,7 +438,7 @@ func (c *coverage) into(m map[string]int) map[string]int {
 func runDFS(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	res := &Result{Covered: make(map[string]int)}
 	visited := newVisitedSet(opt)
-	seenViol := make(map[string]struct{})
+	seenViol := make(map[violKey]struct{})
 	cov := newCoverage(w0)
 	var buf []byte
 
@@ -482,15 +534,18 @@ func runDFS(w0 *model.World, props []Property, sc Scenario, opt Options) (*Resul
 		return nil, err
 	}
 	cov.into(res.Covered)
-	res.States = visited.size()
+	finishVisited(res, visited)
 	return res, nil
 }
 
 func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	res := &Result{Covered: make(map[string]int)}
 	visited := newVisitedSet(opt)
-	seenViol := make(map[string]struct{})
+	seenViol := make(map[violKey]struct{})
 	var buf []byte
+	var arena stepArena
+	var steps []model.Step
+	var undo model.Undo
 
 	root := &node{w: w0.Clone()}
 	var err error
@@ -520,10 +575,12 @@ func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Re
 			res.Truncated = true
 			continue
 		}
-		steps := n.w.Steps(sc.Events(n.w))
+		// Apply/undo on the node's own world; only a transition that
+		// discovers (or shallower-rediscovers) a state clones.
+		steps = n.w.StepsAppend(steps[:0], sc.Events(n.w))
+		n.w.Save(&undo)
 		for _, s := range steps {
-			child := n.w.Clone()
-			applied, err := child.Apply(s)
+			applied, err := n.w.Apply(s)
 			if err != nil {
 				return nil, fmt.Errorf("check: apply %v: %w", s, err)
 			}
@@ -533,26 +590,35 @@ func runSearch(w0 *model.World, props []Property, sc Scenario, opt Options) (*Re
 			if applied.Label != "" {
 				res.Covered[applied.Proc+"/"+applied.Label]++
 			}
-			path := appendPath(n.path, applied)
-			if violated := checkProps(child, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
-				res.States = visited.size()
+			path := arena.append(n.path, applied)
+			if violated := checkPropsNode(n.w, applied, path, props, seenViol, res); violated && opt.StopAtFirst {
+				finishVisited(res, visited)
 				return res, nil
 			}
 			var mark markResult
-			if mark, buf, err = markVisited(visited, child, n.depth+1, buf); err != nil {
+			if mark, buf, err = markVisited(visited, n.w, n.depth+1, buf); err != nil {
 				return nil, err
 			}
-			if mark.capped {
+			switch {
+			case mark.capped:
 				res.Truncated = true
-				continue
+			case mark.expand:
+				frontier = append(frontier, &node{w: n.w.Clone(), path: path, depth: n.depth + 1})
 			}
-			if mark.expand {
-				frontier = append(frontier, &node{w: child, path: path, depth: n.depth + 1})
-			}
+			n.w.Restore(&undo)
 		}
 	}
-	res.States = visited.size()
+	finishVisited(res, visited)
 	return res, nil
+}
+
+// finishVisited copies the visited set's final accounting into the
+// result: state count, compaction omission bound and table
+// diagnostics.
+func finishVisited(res *Result, visited *visitedSet) {
+	res.States = visited.size()
+	res.Omission = visited.omission()
+	res.Visited = visited.stats()
 }
 
 // walkSeed derives an independent RNG seed for one walk from the run
@@ -567,7 +633,7 @@ func walkSeed(seed int64, walk int) int64 {
 
 func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) (*Result, error) {
 	res := &Result{Covered: make(map[string]int)}
-	seenViol := make(map[string]struct{})
+	seenViol := make(map[violKey]struct{})
 	visited := newVisitedSet(opt)
 	var buf []byte
 	var err error
@@ -589,7 +655,7 @@ func runRandomWalk(w0 *model.World, props []Property, sc Scenario, opt Options) 
 			break
 		}
 	}
-	res.States = visited.size()
+	finishVisited(res, visited)
 	return res, nil
 }
 
@@ -607,7 +673,7 @@ type walker struct {
 // accumulating into res (the caller owns any locking; the sequential
 // engine passes its private result). It reports whether the run should
 // stop (StopAtFirst hit a violation).
-func oneWalk(w0 *model.World, wk *walker, props []Property, sc Scenario, opt Options, walk int, visited *visitedSet, buf *[]byte, seenViol map[string]struct{}, res *Result) (bool, error) {
+func oneWalk(w0 *model.World, wk *walker, props []Property, sc Scenario, opt Options, walk int, visited *visitedSet, buf *[]byte, seenViol map[violKey]struct{}, res *Result) (bool, error) {
 	rng := rand.New(rand.NewSource(walkSeed(opt.Seed, walk)))
 	if wk.w == nil {
 		wk.w = &model.World{}
@@ -654,7 +720,7 @@ func oneWalk(w0 *model.World, wk *walker, props []Property, sc Scenario, opt Opt
 	return false, nil
 }
 
-func checkProps(w *model.World, last model.Step, path []model.Step, props []Property, seen map[string]struct{}, res *Result) bool {
+func checkProps(w *model.World, last model.Step, path []model.Step, props []Property, seen map[violKey]struct{}, res *Result) bool {
 	violated := false
 	for _, p := range props {
 		desc := p.Check(w, last)
@@ -662,7 +728,7 @@ func checkProps(w *model.World, last model.Step, path []model.Step, props []Prop
 			continue
 		}
 		violated = true
-		key := p.Name() + "\x00" + desc
+		key := violKey{p.Name(), desc}
 		if _, dup := seen[key]; dup {
 			continue
 		}
@@ -671,6 +737,31 @@ func checkProps(w *model.World, last model.Step, path []model.Step, props []Prop
 			Property: p.Name(),
 			Desc:     desc,
 			Path:     clonePath(path),
+		})
+	}
+	return violated
+}
+
+// checkPropsNode is checkProps for the frontier engines, whose paths
+// are parent-pointer chains: the counterexample materializes only when
+// a violation is actually new.
+func checkPropsNode(w *model.World, last model.Step, tail *pathNode, props []Property, seen map[violKey]struct{}, res *Result) bool {
+	violated := false
+	for _, p := range props {
+		desc := p.Check(w, last)
+		if desc == "" {
+			continue
+		}
+		violated = true
+		key := violKey{p.Name(), desc}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		res.Violations = append(res.Violations, Violation{
+			Property: p.Name(),
+			Desc:     desc,
+			Path:     materializePath(tail),
 		})
 	}
 	return violated

@@ -1,0 +1,62 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"cnetverifier/internal/model"
+	"cnetverifier/internal/types"
+)
+
+// incScenario drives the counter world with a single event, so the root
+// frontier has width 1 — below the parallel spin-up threshold.
+func incScenario() Scenario {
+	return ScenarioFunc(func(w *model.World) []model.EnvEvent {
+		return []model.EnvEvent{
+			{Proc: "C", Msg: types.Message{Kind: types.MsgUserMove}},
+		}
+	})
+}
+
+// TestDegradeParallel pins the spin-up threshold decision: a root
+// frontier narrower than parallelRootWidthMin degrades a parallel
+// search request to the sequential engine (there is at most one subtree
+// to hand out, so workers would only add channel and CAS traffic), a
+// frontier at or above it does not, and sampling strategies — which
+// parallelize across walks, not the frontier — never degrade.
+func TestDegradeParallel(t *testing.T) {
+	w := counterWorld(t)
+	opt := Options{Workers: 8, MaxDepth: 8}
+	if !degradeParallel(w, incScenario(), opt) {
+		t.Error("width-1 root frontier not degraded")
+	}
+	if degradeParallel(w, moveScenario(), opt) {
+		t.Error("width-2 root frontier degraded")
+	}
+	opt.Strategy = RandomWalk
+	if degradeParallel(w, incScenario(), opt) {
+		t.Error("RandomWalk degraded: walks parallelize regardless of root width")
+	}
+}
+
+// TestDegradeParallelEquivalence runs a width-1 world with Workers=8
+// and sequentially: the degraded run must report the identical result —
+// not merely the same violation set, the same Result (the degraded
+// request takes the very same code path).
+func TestDegradeParallelEquivalence(t *testing.T) {
+	props := []Property{limitProp{limit: 3}}
+	seq, err := Run(counterWorld(t), props, incScenario(), Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(counterWorld(t), props, incScenario(), Options{MaxDepth: 8, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("degraded parallel run differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.States == 0 || len(seq.Violations) == 0 {
+		t.Fatalf("degenerate fixture: %d states, %d violations", seq.States, len(seq.Violations))
+	}
+}

@@ -134,7 +134,7 @@ type engine struct {
 	pool sync.Pool
 
 	violMu     sync.Mutex
-	seenViol   map[string]struct{}
+	seenViol   map[violKey]struct{}
 	violations []Violation
 
 	errMu sync.Mutex
@@ -201,7 +201,17 @@ func (e *engine) next(id int) *node {
 }
 
 func (e *engine) worker(id int, covered *coverage) {
-	var buf []byte
+	// Worker-private scratch, reused across every node this worker
+	// expands: the hashing buffer, the step slice, the apply/undo
+	// journal, and the path arena. Arena nodes are read cross-worker
+	// after enqueue (the deque mutex is the fence) but only the owner
+	// appends.
+	var (
+		buf   []byte
+		steps []model.Step
+		undo  model.Undo
+		arena stepArena
+	)
 	for {
 		if e.stop.Load() {
 			return
@@ -214,34 +224,39 @@ func (e *engine) worker(id int, covered *coverage) {
 			runtime.Gosched()
 			continue
 		}
-		e.expand(id, n, covered, &buf)
+		steps = e.expand(id, n, covered, &buf, steps, &undo, &arena)
 		e.pending.Add(-1)
 	}
 }
 
-func (e *engine) expand(id int, n *node, covered *coverage, buf *[]byte) {
+// expand explores every transition out of n with the sequential
+// engine's apply/undo discipline on the node's own world: apply the
+// step in place, evaluate monitors, mark the visited table, and roll
+// back. Only a transition that actually discovers (or shallower-
+// rediscovers) a state pays for a world clone — in the dense state
+// graphs screening produces, that is a small fraction of transitions.
+func (e *engine) expand(id int, n *node, covered *coverage, buf *[]byte, steps []model.Step, undo *model.Undo, arena *stepArena) []model.Step {
 	defer e.putWorld(n.w)
 	e.noteDepth(n.depth)
 	if e.opt.Cancel.Cancelled() {
 		e.truncated.Store(true)
 		e.stop.Store(true)
-		return
+		return steps
 	}
 	if n.depth >= e.opt.MaxDepth {
 		e.truncated.Store(true)
-		return
+		return steps
 	}
-	for _, s := range n.w.Steps(e.sc.Events(n.w)) {
+	steps = n.w.StepsAppend(steps[:0], e.sc.Events(n.w))
+	n.w.Save(undo)
+	for _, s := range steps {
 		if e.stop.Load() {
-			return
+			return steps
 		}
-		child := e.getWorld()
-		n.w.CloneInto(child)
-		applied, err := child.Apply(s)
+		applied, err := n.w.Apply(s)
 		if err != nil {
-			e.putWorld(child)
 			e.setErr(fmt.Errorf("check: apply %v: %w", s, err))
-			return
+			return steps
 		}
 		e.transitions.Add(1)
 		if applied.Misrouted > 0 {
@@ -251,36 +266,34 @@ func (e *engine) expand(id int, n *node, covered *coverage, buf *[]byte) {
 			e.dropped.Add(int64(applied.Dropped))
 		}
 		covered.note(applied)
-		path := appendPath(n.path, applied)
-		if e.checkProps(child, applied, path) && e.opt.StopAtFirst {
-			e.putWorld(child)
+		path := arena.append(n.path, applied)
+		if e.checkProps(n.w, applied, path) && e.opt.StopAtFirst {
 			e.stop.Store(true)
-			return
+			return steps
 		}
 		var mark markResult
-		if mark, *buf, err = markVisited(e.visited, child, n.depth+1, *buf); err != nil {
-			e.putWorld(child)
+		if mark, *buf, err = markVisited(e.visited, n.w, n.depth+1, *buf); err != nil {
 			e.setErr(err)
-			return
+			return steps
 		}
-		if mark.capped {
-			e.putWorld(child)
+		switch {
+		case mark.capped:
 			e.truncated.Store(true)
-			continue
-		}
-		if mark.expand {
+		case mark.expand:
+			child := e.getWorld()
+			n.w.CloneInto(child)
 			e.enqueue(id, &node{w: child, path: path, depth: n.depth + 1})
-		} else {
-			e.putWorld(child)
 		}
+		n.w.Restore(undo)
 	}
+	return steps
 }
 
 // checkProps evaluates the monitors on a worker-private world and
 // records new violations under the shared lock. The lock is taken only
 // on an actual violation, so the monitor evaluations themselves run
 // fully in parallel.
-func (e *engine) checkProps(w *model.World, last model.Step, path []model.Step) bool {
+func (e *engine) checkProps(w *model.World, last model.Step, tail *pathNode) bool {
 	violated := false
 	for _, p := range e.props {
 		desc := p.Check(w, last)
@@ -288,11 +301,11 @@ func (e *engine) checkProps(w *model.World, last model.Step, path []model.Step) 
 			continue
 		}
 		violated = true
-		key := p.Name() + "\x00" + desc
+		key := violKey{p.Name(), desc}
 		e.violMu.Lock()
 		if _, dup := e.seenViol[key]; !dup {
 			e.seenViol[key] = struct{}{}
-			e.violations = append(e.violations, Violation{Property: p.Name(), Desc: desc, Path: clonePath(path)})
+			e.violations = append(e.violations, Violation{Property: p.Name(), Desc: desc, Path: materializePath(tail)})
 		}
 		e.violMu.Unlock()
 	}
@@ -306,7 +319,7 @@ func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Optio
 		props:    props,
 		visited:  newVisitedSet(opt),
 		queues:   make([]*deque, opt.Workers),
-		seenViol: make(map[string]struct{}),
+		seenViol: make(map[violKey]struct{}),
 	}
 	for i := range e.queues {
 		e.queues[i] = &deque{}
@@ -339,7 +352,6 @@ func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Optio
 	}
 
 	res := &Result{
-		States:      e.visited.size(),
 		Transitions: int(e.transitions.Load()),
 		MaxDepth:    int(e.maxDepth.Load()),
 		Truncated:   e.truncated.Load(),
@@ -348,6 +360,7 @@ func runParallelSearch(w0 *model.World, props []Property, sc Scenario, opt Optio
 		Misrouted:   int(e.misrouted.Load()),
 		Dropped:     int(e.dropped.Load()),
 	}
+	finishVisited(res, e.visited)
 	sortViolations(res.Violations)
 	if err := reverify(w0, props, res.Violations); err != nil {
 		return nil, err
@@ -374,7 +387,7 @@ func runParallelWalk(w0 *model.World, props []Property, sc Scenario, opt Options
 			defer wg.Done()
 			var buf []byte
 			var wk walker
-			seen := make(map[string]struct{})
+			seen := make(map[violKey]struct{})
 			for !stop.Load() && !opt.Cancel.Cancelled() {
 				walk := int(nextWalk.Add(1)) - 1
 				if walk >= opt.Walks {
@@ -417,7 +430,7 @@ func runParallelWalk(w0 *model.World, props []Property, sc Scenario, opt Options
 		res.Truncated = true
 	}
 	res.Covered = mergeCovered(coveredPer)
-	res.States = visited.size()
+	finishVisited(res, visited)
 	// Workers deduplicate violations only against their own walks;
 	// collapse cross-worker duplicates to the canonically smallest
 	// counterexample per (property, description).

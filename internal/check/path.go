@@ -1,0 +1,70 @@
+package check
+
+import "cnetverifier/internal/model"
+
+// Violation-path bookkeeping for the frontier engines (runSearch and
+// the parallel workers).
+//
+// Historically every enqueued child carried a private copy of its full
+// root-to-node step slice (copy-on-append, so sibling branches never
+// shared backing arrays) — O(depth) steps copied per enqueued node,
+// the dominant allocation source of a parallel run. The engines now
+// thread an immutable parent-pointer tree instead: each node holds one
+// step and a pointer to its parent, nodes are bump-allocated from a
+// per-worker arena, and a full path materializes only when a violation
+// is actually captured. Sibling independence is structural — extending
+// a node never mutates shared state — so the old aliasing hazards
+// cannot arise.
+type pathNode struct {
+	prev *pathNode
+	step model.Step
+}
+
+// stepArenaChunk is the arena allocation granularity. Chunks are
+// referenced by the nodes inside them, so an exhausted chunk is freed
+// by the GC exactly when no live node (frontier or captured violation)
+// points into it.
+const stepArenaChunk = 512
+
+// stepArena bump-allocates path nodes. Each worker owns one; nodes may
+// be read by other workers after publication (the enqueue's lock is
+// the fence), but only the owner appends.
+type stepArena struct {
+	free []pathNode
+}
+
+// append allocates a node extending prev by step.
+func (a *stepArena) append(prev *pathNode, step model.Step) *pathNode {
+	if len(a.free) == 0 {
+		a.free = make([]pathNode, stepArenaChunk)
+	}
+	n := &a.free[0]
+	a.free = a.free[1:]
+	n.prev = prev
+	n.step = step
+	return n
+}
+
+// pathLen returns the number of steps on the node's path.
+func pathLen(n *pathNode) int {
+	len := 0
+	for ; n != nil; n = n.prev {
+		len++
+	}
+	return len
+}
+
+// materializePath flattens the node's path into a freshly owned step
+// slice, deep-copying per-step Notes — same ownership contract as
+// clonePath: a captured counterexample must not alias anything the
+// engines keep recycling.
+func materializePath(n *pathNode) []model.Step {
+	out := make([]model.Step, pathLen(n))
+	for i := len(out) - 1; n != nil; i, n = i-1, n.prev {
+		out[i] = n.step
+		if out[i].Notes != nil {
+			out[i].Notes = append([]string(nil), out[i].Notes...)
+		}
+	}
+	return out
+}

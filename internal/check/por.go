@@ -61,6 +61,18 @@ func runPOR(w *model.World, props []Property, sc Scenario, opt Options) (*Result
 			merged.MaxDepth = res.MaxDepth
 		}
 		merged.Truncated = merged.Truncated || res.Truncated
+		// Each cluster run owns a visited table; the compaction
+		// omission bound sums (union bound over clusters) and the
+		// table diagnostics fold together.
+		if merged.Omission += res.Omission; merged.Omission > 1 {
+			merged.Omission = 1
+		}
+		if res.Visited != nil {
+			if merged.Visited == nil {
+				merged.Visited = &VisitedStats{}
+			}
+			merged.Visited.merge(res.Visited)
+		}
 		for k, n := range res.Covered {
 			merged.Covered[k] += n
 		}

@@ -1,9 +1,7 @@
 package check
 
 import (
-	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"cnetverifier/internal/model"
@@ -44,6 +42,15 @@ func (b *Budget) take() bool {
 	return true
 }
 
+// put returns one token to the pool: the undo of a take whose claim
+// lost a CAS race in the visited table (the state was concurrently
+// recorded by another worker, so no token is owed for it).
+func (b *Budget) put() {
+	if b != nil {
+		b.left.Add(1)
+	}
+}
+
 // Remaining returns the tokens left in the pool (0 when exhausted; the
 // raw counter may be transiently negative mid-repair).
 func (b *Budget) Remaining() int {
@@ -68,15 +75,10 @@ func (c *Cancel) Cancel() { c.flag.Store(true) }
 // cancelled.
 func (c *Cancel) Cancelled() bool { return c != nil && c.flag.Load() }
 
-// visitedShards is the number of stripes of the visited set. A power of
-// two well above any sane worker count keeps the probability of two
-// workers serializing on one mutex negligible.
-const visitedShards = 64
-
 // visitedSet is the deduplication structure shared by the sequential
-// and parallel engines: a striped-mutex hash set keyed by the canonical
-// state hash, tracking for each state the shallowest depth at which it
-// was discovered.
+// and parallel engines: the lock-free open-addressing fingerprint
+// table of vtable.go, keyed by the canonical state hash and tracking
+// for each state the shallowest depth at which it was discovered.
 //
 // Min-depth tracking is what makes bounded exploration deterministic:
 // a state first reached through a long path is re-expanded if a
@@ -86,45 +88,45 @@ const visitedShards = 64
 // interleaving. (Plain first-visit marking makes the truncated frontier
 // depend on discovery order, which is exactly the nondeterminism a
 // parallel engine cannot afford.)
+//
+// In exact mode (the default) the table stores every state's full
+// encoding in an append-only arena and resolves fingerprint matches
+// byte-for-byte, so distinct states are never merged; paranoid mode
+// turns a fingerprint collision into an error instead of probing past
+// it (the hashing-scheme validation used by FuzzStateHash). Compact
+// mode (Options.Compact) keeps fingerprints only — Spin's hash
+// compaction — and the engines surface the omission bound in
+// Result.Omission.
 type visitedSet struct {
-	paranoid bool
 	// canon keys states by the symmetry-canonical encoding
 	// (model.World.AppendCanonicalHash) instead of the plain one —
 	// Options.Symmetry under DFS/BFS. Every engine sharing the set then
 	// dedups permutation-equivalent states into one entry.
-	canon  bool
-	limit  int64 // MaxStates
-	budget *Budget
-	states atomic.Int64
-	shards [visitedShards]struct {
-		mu    sync.Mutex
-		depth map[uint64]int
-		enc   map[uint64][]byte // full encodings, paranoid mode only
-	}
+	canon bool
+	table *visitedTable
 }
 
 func newVisitedSet(opt Options) *visitedSet {
-	v := &visitedSet{
-		paranoid: opt.Paranoid,
-		canon:    opt.Symmetry && (opt.Strategy == DFS || opt.Strategy == BFS),
-		limit:    int64(opt.MaxStates),
-		budget:   opt.Budget,
+	return &visitedSet{
+		canon: opt.Symmetry && (opt.Strategy == DFS || opt.Strategy == BFS),
+		table: newVisitedTable(opt.Compact && !opt.Paranoid, opt.Paranoid,
+			int64(opt.MaxStates), opt.Budget, vtMinSlots),
 	}
-	for i := range v.shards {
-		v.shards[i].depth = make(map[uint64]int)
-		if v.paranoid {
-			v.shards[i].enc = make(map[uint64][]byte)
-		}
-	}
-	return v
 }
 
 // size returns the number of distinct states recorded.
-func (v *visitedSet) size() int { return int(v.states.Load()) }
+func (v *visitedSet) size() int { return v.table.size() }
+
+// omission returns the hash-compaction omission bound (0 in exact
+// mode).
+func (v *visitedSet) omission() float64 { return v.table.omission() }
+
+// stats scans the final table; call after the run has quiesced.
+func (v *visitedSet) stats() *VisitedStats { return v.table.stats() }
 
 // markResult reports the outcome of recording one state.
 type markResult struct {
-	// isNew: the state hash had never been seen.
+	// isNew: the state had never been seen.
 	isNew bool
 	// expand: the caller should (re-)expand the state — it is new, or
 	// it was rediscovered strictly shallower than every earlier visit.
@@ -136,8 +138,9 @@ type markResult struct {
 
 // markVisited records the world at the given depth, using buf as
 // encoding scratch (pass the previous call's return to avoid
-// reallocating). In paranoid mode a hash hit is verified byte-for-byte
-// against the stored encoding and a genuine collision is an error.
+// reallocating). In paranoid mode a fingerprint hit is verified
+// byte-for-byte against the stored encoding and a genuine collision is
+// an error.
 func markVisited(v *visitedSet, w *model.World, depth int, buf []byte) (markResult, []byte, error) {
 	var h uint64
 	if v.canon {
@@ -145,49 +148,8 @@ func markVisited(v *visitedSet, w *model.World, depth int, buf []byte) (markResu
 	} else {
 		h, buf = w.AppendHash(buf)
 	}
-	s := &v.shards[h&(visitedShards-1)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if best, seen := s.depth[h]; seen {
-		if v.paranoid {
-			if prev := s.enc[h]; string(prev) != string(buf) {
-				return markResult{}, buf, fmt.Errorf("check: hash collision at %#x: %d-byte vs %d-byte states", h, len(prev), len(buf))
-			}
-		}
-		if depth < best {
-			s.depth[h] = depth
-			return markResult{expand: true}, buf, nil
-		}
-		return markResult{}, buf, nil
-	}
-	// New state: reserve a token against the cap and the shared budget
-	// before recording, so the state count never overshoots MaxStates
-	// even under concurrent discovery. Like Budget.take, this is an
-	// optimistic fetch-and-add with rollback rather than a CAS loop: a
-	// reservation that lands past the limit backs itself out, and a
-	// successful one is exactly the pre-increment-below-limit case.
-	if cur := v.states.Add(1); v.limit > 0 && cur > v.limit {
-		v.states.Add(-1)
-		return markResult{capped: true}, buf, nil
-	}
-	if !v.budget.take() {
-		v.states.Add(-1)
-		return markResult{capped: true}, buf, nil
-	}
-	s.depth[h] = depth
-	if v.paranoid {
-		s.enc[h] = append([]byte(nil), buf...)
-	}
-	return markResult{isNew: true, expand: true}, buf, nil
-}
-
-// appendPath copies-on-append so sibling branches never share backing
-// arrays.
-func appendPath(path []model.Step, s model.Step) []model.Step {
-	out := make([]model.Step, len(path)+1)
-	copy(out, path)
-	out[len(path)] = s
-	return out
+	m, err := v.table.mark(h, buf, depth)
+	return m, buf, err
 }
 
 // clonePath deep-copies a counterexample path, including each step's

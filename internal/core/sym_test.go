@@ -129,17 +129,26 @@ func TestSymReduction(t *testing.T) {
 
 // TestSymNoDescriptorIdentity pins the degenerate case: on a world
 // without a symmetry descriptor (or with single-replica groups only),
-// Options.Symmetry must leave the full Result bit-identical — the
-// canonical encoding IS the plain encoding and the closure is a no-op.
+// Options.Symmetry must leave the semantic Result bit-identical — the
+// canonical closure is a no-op on the state graph. Only the visited
+// table's byte diagnostics (Result.Visited) are exempt: the canonical
+// encoder frames replica groups differently even when it permutes
+// nothing, so arena byte counts legitimately differ while states,
+// violations and coverage do not.
 func TestSymNoDescriptorIdentity(t *testing.T) {
+	stripDiag := func(r *check.Result) *check.Result {
+		c := *r
+		c.Visited = nil
+		return &c
+	}
 	plain := runSym(t, S1World(false), false, false, 1)
 	sym := runSym(t, S1World(false), false, true, 1)
-	if !reflect.DeepEqual(plain, sym) {
+	if !reflect.DeepEqual(stripDiag(plain), stripDiag(sym)) {
 		t.Errorf("Symmetry changed the run on a descriptor-less world:\nplain: %+v\nsym:   %+v", plain, sym)
 	}
 	p1 := runSym(t, MultiUEWorldShared(1, false), false, false, 1)
 	s1 := runSym(t, MultiUEWorldShared(1, false), false, true, 1)
-	if !reflect.DeepEqual(p1, s1) {
+	if !reflect.DeepEqual(stripDiag(p1), stripDiag(s1)) {
 		t.Errorf("Symmetry changed the run on a single-replica world")
 	}
 }

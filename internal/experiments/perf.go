@@ -18,6 +18,10 @@ type PerfRun struct {
 	Workers      int     `json:"workers"`
 	POR          bool    `json:"por,omitempty"`
 	Sym          bool    `json:"sym,omitempty"`
+	Compact      bool    `json:"compact,omitempty"`
+	MaxStates    int     `json:"max_states,omitempty"`
+	Truncated    bool    `json:"truncated,omitempty"`
+	Omission     float64 `json:"omission,omitempty"`
 	States       int     `json:"states"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	StatesPerSec float64 `json:"states_per_sec"`
@@ -202,20 +206,29 @@ func RenderPerfJSON(label string, runs []PerfRun) (string, error) {
 // RenderPerfTable renders perf runs as a plain-text table.
 func RenderPerfTable(runs []PerfRun) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-15s %8s %8s %9s %14s %12s %12s\n",
+	fmt.Fprintf(&b, "%-15s %8s %14s %9s %14s %12s %12s\n",
 		"world", "workers", "flags", "states", "states/sec", "allocs/op", "B/op")
 	for _, r := range runs {
-		flags := "-"
-		switch {
-		case r.POR && r.Sym:
-			flags = "por+sym"
-		case r.POR:
-			flags = "por"
-		case r.Sym:
-			flags = "sym"
+		var parts []string
+		if r.POR {
+			parts = append(parts, "por")
 		}
-		fmt.Fprintf(&b, "%-15s %8d %8s %9d %14.0f %12d %12d\n",
-			r.World, r.Workers, flags, r.States, r.StatesPerSec, r.AllocsPerOp, r.BytesPerOp)
+		if r.Sym {
+			parts = append(parts, "sym")
+		}
+		if r.Compact {
+			parts = append(parts, "compact")
+		}
+		flags := strings.Join(parts, "+")
+		if flags == "" {
+			flags = "-"
+		}
+		states := fmt.Sprintf("%d", r.States)
+		if r.Truncated {
+			states += "*"
+		}
+		fmt.Fprintf(&b, "%-15s %8d %14s %9s %14.0f %12d %12d\n",
+			r.World, r.Workers, flags, states, r.StatesPerSec, r.AllocsPerOp, r.BytesPerOp)
 	}
 	return b.String()
 }

@@ -467,6 +467,15 @@ func (c *ctx) Output(msg types.Message) {
 }
 
 func (c *ctx) Trace(format string, args ...any) {
+	// Most protocol traces are constant strings; skip Sprintf (and its
+	// per-call allocation) when there is nothing to format. Constant
+	// formats containing %-verbs with no args would previously have
+	// rendered as %!v(MISSING)-style noise, so passing them through
+	// verbatim only changes output that was already malformed.
+	if len(args) == 0 {
+		c.notes = append(c.notes, format)
+		return
+	}
 	c.notes = append(c.notes, fmt.Sprintf(format, args...))
 }
 

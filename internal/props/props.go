@@ -16,6 +16,7 @@ package props
 
 import (
 	"fmt"
+	"sync"
 
 	"cnetverifier/internal/check"
 	"cnetverifier/internal/model"
@@ -35,11 +36,22 @@ func (p prop) Check(w *model.World, last model.Step) string { return p.f(w, last
 // the network has detached a device that still wants service — the
 // out-of-service symptom shared by S1, S2 and S6.
 func PacketServiceOK() check.Property {
+	// The description embeds the triggering step label; the label set is
+	// tiny (the world's step alphabet) while the monitor fires on every
+	// state the detach flag persists through, so memoize label → desc
+	// rather than re-rendering per state. The map is shared by every
+	// concurrent worker of a parallel run.
+	var descs sync.Map
 	return prop{
 		name: "PacketService_OK",
 		f: func(w *model.World, last model.Step) string {
 			if w.Global(names.GDetachedByNet) == 1 {
-				return fmt.Sprintf("device detached by network without user action (after %q)", last.Label)
+				if d, ok := descs.Load(last.Label); ok {
+					return d.(string)
+				}
+				d := fmt.Sprintf("device detached by network without user action (after %q)", last.Label)
+				descs.Store(last.Label, d)
+				return d
 			}
 			return ""
 		},
@@ -88,11 +100,15 @@ func DataServiceOK() check.Property {
 // world stay distinct (property, description) entries.
 func DataServiceOKIn(ns string) check.Property {
 	key := names.Namespaced(names.GDataDelayed, ns)
+	// The description is constant per instance; render it once at
+	// construction instead of per violating state (the flag persists, so
+	// the monitor fires on every state of every suffix path).
+	desc := fmt.Sprintf("outgoing data request delayed behind routing area update (HOL blocking) [%s]", ns)
 	return prop{
 		name: "DataService_OK",
 		f: func(w *model.World, last model.Step) string {
 			if w.Global(key) == 1 {
-				return fmt.Sprintf("outgoing data request delayed behind routing area update (HOL blocking) [%s]", ns)
+				return desc
 			}
 			return ""
 		},

@@ -74,6 +74,21 @@ done
 rm -f /tmp/viol_w1.$$ /tmp/viol_w4.$$ /tmp/viol_w8.$$
 echo ok
 
+echo "== timing gate (degenerate virtual time: violation sets byte-identical to untimed, every standard world x reduction x worker count) =="
+go build -o /tmp/cnetverify.$$ ./cmd/cnetverify
+for world in s1 s2 s3 s4cs s4ps s6 multiue multiue-shared; do
+    /tmp/cnetverify.$$ -world "$world" -violations >/tmp/viol_ref.$$
+    for mode in "" "-por" "-sym"; do
+        for w in 1 4 8; do
+            # shellcheck disable=SC2086 # $mode is intentionally word-split
+            /tmp/cnetverify.$$ -world "$world" -timing -timing-profile degenerate $mode -workers "$w" -violations >/tmp/viol_timed.$$
+            cmp /tmp/viol_ref.$$ /tmp/viol_timed.$$
+        done
+    done
+done
+rm -f /tmp/cnetverify.$$ /tmp/viol_ref.$$ /tmp/viol_timed.$$
+echo ok
+
 echo "== hash-compaction gate (shared-core 3-UE world: -compact keeps the violation set at screening scale) =="
 go run ./cmd/cnetverify -world multiue-shared -sym -violations >/tmp/viol_exact.$$
 go run ./cmd/cnetverify -world multiue-shared -sym -compact -violations >/tmp/viol_compact.$$

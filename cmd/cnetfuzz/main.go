@@ -65,6 +65,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON summary")
 		minNew    = flag.Int("min-new", 0, "exit 1 unless at least N inputs lit up new coverage")
 		first     = flag.Bool("first", false, "stop fuzzing at the end of the first violating round")
+		timing    = flag.Bool("timing", false, "discrete virtual time: fuzz with protocol timers as [earliest, latest] expiry windows, timer-expiry directives and window stretches join the mutation operators")
+		timProf   = flag.String("timing-profile", "nas", "timer-window derivation for -timing: nas or degenerate (see cnetverify)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cnetfuzz: unknown world %q (want %s)\n", *world, strings.Join(core.WorldNames(), ", "))
 		os.Exit(1)
 	}
+	if *timing {
+		profile, err := core.ParseTimingProfile(*timProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+		if s, err = core.WithTiming(s, profile); err != nil {
+			fmt.Fprintln(os.Stderr, "cnetfuzz:", err)
+			os.Exit(1)
+		}
+	}
 
 	opt := fuzz.Options{
 		Budget:      *budget,
@@ -90,6 +103,7 @@ func main() {
 		Drain:       *drain,
 		RoundSize:   *round,
 		Pool:        s.Scenario.Events(s.World),
+		TimerPool:   s.World.TimerEvents(),
 		StopAtFirst: *first,
 	}
 	if *corpusDir != "" {

@@ -7,6 +7,7 @@
 //	cnetverify [-world all|s1|s2|s3|s4cs|s4ps|s6|multiue|multiue-shared] [-fixed] [-strategy dfs|bfs|walk]
 //	           [-depth N] [-states N] [-verbose] [-skip-lint]
 //	           [-por] [-sym] [-compact] [-violations] [-stats]
+//	           [-timing] [-timing-profile nas|degenerate]
 //	           [-workers N] [-parallel N] [-budget N] [-first]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -33,6 +34,20 @@
 // Use it to push depth/state bounds on the multi-UE worlds past what
 // exact screening can hold in memory; exact mode remains the default
 // and the only mode whose violation sets are certificates.
+//
+// -timing enables discrete virtual time: the scenario's periodic env
+// events are replaced by first-class timers with [earliest, latest]
+// expiry windows, and the engines enumerate exactly the admissible
+// expiry orderings (an expiry is schedulable only while no other armed
+// timer must already have fired). -timing-profile nas (default) arms
+// the 3GPP periodic-update timers (T3412/T3212/T3312) with distinct
+// realistic windows — this reaches timing-only violations the untimed
+// scenario never offers. -timing-profile degenerate arms zero-width
+// always-fireable windows instead, which is provably equivalent to
+// untimed screening: the ci.sh timing gate byte-compares its
+// -violations output against untimed runs across every standard world,
+// reduction and worker count. Composes with -por, -sym, -compact and
+// -workers.
 //
 // -stats prints, per world, the visited-table diagnostics (slot
 // occupancy, growth count, probe-length histogram, arena bytes) and a
@@ -91,6 +106,8 @@ func main() {
 		onlyViol = flag.Bool("violations", false, "print only the canonical violation set (sorted property/description lines), for byte-comparing runs")
 		compact  = flag.Bool("compact", false, "hash-compaction visited set (~8 B/state, no exactness arena); the per-world omission-probability bound is reported with -stats")
 		stats    = flag.Bool("stats", false, "print per-world visited-table statistics (occupancy, probe histogram, arena bytes) and the process memory high-water mark")
+		timing   = flag.Bool("timing", false, "discrete virtual time: model periodic protocol timers as first-class [earliest, latest] expiry windows (see -timing-profile)")
+		timProf  = flag.String("timing-profile", "nas", "timer-window derivation: nas (realistic T3412/T3212/T3312 windows) or degenerate (zero-width windows, provably equivalent to untimed screening — the ci.sh differential gate)")
 		workers  = flag.Int("workers", 1, "exploration workers per world (>1 = parallel engine)")
 		parallel = flag.Int("parallel", 1, "worlds screened concurrently")
 		budget   = flag.Int("budget", 0, "shared distinct-state budget across the campaign (0 = none)")
@@ -130,6 +147,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnetverify:", err)
 		exit(1)
+	}
+	if *timing {
+		profile, err := core.ParseTimingProfile(*timProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnetverify:", err)
+			exit(1)
+		}
+		for i := range scoped {
+			scoped[i], err = core.WithTiming(scoped[i], profile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnetverify:", err)
+				exit(1)
+			}
+		}
 	}
 
 	perWorld := func(s core.Scoped) check.Options {

@@ -166,6 +166,17 @@ type Options struct {
 	// descriptor and canonicalize within each cluster, and the closure
 	// runs once at the top level over the full world's descriptor.
 	Symmetry bool
+	// Timing acknowledges a world with virtual-time timers
+	// (model.World.EnableTiming): the engines then enumerate the
+	// admissible expiry-vs-delivery orderings as ordinary steps (the
+	// model's StepsAppend includes StepTimer transitions, with the
+	// zone-abstracted windows in the state encoding, so every engine,
+	// POR cluster projection and symmetry quotient explores them
+	// unchanged). Running a timed world without Timing set is an error
+	// — the silent alternative would be exploring timed worlds whose
+	// timer steps the caller never asked for. On an untimed world the
+	// flag is a no-op.
+	Timing bool
 	// Budget optionally shares a pool of distinct-state tokens across
 	// several runs (a screening campaign's global bound). When the pool
 	// dries up the run truncates, exactly like MaxStates.
@@ -182,7 +193,7 @@ type Options struct {
 func (o Options) IsZero() bool {
 	return o.Strategy == DFS && o.MaxDepth == 0 && o.MaxStates == 0 &&
 		!o.StopAtFirst && !o.Paranoid && !o.Compact && !o.SkipLint && o.LintSuppress == nil &&
-		o.Walks == 0 && o.Seed == 0 && !o.POR && !o.Symmetry &&
+		o.Walks == 0 && o.Seed == 0 && !o.POR && !o.Symmetry && !o.Timing &&
 		o.Workers == 0 && o.Budget == nil && o.Cancel == nil
 }
 
@@ -305,6 +316,9 @@ func Run(w *model.World, props []Property, sc Scenario, opt Options) (*Result, e
 	opt = opt.withDefaults()
 	if opt.Compact && opt.Paranoid {
 		return nil, fmt.Errorf("check: Options.Compact and Options.Paranoid are incompatible: compaction drops the encodings paranoid mode verifies against")
+	}
+	if w.TimingEnabled() && !opt.Timing {
+		return nil, fmt.Errorf("check: world has virtual-time timers; set Options.Timing to enumerate timed schedules")
 	}
 	if sc == nil {
 		sc = ScenarioFunc(func(*model.World) []model.EnvEvent { return nil })

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"cnetverifier/internal/check"
+)
+
+// violationLines renders a screening result in the cnetverify
+// -violations wire format: one sorted "property\tdesc" line per
+// violation, newline-joined. Byte equality of two renderings is the
+// determinism contract ci.sh enforces across engines.
+func violationLines(t *testing.T, s Scoped, opt check.Options) string {
+	t.Helper()
+	r, err := Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 0, len(r.Result.Violations))
+	for _, v := range r.Result.Violations {
+		lines = append(lines, v.Property+"\t"+v.Desc)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestDegenerateTimingMatchesUntimed is the in-process half of the
+// ci.sh timing differential gate: a degenerate timing profile
+// (zero-width periodic windows standing in for the scenario's periodic
+// env events) must reproduce the untimed violation set byte for byte on
+// every standard world, under every reduction and worker count. The
+// timed state graph is isomorphic to the untimed one — see
+// TimingDegenerate — so any drift here is an engine bug, not a model
+// difference.
+func TestDegenerateTimingMatchesUntimed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("screens every standard world 18 times")
+	}
+	type mode struct {
+		name     string
+		por, sym bool
+	}
+	modes := []mode{{"plain", false, false}, {"por", true, false}, {"sym", false, true}}
+	workers := []int{1, 4, 8}
+
+	for name := range StandardWorlds(false) {
+		name := name
+		// Under the race detector keep only the small worlds: the timed
+		// parallel engine's shared paths are identical everywhere, and
+		// instrumented screens of full/multiue would dominate the
+		// package timeout.
+		if raceEnabled {
+			switch name {
+			case "s1", "s4cs", "s4ps", "multiue-shared":
+			default:
+				continue
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, m := range modes {
+				for _, w := range workers {
+					label := fmt.Sprintf("%s/workers=%d", m.name, w)
+
+					us := StandardWorlds(false)[name]
+					uopt := us.Options
+					uopt.POR, uopt.Symmetry, uopt.Workers = m.por, m.sym, w
+					untimed := violationLines(t, us, uopt)
+
+					ts, err := WithTiming(StandardWorlds(false)[name], TimingDegenerate)
+					if err != nil {
+						t.Fatalf("%s: WithTiming: %v", label, err)
+					}
+					topt := ts.Options
+					topt.POR, topt.Symmetry, topt.Workers = m.por, m.sym, w
+					timed := violationLines(t, ts, topt)
+
+					if timed != untimed {
+						t.Errorf("%s: degenerate-timed violation set diverged from untimed\nuntimed:\n%s\ntimed:\n%s",
+							label, untimed, timed)
+					}
+				}
+			}
+		})
+	}
+}

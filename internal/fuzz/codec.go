@@ -99,7 +99,15 @@ func EncodeSchedule(s Schedule) string {
 	b.WriteString("# fuzz schedule\n")
 	fmt.Fprintf(&b, "seed: %d\n", s.Seed)
 	for _, e := range s.Events {
+		if e.Msg.From != "" {
+			// Timer-expiry directive: a fourth field names the timer.
+			fmt.Fprintf(&b, "event: %s|%s|%s|%s\n", e.Proc, e.Msg.Kind, e.Msg.Cause, e.Msg.From)
+			continue
+		}
 		fmt.Fprintf(&b, "event: %s|%s|%s\n", e.Proc, e.Msg.Kind, e.Msg.Cause)
+	}
+	for _, t := range s.Stretches {
+		fmt.Fprintf(&b, "stretch: %s|%s|%d|%d\n", t.Proc, t.Name, t.LoPct, t.HiPct)
 	}
 	return b.String()
 }
@@ -125,8 +133,8 @@ func DecodeSchedule(data []byte) (Schedule, error) {
 			s.Seed = seed
 		case "event":
 			parts := strings.Split(val, "|")
-			if len(parts) != 3 {
-				return s, fmt.Errorf("fuzz: schedule line %d: want proc|kind|cause", ln+1)
+			if len(parts) != 3 && len(parts) != 4 {
+				return s, fmt.Errorf("fuzz: schedule line %d: want proc|kind|cause[|timer]", ln+1)
 			}
 			kind, ok := types.KindByName(parts[1])
 			if !ok {
@@ -136,7 +144,25 @@ func DecodeSchedule(data []byte) (Schedule, error) {
 			if !ok {
 				return s, fmt.Errorf("fuzz: schedule line %d: unknown cause %q", ln+1, parts[2])
 			}
-			s.Events = append(s.Events, model.EnvEvent{Proc: parts[0], Msg: types.Message{Kind: kind, Cause: cause}})
+			e := model.EnvEvent{Proc: parts[0], Msg: types.Message{Kind: kind, Cause: cause}}
+			if len(parts) == 4 {
+				e.Msg.From = parts[3] // timer-expiry directive
+			}
+			s.Events = append(s.Events, e)
+		case "stretch":
+			parts := strings.Split(val, "|")
+			if len(parts) != 4 {
+				return s, fmt.Errorf("fuzz: schedule line %d: want proc|timer|loPct|hiPct", ln+1)
+			}
+			lo, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return s, fmt.Errorf("fuzz: schedule line %d: bad lo percentage %q", ln+1, parts[2])
+			}
+			hi, err := strconv.Atoi(parts[3])
+			if err != nil {
+				return s, fmt.Errorf("fuzz: schedule line %d: bad hi percentage %q", ln+1, parts[3])
+			}
+			s.Stretches = append(s.Stretches, TimerStretch{Proc: parts[0], Name: parts[1], LoPct: lo, HiPct: hi})
 		default:
 			return s, fmt.Errorf("fuzz: schedule line %d: unknown key %q", ln+1, key)
 		}
@@ -149,6 +175,7 @@ var stepKindNames = map[model.StepKind]string{
 	model.StepDrop:    "drop",
 	model.StepDiscard: "discard",
 	model.StepEnv:     "env",
+	model.StepTimer:   "timer",
 }
 
 // encodeStep renders one step as

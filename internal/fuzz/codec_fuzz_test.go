@@ -1,0 +1,50 @@
+package fuzz_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cnetverifier/internal/fuzz"
+)
+
+// FuzzTimingCodec drives DecodeSchedule with arbitrary bytes and, for
+// every input it accepts, checks the codec is a proper round-trip:
+// re-encoding the decoded schedule parses back to the same value
+// (timer-expiry directives keep their fourth field, stretches keep
+// their percentages and order) and a second encode is byte-identical.
+// The seed corpus under testdata/fuzz/FuzzTimingCodec covers the timed
+// extensions of the format — 4-field event lines and stretch lines —
+// alongside plain untimed schedules and malformed near-misses.
+func FuzzTimingCodec(f *testing.F) {
+	f.Add("# fuzz schedule\nseed: 7\nevent: ue.emm|PowerOn|none\n")
+	f.Add("seed: -42\n" +
+		"event: ue.emm|PowerOn|none\n" +
+		"event: ue.emm|PeriodicTimer|none|T3412\n" +
+		"event: ue.gmm|PeriodicTimer|none|T3312\n" +
+		"stretch: ue.emm|T3412|50|50\n" +
+		"stretch: ue.gmm|T3312|200|200\n")
+	f.Add("event: ue.emm|PeriodicTimer|none|\n")     // empty timer name
+	f.Add("stretch: ue.emm|T3412|-100|2147483647\n") // extreme percentages
+	f.Add("stretch: ue.emm|T3412|fifty|100\n")       // must be rejected
+	f.Add("event: ue.emm|PeriodicTimer|none|a|b\n")  // too many fields
+	f.Add("seed: 9999999999999999999999\n")          // overflows int64
+	f.Add("# only comments\n\n   \n")
+	f.Add("stretch : ue.emm|T3412|50|50\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := fuzz.DecodeSchedule([]byte(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		enc := fuzz.EncodeSchedule(s)
+		s2, err := fuzz.DecodeSchedule([]byte(enc))
+		if err != nil {
+			t.Fatalf("re-decode of encoded schedule failed: %v\nencoded:\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("schedule drifted across encode/decode:\nfirst:  %#v\nsecond: %#v\nencoded:\n%s", s, s2, enc)
+		}
+		if enc2 := fuzz.EncodeSchedule(s2); enc2 != enc {
+			t.Fatalf("encode not stable:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+		}
+	})
+}

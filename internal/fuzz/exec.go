@@ -18,12 +18,32 @@ import (
 type Schedule struct {
 	Seed   int64
 	Events []model.EnvEvent
+	// Stretches rescale armed timer windows on the initial world before
+	// injection starts — the fuzzer's time-axis mutation. They apply to
+	// scratch executions only; resumed candidates inherit the parent's
+	// already-stretched snapshot (extend-mutants copy the parent's
+	// stretches so the genome stays faithful).
+	Stretches []TimerStretch
+}
+
+// TimerStretch rescales one timer's [earliest, latest] expiry window by
+// percentage factors (100 = unchanged): halving Lo lets an expiry race
+// ahead of deliveries it previously had to wait for, doubling Hi lets
+// deliveries overtake an expiry — exactly the admissible-ordering edges
+// timed screening explores, steered per input.
+type TimerStretch struct {
+	Proc, Name   string
+	LoPct, HiPct int
 }
 
 // clone deep-copies the schedule so mutators never alias corpus
 // entries.
 func (s Schedule) clone() Schedule {
-	return Schedule{Seed: s.Seed, Events: append([]model.EnvEvent(nil), s.Events...)}
+	return Schedule{
+		Seed:      s.Seed,
+		Events:    append([]model.EnvEvent(nil), s.Events...),
+		Stretches: append([]TimerStretch(nil), s.Stretches...),
+	}
 }
 
 // genomeHash fingerprints the full genome (seed and events) with
@@ -38,13 +58,23 @@ func (s Schedule) genomeHash() uint64 {
 			h *= prime64
 		}
 	}
-	mix(uint64(s.Seed))
-	for _, e := range s.Events {
-		for _, b := range []byte(e.Proc) {
+	str := func(v string) {
+		for _, b := range []byte(v) {
 			h ^= uint64(b)
 			h *= prime64
 		}
+		h *= prime64 // NUL terminator: "ab"+"c" never collides with "a"+"bc"
+	}
+	mix(uint64(s.Seed))
+	for _, e := range s.Events {
+		str(e.Proc)
+		str(e.Msg.From) // timer-expiry directives differ by timer name
 		mix(uint64(e.Msg.Kind)<<32 | uint64(e.Msg.Cause))
+	}
+	for _, t := range s.Stretches {
+		str(t.Proc)
+		str(t.Name)
+		mix(uint64(uint32(t.LoPct))<<32 | uint64(uint32(t.HiPct)))
 	}
 	return h
 }
@@ -123,6 +153,12 @@ func (x *executor) run(w0 *model.World, corpus []entry, c candidate, props []che
 		events = c.tail
 	} else {
 		w0.CloneInto(w)
+		// Time-axis mutations: rescale timer windows before any step
+		// fires. Resumed candidates skip this — the parent's snapshot
+		// already carries its stretched timing configuration.
+		for _, t := range c.sched.Stretches {
+			w.ScaleTimerBounds(t.Proc, t.Name, t.LoPct, t.HiPct)
+		}
 	}
 	rng := rand.New(rand.NewSource(c.sched.Seed))
 	res := execResult{cov: NewCoverage(w0)}
@@ -161,7 +197,12 @@ func (x *executor) run(w0 *model.World, corpus []entry, c candidate, props []che
 
 	drain := func() error {
 		for d := 0; d < opt.Drain; d++ {
+			// Timer expiries drain alongside queued messages: on a timed
+			// world the seed's RNG interleaves admissible expiries with
+			// deliveries (on an untimed world StepsTimerAppend is a
+			// no-op, so untimed runs are byte-for-byte unchanged).
 			x.steps = w.StepsQueueAppend(x.steps[:0])
+			x.steps = w.StepsTimerAppend(x.steps)
 			if len(x.steps) == 0 {
 				return nil
 			}
@@ -173,7 +214,22 @@ func (x *executor) run(w0 *model.World, corpus []entry, c candidate, props []che
 	}
 
 	for _, e := range events {
-		x.steps = w.StepsEnvAppend(x.steps[:0], []model.EnvEvent{e})
+		if e.Msg.From != "" {
+			// Timer-expiry directive (From names the timer): fire that
+			// process's armed timer now if it is admissible, silently
+			// skipped otherwise — the event-axis handle on timing.
+			x.steps = w.StepsTimerAppend(x.steps[:0])
+			n := 0
+			for _, s := range x.steps {
+				if s.Proc == e.Proc && s.Msg.From == e.Msg.From {
+					x.steps[n] = s
+					n++
+				}
+			}
+			x.steps = x.steps[:n]
+		} else {
+			x.steps = w.StepsEnvAppend(x.steps[:0], []model.EnvEvent{e})
+		}
 		if len(x.steps) > 0 {
 			if err := apply(x.steps[rng.Intn(len(x.steps))]); err != nil {
 				return res, err

@@ -38,6 +38,11 @@ type Options struct {
 	// Pool is the event pool the mutators substitute and insert from;
 	// nil defaults to the full §3.2.1 space (scenario.FullSpace).
 	Pool []model.EnvEvent
+	// TimerPool holds timer-expiry directives (EnvEvents whose Msg.From
+	// names an armed timer, from World.TimerEvents) for the timing
+	// mutators. Empty on untimed worlds, which keeps every untimed run
+	// bit-identical to the pre-timing fuzzer.
+	TimerPool []model.EnvEvent
 	// Corpus seeds the run with previously kept schedules (e.g. loaded
 	// from a -corpus directory); they execute as round 0 alongside the
 	// per-event singletons.
@@ -124,11 +129,11 @@ func Fuzz(w0 *model.World, props []check.Property, opt Options) (*Result, error)
 	// singleton per pool event (every scenario family is exercised
 	// before mutation starts), and one round of fresh random schedules
 	// so mutation starts from deep parents, not only singletons.
-	seeds := make([]candidate, 0, len(opt.Corpus)+len(opt.Pool)+opt.RoundSize)
+	seeds := make([]candidate, 0, len(opt.Corpus)+len(opt.Pool)+len(opt.TimerPool)+opt.RoundSize)
 	for _, s := range opt.Corpus {
 		seeds = append(seeds, candidate{sched: s.clone(), parent: -1})
 	}
-	for i, e := range opt.Pool {
+	for i, e := range append(append([]model.EnvEvent(nil), opt.Pool...), opt.TimerPool...) {
 		seeds = append(seeds, candidate{
 			sched:  Schedule{Seed: mutSeed(opt.Seed, 0, len(opt.Corpus)+i), Events: []model.EnvEvent{e}},
 			parent: -1,
@@ -215,7 +220,7 @@ func Fuzz(w0 *model.World, props []check.Property, opt Options) (*Result, error)
 				if fresh[i] = len(corpus) == 0 || rng.Float64() < eps; fresh[i] {
 					return candidate{sched: freshSchedule(opt.Pool, opt.MaxEvents, rng), parent: -1}
 				}
-				return mutate(corpus, opt.Pool, opt.MaxEvents, rng)
+				return mutate(corpus, opt.Pool, opt.TimerPool, opt.MaxEvents, rng)
 			}
 			cands[i] = gen()
 			for try := 0; try < 8 && !note(cands[i].sched); try++ {

@@ -38,7 +38,7 @@ func freshSchedule(pool []model.EnvEvent, maxEvents int, rng *rand.Rand) Schedul
 // uniform sampling cannot afford is exactly what the snapshot buys.
 // The caller decides the fresh-vs-mutant split (the adaptive epsilon
 // in Fuzz); the empty-corpus fallback only guards against starvation.
-func mutate(corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand) candidate {
+func mutate(corpus []entry, pool, timerPool []model.EnvEvent, maxEvents int, rng *rand.Rand) candidate {
 	if len(corpus) == 0 {
 		return candidate{sched: freshSchedule(pool, maxEvents, rng), parent: -1}
 	}
@@ -56,12 +56,15 @@ func mutate(corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand
 		sched := Schedule{
 			Seed:   rng.Int63(),
 			Events: append(append([]model.EnvEvent(nil), parent.sched.Events...), tail...),
+			// The parent's snapshot already ran under its stretches;
+			// keep them in the genome so the child stays faithful.
+			Stretches: append([]TimerStretch(nil), parent.sched.Stretches...),
 		}
 		return candidate{sched: sched, parent: pi, tail: tail}
 	}
 	child := parent.sched.clone()
 	for n := 1 + rng.Intn(2); n > 0; n-- {
-		mutateOnce(&child, corpus, pool, maxEvents, rng)
+		mutateOnce(&child, corpus, pool, timerPool, maxEvents, rng)
 	}
 	return candidate{sched: child, parent: -1}
 }
@@ -78,8 +81,19 @@ func mutate(corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand
 // silently turns the fuzzer into uniform sampling: the prefix
 // re-executes under different interleaving choices and the rare state
 // is never revisited.
-func mutateOnce(child *Schedule, corpus []entry, pool []model.EnvEvent, maxEvents int, rng *rand.Rand) {
-	switch pick := rng.Intn(8); {
+//
+// On a timed world (timerPool non-empty) three timing operators join
+// the draw: insert a timer-expiry directive, shift a directive across a
+// neighboring event (reordering an expiry against a delivery), and
+// stretch a timer window (halve or double its bounds). An empty
+// timerPool keeps the operator distribution — and thus every untimed
+// fuzzing run — bit-identical to what it was before timing existed.
+func mutateOnce(child *Schedule, corpus []entry, pool, timerPool []model.EnvEvent, maxEvents int, rng *rand.Rand) {
+	ops := 8
+	if len(timerPool) > 0 {
+		ops = 11
+	}
+	switch pick := rng.Intn(ops); {
 	case pick < 2: // truncate: keep a prefix
 		if len(child.Events) > 1 {
 			child.Events = child.Events[:1+rng.Intn(len(child.Events)-1)]
@@ -107,7 +121,40 @@ func mutateOnce(child *Schedule, corpus []entry, pool []model.EnvEvent, maxEvent
 			copy(child.Events[at+1:], child.Events[at:])
 			child.Events[at] = pool[rng.Intn(len(pool))]
 		}
-	default: // perturb: same events, different interleaving (Kairos-style)
+	case pick < 8: // perturb: same events, different interleaving (Kairos-style)
 		child.Seed = rng.Int63()
+	case pick < 9: // timing: insert a timer-expiry directive
+		if len(child.Events) < maxEvents {
+			at := rng.Intn(len(child.Events) + 1)
+			child.Events = append(child.Events, model.EnvEvent{})
+			copy(child.Events[at+1:], child.Events[at:])
+			child.Events[at] = timerPool[rng.Intn(len(timerPool))]
+		}
+	case pick < 10: // timing: shift an expiry across a neighboring event
+		var idxs []int
+		for i, e := range child.Events {
+			if e.Msg.From != "" {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			i := idxs[rng.Intn(len(idxs))]
+			j := i + 1 - 2*rng.Intn(2) // the neighbor before or after
+			if j >= 0 && j < len(child.Events) {
+				child.Events[i], child.Events[j] = child.Events[j], child.Events[i]
+			}
+		}
+	default: // timing: stretch a timer window (halve or double the bounds)
+		d := timerPool[rng.Intn(len(timerPool))]
+		pct := 200
+		if rng.Intn(2) == 0 {
+			pct = 50
+		}
+		st := TimerStretch{Proc: d.Proc, Name: d.Msg.From, LoPct: pct, HiPct: pct}
+		if len(child.Stretches) >= 4 {
+			child.Stretches[rng.Intn(len(child.Stretches))] = st
+		} else {
+			child.Stretches = append(child.Stretches, st)
+		}
 	}
 }

@@ -41,6 +41,11 @@ type ShrinkResult struct {
 	Steps         int `json:"steps"`
 	// Tests counts the anchored replays performed.
 	Tests int `json:"tests"`
+	// TimeShifts counts the successful time-axis normalization moves:
+	// each one bubbled a timer-expiry step one position earlier past a
+	// non-timer step while preserving the violation. Zero for untimed
+	// traces (the pass is skipped entirely).
+	TimeShifts int `json:"time_shifts,omitempty"`
 	// Path is the minimal trace: removing any single step breaks the
 	// replay (1-minimality, the ddmin guarantee).
 	Path []model.Step `json:"-"`
@@ -95,6 +100,19 @@ func matchStep(w *model.World, buf *[]model.Step, want model.Step) (model.Step, 
 		}
 		return model.Step{}, false
 	}
+	if want.Kind == model.StepTimer {
+		// Timer expiries anchor on (process, timer name, transition):
+		// removing earlier steps shifts the virtual clock, but the
+		// surviving expiry still names the same timer firing the same
+		// spec transition.
+		*buf = w.StepsTimerAppend((*buf)[:0])
+		for _, s := range *buf {
+			if s.Proc == want.Proc && s.Msg.From == want.Msg.From && s.TransIdx == want.TransIdx {
+				return s, true
+			}
+		}
+		return model.Step{}, false
+	}
 	*buf = w.StepsQueueAppend((*buf)[:0])
 	for _, s := range *buf {
 		if s.Kind != want.Kind || s.Proc != want.Proc {
@@ -133,39 +151,86 @@ func Shrink(w0 *model.World, props []check.Property, v check.Violation, opt Shri
 	// successful subset, decrements on a successful complement; the
 	// loop ends 1-minimal when every single-step removal (complements
 	// at n == len) has failed.
-	n := 2
-	for len(cur) >= 2 && !overBudget() {
-		reduced := false
-		for i := 0; i < n && !overBudget(); i++ {
-			lo, hi := i*len(cur)/n, (i+1)*len(cur)/n
-			if concrete, ok := test(cur[lo:hi]); ok {
-				cur, n, reduced = concrete, 2, true
-				break
-			}
-		}
-		if !reduced && n > 2 {
-			comp := make([]model.Step, 0, len(cur))
+	ddmin := func() {
+		n := 2
+		for len(cur) >= 2 && !overBudget() {
+			reduced := false
 			for i := 0; i < n && !overBudget(); i++ {
 				lo, hi := i*len(cur)/n, (i+1)*len(cur)/n
-				comp = append(append(comp[:0], cur[:lo]...), cur[hi:]...)
-				if concrete, ok := test(comp); ok {
-					cur, reduced = concrete, true
-					if n = n - 1; n < 2 {
-						n = 2
-					}
+				if concrete, ok := test(cur[lo:hi]); ok {
+					cur, n, reduced = concrete, 2, true
 					break
 				}
 			}
+			if !reduced && n > 2 {
+				comp := make([]model.Step, 0, len(cur))
+				for i := 0; i < n && !overBudget(); i++ {
+					lo, hi := i*len(cur)/n, (i+1)*len(cur)/n
+					comp = append(append(comp[:0], cur[:lo]...), cur[hi:]...)
+					if concrete, ok := test(comp); ok {
+						cur, reduced = concrete, true
+						if n = n - 1; n < 2 {
+							n = 2
+						}
+						break
+					}
+				}
+			}
+			if reduced {
+				continue
+			}
+			if n >= len(cur) {
+				break
+			}
+			if n *= 2; n > len(cur) {
+				n = len(cur)
+			}
 		}
-		if reduced {
-			continue
+	}
+
+	// Time-axis normalization (timed traces only): bubble each timer
+	// expiry as early as the violation allows by swapping it with the
+	// non-timer step before it and keeping the swap when the anchored
+	// replay still reproduces. Each kept swap removes one
+	// expiry-vs-delivery inversion, so the pass terminates at a
+	// canonical "expiries first where order is irrelevant" form — the
+	// second shrinking dimension, orthogonal to ddmin's event axis.
+	// Returns whether any swap was kept; a kept swap can unlock further
+	// event-axis removals, so the caller re-runs ddmin to a joint
+	// fixpoint.
+	bubble := func() bool {
+		timed := false
+		for _, s := range cur {
+			if s.Kind == model.StepTimer {
+				timed = true
+				break
+			}
 		}
-		if n >= len(cur) {
-			break
+		if !timed {
+			return false
 		}
-		if n *= 2; n > len(cur) {
-			n = len(cur)
+		shifted := false
+		for changed := true; changed && !overBudget(); {
+			changed = false
+			for i := 1; i < len(cur) && !overBudget(); i++ {
+				if cur[i].Kind != model.StepTimer || cur[i-1].Kind == model.StepTimer {
+					continue
+				}
+				cand := append([]model.Step(nil), cur...)
+				cand[i-1], cand[i] = cand[i], cand[i-1]
+				if concrete, ok := test(cand); ok {
+					cur = concrete
+					res.TimeShifts++
+					shifted, changed = true, true
+				}
+			}
 		}
+		return shifted
+	}
+
+	ddmin()
+	for bubble() && !overBudget() {
+		ddmin()
 	}
 
 	// Strict re-verification: the minimal path must replay exactly

@@ -1,0 +1,211 @@
+package fuzz_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnetverifier/internal/check"
+	"cnetverifier/internal/core"
+	"cnetverifier/internal/fuzz"
+	"cnetverifier/internal/model"
+)
+
+// This file pins the timing golden corpus under testdata/timing: for
+// each listed world, a timing-ONLY violation — one the untimed scoped
+// world cannot reach, because its periodic expiry transitions are never
+// offered by the untimed scenario — shrunk 1-minimal on both axes
+// (ddmin over events, expiry bubbling over time) and re-verified from
+// the file alone. It shares the -update flag with the untimed golden
+// corpus test.
+
+// timingCorpusWorlds returns the StandardWorlds keys with a timing
+// golden entry. S1 is the canonical choice: its untimed scenario offers
+// no periodic events at all, so every expiry-reached violation is
+// timing-only by construction.
+func timingCorpusWorlds() []string {
+	return []string{"s1"}
+}
+
+// timedScoped builds the NAS-timed variant of a standard world. Each
+// call starts from a fresh StandardWorlds map: WithTiming arms timers
+// on the scoped world in place, so timed and untimed references must
+// never share a World.
+func timedScoped(t *testing.T, name string) core.Scoped {
+	t.Helper()
+	s, ok := core.StandardWorlds(false)[name]
+	if !ok {
+		t.Fatalf("no standard world %q", name)
+	}
+	st, err := core.WithTiming(s, core.TimingNAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.World.TimingEnabled() {
+		t.Fatalf("world %q has no periodic consumers; no timing corpus possible", name)
+	}
+	return st
+}
+
+// untimedViolationSet screens the untimed world breadth-first and
+// returns its (property, description) set — the reference the timing
+// corpus entry must fall outside of.
+func untimedViolationSet(t *testing.T, name string) map[string]bool {
+	t.Helper()
+	s, ok := core.StandardWorlds(false)[name]
+	if !ok {
+		t.Fatalf("no standard world %q", name)
+	}
+	opt := s.Options
+	opt.Strategy = check.BFS
+	r, err := core.Screen(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(r.Result.Violations))
+	for _, v := range r.Result.Violations {
+		set[v.Property+"\x00"+v.Desc] = true
+	}
+	return set
+}
+
+func countTimerSteps(steps []model.Step) int {
+	n := 0
+	for _, s := range steps {
+		if s.Kind == model.StepTimer {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTimingGoldenCorpus screens each NAS-timed world breadth-first,
+// picks the first violation that (a) the untimed world cannot reach and
+// (b) whose counterexample actually fires a timer, shrinks it in both
+// dimensions, and compares against the checked-in trace. The verify
+// path re-derives everything from the file: strict replay on the timed
+// world, property reproduction, digest, 1-minimality, at least one
+// StepTimer in the minimal trace, and absence from the untimed
+// violation set. Refresh intentionally with:
+//
+//	go test ./internal/fuzz -run TestTimingGoldenCorpus -update
+func TestTimingGoldenCorpus(t *testing.T) {
+	for _, name := range timingCorpusWorlds() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			st := timedScoped(t, name)
+			untimed := untimedViolationSet(t, name)
+			path := filepath.Join("testdata", "timing", name+".corpus")
+
+			if *update {
+				opt := st.Options
+				opt.Strategy = check.BFS
+				r, err := core.Screen(st, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pick *check.Violation
+				for i, v := range r.Result.Violations {
+					if untimed[v.Property+"\x00"+v.Desc] || countTimerSteps(v.Path) == 0 {
+						continue
+					}
+					pick = &r.Result.Violations[i]
+					break
+				}
+				if pick == nil {
+					t.Fatal("timed screening found no timing-only violation with a timer step")
+				}
+				sr, err := fuzz.Shrink(st.World, st.Props, *pick, fuzz.ShrinkOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if countTimerSteps(sr.Path) == 0 {
+					t.Fatal("shrinking removed every timer step from a timing-only violation")
+				}
+				out := fuzz.EncodeTrace(fuzz.Trace{
+					Finding:  name,
+					Property: sr.Property,
+					Desc:     sr.Desc,
+					Digest:   sr.Digest,
+					Steps:    sr.Path,
+				})
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing timing corpus (run with -update to create): %v", err)
+			}
+			tr, err := fuzz.DecodeTrace(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Finding != name {
+				t.Fatalf("corpus names finding %q, file is %q", tr.Finding, name)
+			}
+			if countTimerSteps(tr.Steps) == 0 {
+				t.Fatal("timing corpus trace fires no timer")
+			}
+			if untimed[tr.Property+"\x00"+tr.Desc] {
+				t.Fatalf("corpus violation %s: %s is reachable untimed — not timing-only", tr.Property, tr.Desc)
+			}
+
+			// Strict replay on the timed world (see TestGoldenCorpus for
+			// why this is unrolled rather than check.Replay).
+			w := st.World.Clone()
+			var last model.Step
+			for i, s := range tr.Steps {
+				applied, err := w.Apply(s)
+				if err != nil {
+					t.Fatalf("strict replay step %d (%v): %v", i+1, s, err)
+				}
+				last = applied
+			}
+			reproduced := false
+			for _, p := range st.Props {
+				if p.Name() == tr.Property && p.Check(w, last) == tr.Desc {
+					reproduced = true
+					break
+				}
+			}
+			if !reproduced {
+				t.Fatalf("replay did not reproduce %s: %s", tr.Property, tr.Desc)
+			}
+			if got := fuzz.TraceDigest(tr.Steps, w); got != tr.Digest {
+				t.Fatalf("stability digest drifted: got %s, corpus has %s", got, tr.Digest)
+			}
+			if err := fuzz.VerifyMinimal(st.World, st.Props, tr.Property, tr.Desc, tr.Steps); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTimingGoldenCorpusComplete keeps testdata/timing and
+// timingCorpusWorlds in sync.
+func TestTimingGoldenCorpusComplete(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "timing", "*.corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, n := range timingCorpusWorlds() {
+		want[n] = true
+	}
+	for _, f := range files {
+		name := f[len(filepath.Join("testdata", "timing"))+1 : len(f)-len(".corpus")]
+		if !want[name] {
+			t.Errorf("stray timing corpus file %s (no timingCorpusWorlds entry)", f)
+		}
+		delete(want, name)
+	}
+	for n := range want {
+		t.Errorf("timingCorpusWorlds lists %s but no corpus file exists", n)
+	}
+}

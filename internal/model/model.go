@@ -144,6 +144,15 @@ type World struct {
 	sym    *Symmetry
 	symRes *symResolution
 
+	// timing is the immutable timer-definition table (timing.go),
+	// shared by clones; now is the monotone virtual clock and timers
+	// the armed-timer set, both part of the logical state
+	// (Save/Restore and CloneInto carry them, Encode appends their
+	// zone abstraction).
+	timing *timingConfig
+	now    int64
+	timers []armedTimer
+
 	// scratch, enbuf and symScratch are reusable per-world working
 	// storage for Steps/Apply/EncodeCanonical (never shared between
 	// worlds; CloneInto skips them).
@@ -344,6 +353,8 @@ func (w *World) CloneInto(dst *World) {
 	dst.glay = w.glay
 	dst.gvals = append(dst.gvals[:0], w.gvals...)
 	dst.sym, dst.symRes = w.sym, w.symRes
+	dst.timing, dst.now = w.timing, w.now
+	dst.timers = append(dst.timers[:0], w.timers...)
 }
 
 // Encode appends a canonical binary encoding of the full global state.
@@ -383,6 +394,11 @@ func (w *World) Encode(buf []byte) []byte {
 		buf = append(buf, 0)
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
 		buf = append(buf, tmp[:4]...)
+	}
+	// Timed worlds append the zone-abstracted armed-timer section;
+	// untimed encodings are byte-for-byte what they always were.
+	if w.timing != nil {
+		buf = w.encodeTimers(buf)
 	}
 	return buf
 }

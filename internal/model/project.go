@@ -80,5 +80,34 @@ func (w *World) Project(names []string) (*World, error) {
 			return nil, fmt.Errorf("model: project: %w", err)
 		}
 	}
+	// Carry the virtual clock and the timers owned by kept processes,
+	// so POR cluster projections explore the same admissible expiry
+	// orderings within each cluster (timers of dropped processes are
+	// independent of the cluster by the effect analysis's contract,
+	// exactly like their message steps).
+	if w.timing != nil {
+		var defs []TimerDef
+		kept := make(map[string]int32) // old def index -> new
+		for i := range w.timing.defs {
+			if keep[w.timing.defs[i].Proc] {
+				kept[w.timing.defs[i].Proc+"\x00"+w.timing.defs[i].Name] = int32(len(defs))
+				defs = append(defs, w.timing.defs[i])
+			}
+		}
+		if len(defs) > 0 {
+			if err := pw.EnableTiming(defs); err != nil {
+				return nil, fmt.Errorf("model: project: %w", err)
+			}
+			pw.now = w.now
+			pw.timers = pw.timers[:0]
+			for _, t := range w.timers {
+				d := &w.timing.defs[t.def]
+				if ni, ok := kept[d.Proc+"\x00"+d.Name]; ok {
+					t.def = ni
+					pw.timers = append(pw.timers, t)
+				}
+			}
+		}
+	}
 	return pw, nil
 }

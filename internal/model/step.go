@@ -24,6 +24,11 @@ const (
 	// StepEnv injects an environment event (user action, timer,
 	// operator decision) and fires one enabled transition.
 	StepEnv
+	// StepTimer fires an armed virtual-time timer (timing.go): the
+	// clock advances into the timer's window and the expiry message
+	// fires one enabled transition, or none (TransIdx = -1, a
+	// discard-fire consuming the expiry).
+	StepTimer
 )
 
 func (k StepKind) String() string {
@@ -36,6 +41,8 @@ func (k StepKind) String() string {
 		return "discard"
 	case StepEnv:
 		return "env"
+	case StepTimer:
+		return "timer"
 	default:
 		return fmt.Sprintf("StepKind(%d)", uint8(k))
 	}
@@ -73,6 +80,11 @@ func (s Step) String() string {
 		return fmt.Sprintf("%s: discard %s", s.Proc, s.Msg)
 	case StepEnv:
 		return fmt.Sprintf("%s: env %s -> %s", s.Proc, s.Msg, s.Label)
+	case StepTimer:
+		if s.TransIdx < 0 {
+			return fmt.Sprintf("%s: timer %s fires (unconsumed)", s.Proc, s.Msg.From)
+		}
+		return fmt.Sprintf("%s: timer %s fires -> %s", s.Proc, s.Msg.From, s.Label)
 	default:
 		return fmt.Sprintf("%s: recv %s -> %s", s.Proc, s.Msg, s.Label)
 	}
@@ -104,7 +116,8 @@ func (w *World) Steps(env []EnvEvent) []Step {
 // context and enabled-index buffer.
 func (w *World) StepsAppend(steps []Step, env []EnvEvent) []Step {
 	steps = w.StepsQueueAppend(steps)
-	return w.StepsEnvAppend(steps, env)
+	steps = w.StepsEnvAppend(steps, env)
+	return w.StepsTimerAppend(steps)
 }
 
 // StepsQueueAppend appends only the message-driven steps (deliveries,
@@ -189,6 +202,9 @@ func (w *World) Apply(s Step) (Step, error) {
 		s.Label = tr.Name
 		s.Notes = c.takeNotes()
 		s.Misrouted, s.Dropped = c.misrouted, c.dropped
+		if w.timing != nil {
+			w.timerHooks(s.Proc, s.Label)
+		}
 		return s, nil
 	case StepEnv:
 		c := w.ctxFor(p)
@@ -196,7 +212,12 @@ func (w *World) Apply(s Step) (Step, error) {
 		s.Label = tr.Name
 		s.Notes = c.takeNotes()
 		s.Misrouted, s.Dropped = c.misrouted, c.dropped
+		if w.timing != nil {
+			w.timerHooks(s.Proc, s.Label)
+		}
 		return s, nil
+	case StepTimer:
+		return w.applyTimer(p, s)
 	default:
 		return s, fmt.Errorf("model: apply: bad step kind %v", s.Kind)
 	}

@@ -276,6 +276,25 @@ func (w *World) EncodeCanonical(buf []byte) []byte {
 				binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
 				sub = append(sub, tmp[:4]...)
 			}
+			// The replica's armed timers, in definition order, keyed by
+			// the replica-agnostic timer name plus the zone-relative
+			// window — identical bytes across corresponding replicas
+			// (timing.go requires corresponding timers to share names
+			// and per-replica declaration order).
+			if w.timing != nil {
+				for ti := range w.timers {
+					pi := int(w.timing.defProc[w.timers[ti].def])
+					for _, rp := range rep.procs {
+						if rp == pi {
+							d := &w.timing.defs[w.timers[ti].def]
+							sub = append(sub, d.Name...)
+							sub = append(sub, 0)
+							sub = w.encodeTimerRel(sub, &w.timers[ti])
+							break
+						}
+					}
+				}
+			}
 			sc.subs[ri] = sub
 		}
 		// Insertion-sort the replica order by sub-encoding bytes — the
@@ -334,6 +353,26 @@ func (w *World) EncodeCanonical(buf []byte) []byte {
 		buf = append(buf, 0)
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(w.gvals[i]))
 		buf = append(buf, tmp[:4]...)
+	}
+	// Armed timers of non-replica processes follow positionally, as in
+	// Encode (replica-owned timers were folded into the sub-encodings).
+	if w.timing != nil {
+		for ti := range w.timers {
+			pi := int(w.timing.defProc[w.timers[ti].def])
+			inRest := false
+			for _, rp := range w.symRes.rest {
+				if rp == pi {
+					inRest = true
+					break
+				}
+			}
+			if !inRest {
+				continue
+			}
+			binary.LittleEndian.PutUint16(tmp[:2], uint16(w.timers[ti].def))
+			buf = append(buf, tmp[:2]...)
+			buf = w.encodeTimerRel(buf, &w.timers[ti])
+		}
 	}
 	return buf
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -448,5 +449,137 @@ func TestAppendCanonicalHashAllocFree(t *testing.T) {
 		_, buf = w.AppendCanonicalHash(buf)
 	}); allocs != 0 {
 		t.Fatalf("AppendCanonicalHash allocates %.1f per call in steady state", allocs)
+	}
+}
+
+// --- timing × symmetry -------------------------------------------------
+
+// timedSymDefs declares one replica-agnostic guard timer per device
+// replica (same name, same window, same within-replica position — the
+// EnableTiming contract for canonicalized worlds) plus a periodic hub
+// timer owned by the shared infrastructure (the rest-partition path of
+// the canonical timer encoding).
+func timedSymDefs(n int) []TimerDef {
+	var defs []TimerDef
+	for k := 1; k <= n; k++ {
+		defs = append(defs, TimerDef{
+			Name: "Trep", Proc: symDevName(k),
+			Msg: types.Message{Kind: types.MsgUserMove},
+			Lo:  2, Hi: 7, ArmOnStart: true,
+			ArmOn: []string{"dial"}, CancelOn: []string{"ack"},
+		})
+	}
+	defs = append(defs, TimerDef{
+		Name: "Thub", Proc: "hub",
+		Msg: types.Message{Kind: types.MsgUserMove},
+		Lo:  1, Hi: 9, ArmOnStart: true, Periodic: true,
+	})
+	return defs
+}
+
+func newTimedSymWorld(t testing.TB, n int) (*World, []EnvEvent) {
+	w, events := newSymWorld(t, n)
+	if err := w.EnableTiming(timedSymDefs(n)); err != nil {
+		t.Fatal(err)
+	}
+	return w, events
+}
+
+// permuteTimedSymWorld extends permuteSymWorld to the timing state:
+// replica k's armed timer lands at position perm[k] (the hub timer is
+// positionally fixed), with its absolute window copied verbatim.
+func permuteTimedSymWorld(t testing.TB, w *World, n int, perm []int) *World {
+	t.Helper()
+	pw := permuteSymWorld(t, w, n, perm)
+	if err := pw.EnableTiming(timedSymDefs(n)); err != nil {
+		t.Fatal(err)
+	}
+	pw.now = w.now
+	pw.timers = pw.timers[:0]
+	for _, tm := range w.timers {
+		d := tm.def
+		if int(d) < n {
+			d = int32(perm[d])
+		}
+		pw.timers = append(pw.timers, armedTimer{def: d, arm: tm.arm, lo: tm.lo, hi: tm.hi})
+	}
+	sort.Slice(pw.timers, func(i, j int) bool { return pw.timers[i].def < pw.timers[j].def })
+	return pw
+}
+
+// TestCanonicalTimedPermutationInvariant extends the soundness half to
+// virtual time: for random reachable timed states (the drive fires,
+// hook-arms and hook-cancels timers along the way) and EVERY replica
+// permutation, the canonical encoding and hash of pi(w) equal w's —
+// per-replica armed timers fold into the permuted sub-encodings.
+func TestCanonicalTimedPermutationInvariant(t *testing.T) {
+	const n = 3
+	perms := allPerms(n)
+	prop := func(data []byte) bool {
+		w, events := newTimedSymWorld(t, n)
+		if len(data) > 14 {
+			data = data[:14]
+		}
+		driveSym(t, w, events, data)
+		base := append([]byte(nil), w.EncodeCanonical(nil)...)
+		baseHash := w.CanonicalHash()
+		for _, perm := range perms {
+			pw := permuteTimedSymWorld(t, w, n, perm)
+			if !bytes.Equal(base, pw.EncodeCanonical(nil)) {
+				t.Logf("schedule %v perm %v: timed canonical encodings differ", data, perm)
+				return false
+			}
+			if pw.CanonicalHash() != baseHash {
+				t.Logf("schedule %v perm %v: timed canonical hashes differ", data, perm)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(20140817))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalTimedCollapsesAndDistinguishes pins both halves on
+// concrete states: "only d1's timer disarmed" and "only d2's timer
+// disarmed" are permutation-equivalent (plain encodings differ, the
+// canonical ones agree), while a changed armed window or a disarmed
+// hub timer must stay distinguishable from the base state.
+func TestCanonicalTimedCollapsesAndDistinguishes(t *testing.T) {
+	const n = 3
+	fresh := func() *World {
+		w, _ := newTimedSymWorld(t, n)
+		return w
+	}
+	base := fresh()
+
+	w1, w2 := fresh(), fresh()
+	w1.cancelTimer(0) // disarm d1's guard
+	w2.cancelTimer(1) // disarm d2's guard
+	if bytes.Equal(w1.Encode(nil), w2.Encode(nil)) {
+		t.Fatal("plain encodings agree; the collapse check would be vacuous")
+	}
+	if !bytes.Equal(w1.EncodeCanonical(nil), w2.EncodeCanonical(nil)) {
+		t.Fatal("canonical encodings differ for permuted armed-timer sets")
+	}
+	if w1.CanonicalHash() != w2.CanonicalHash() {
+		t.Fatal("canonical hashes differ for permuted armed-timer sets")
+	}
+	if bytes.Equal(base.EncodeCanonical(nil), w1.EncodeCanonical(nil)) {
+		t.Fatal("disarming a replica timer not reflected in canonical encoding")
+	}
+
+	w3 := fresh()
+	w3.timers[0].lo++ // d1's guard window shrinks by one tick
+	if bytes.Equal(base.EncodeCanonical(nil), w3.EncodeCanonical(nil)) {
+		t.Fatal("changed armed window not reflected in canonical encoding")
+	}
+
+	w4 := fresh()
+	w4.cancelTimer(int32(n)) // the hub timer sits in the rest partition
+	if bytes.Equal(base.EncodeCanonical(nil), w4.EncodeCanonical(nil)) {
+		t.Fatal("disarming the hub timer not reflected in canonical encoding")
 	}
 }

@@ -1,0 +1,353 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cnetverifier/internal/fsm"
+	"cnetverifier/internal/types"
+)
+
+// tickerSpec consumes periodic-timer expiries in both states, toggles
+// IDLE/BUSY on data on/off (the labels the lifecycle hooks key on), and
+// optionally pings a peer on every tick so timed runs exercise queues.
+func tickerSpec(peer string) *fsm.Spec {
+	tickAction := func(c fsm.Ctx, e fsm.Event) {
+		c.Set("ticks", c.Get("ticks")+1)
+		if peer != "" {
+			c.Send(peer, types.Message{Kind: types.MsgPowerOn})
+		}
+	}
+	return &fsm.Spec{
+		Name: "ticker",
+		Init: "IDLE",
+		Vars: map[string]int{"ticks": 0},
+		Transitions: []fsm.Transition{
+			{Name: "tick", From: "IDLE", On: types.MsgPeriodicTimer, To: "IDLE", Action: tickAction},
+			{Name: "tick-busy", From: "BUSY", On: types.MsgPeriodicTimer, To: "BUSY", Action: tickAction},
+			{Name: "work", From: "IDLE", On: types.MsgUserDataOn, To: "BUSY"},
+			{Name: "rest", From: "BUSY", On: types.MsgUserDataOff, To: "IDLE"},
+			{Name: "wake", From: "IDLE", On: types.MsgPowerOn, To: "IDLE"},
+			{Name: "wake-busy", From: "BUSY", On: types.MsgPowerOn, To: "BUSY"},
+		},
+	}
+}
+
+// timedWorld is the timing test fixture: two tickers with overlapping
+// periodic windows plus a guard timer that is hook-armed by "work",
+// hook-cancelled by "rest", and discard-fires (no MsgLinkFailure
+// transition exists) when left to expire.
+func timedWorld(t testing.TB) *World {
+	t.Helper()
+	w, err := New(Config{Procs: []ProcConfig{
+		{Name: "A", Spec: tickerSpec("B")},
+		{Name: "B", Spec: tickerSpec("")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableTiming(timedWorldDefs()); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func timedWorldDefs() []TimerDef {
+	return []TimerDef{
+		{Name: "TA", Proc: "A", Msg: types.Message{Kind: types.MsgPeriodicTimer},
+			Lo: 3, Hi: 5, ArmOnStart: true, Periodic: true},
+		{Name: "TG", Proc: "A", Msg: types.Message{Kind: types.MsgLinkFailure},
+			Lo: 2, Hi: 6, ArmOn: []string{"work"}, CancelOn: []string{"rest"}},
+		{Name: "TB", Proc: "B", Msg: types.Message{Kind: types.MsgPeriodicTimer},
+			Lo: 1, Hi: 4, ArmOnStart: true, Periodic: true},
+	}
+}
+
+func timedEnv() []EnvEvent {
+	return []EnvEvent{
+		{Proc: "A", Msg: types.Message{Kind: types.MsgUserDataOn}},
+		{Proc: "A", Msg: types.Message{Kind: types.MsgUserDataOff}},
+	}
+}
+
+func TestEnableTimingValidation(t *testing.T) {
+	base := func() *World {
+		w, err := New(Config{Procs: []ProcConfig{{Name: "A", Spec: tickerSpec("")}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	msg := types.Message{Kind: types.MsgPeriodicTimer}
+	cases := []struct {
+		name string
+		defs []TimerDef
+	}{
+		{"no name", []TimerDef{{Proc: "A", Msg: msg, Hi: 1}}},
+		{"negative lo", []TimerDef{{Name: "T", Proc: "A", Msg: msg, Lo: -1, Hi: 1}}},
+		{"hi below lo", []TimerDef{{Name: "T", Proc: "A", Msg: msg, Lo: 2, Hi: 1}}},
+		{"hi over cap", []TimerDef{{Name: "T", Proc: "A", Msg: msg, Hi: timerBoundMax + 1}}},
+		{"no message", []TimerDef{{Name: "T", Proc: "A", Hi: 1}}},
+		{"unknown proc", []TimerDef{{Name: "T", Proc: "nope", Msg: msg, Hi: 1}}},
+		{"duplicate", []TimerDef{
+			{Name: "T", Proc: "A", Msg: msg, Hi: 1},
+			{Name: "T", Proc: "A", Msg: msg, Hi: 2},
+		}},
+	}
+	for _, tc := range cases {
+		if err := base().EnableTiming(tc.defs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Empty defs leave the world untimed, and an untimed world rejects
+	// timer steps outright.
+	w := base()
+	if err := w.EnableTiming(nil); err != nil || w.TimingEnabled() {
+		t.Fatalf("empty defs: err=%v timed=%v", err, w.TimingEnabled())
+	}
+	if _, err := w.Apply(Step{Kind: StepTimer, Proc: "A", Msg: types.Message{Kind: types.MsgPeriodicTimer, From: "T"}}); err == nil {
+		t.Fatal("timer step applied on an untimed world")
+	}
+}
+
+// Save/Apply/Restore must round-trip the complete timed state: the
+// encoding, the virtual clock, and the armed-timer set all come back
+// exactly, whatever step was applied in between (testing/quick over the
+// walk seed).
+func TestTimingSaveRestoreRoundtrip(t *testing.T) {
+	env := timedEnv()
+	prop := func(seed int64) bool {
+		w := timedWorld(t)
+		rng := rand.New(rand.NewSource(seed))
+		var u Undo
+		for i := 0; i < 40; i++ {
+			steps := w.Steps(env)
+			if len(steps) == 0 {
+				break
+			}
+			s := steps[rng.Intn(len(steps))]
+			enc, now, armed := w.Encode(nil), w.Now(), w.ArmedTimers()
+			w.Save(&u)
+			if _, err := w.Apply(s); err != nil {
+				return false
+			}
+			w.Restore(&u)
+			if !bytes.Equal(enc, w.Encode(nil)) || w.Now() != now || !reflect.DeepEqual(armed, w.ArmedTimers()) {
+				return false
+			}
+			// The restored state must accept the same step again.
+			if _, err := w.Apply(s); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(20140817))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The virtual clock is monotone along every path: no applied step —
+// delivery, env, expiry, discard-fire — ever decreases it.
+func TestTimingClockMonotone(t *testing.T) {
+	env := timedEnv()
+	prop := func(seed int64) bool {
+		w := timedWorld(t)
+		rng := rand.New(rand.NewSource(seed))
+		last := w.Now()
+		for i := 0; i < 60; i++ {
+			steps := w.Steps(env)
+			if len(steps) == 0 {
+				break
+			}
+			if _, err := w.Apply(steps[rng.Intn(len(steps))]); err != nil {
+				return false
+			}
+			if w.Now() < last {
+				return false
+			}
+			last = w.Now()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(20140817))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zone-abstraction soundness: two worlds differing only by an absolute
+// time shift are indistinguishable — same encoding, same enumerated
+// steps — and stay indistinguishable under any common step (the
+// inductive argument for keying the visited table on zone-relative
+// windows).
+func TestTimingShiftInvariance(t *testing.T) {
+	env := timedEnv()
+	prop := func(seed int64, shift uint16) bool {
+		w := timedWorld(t)
+		v := w.Clone()
+		v.ShiftTime(int64(shift))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 30; i++ {
+			if !bytes.Equal(w.Encode(nil), v.Encode(nil)) {
+				return false
+			}
+			ws, vs := w.Steps(env), v.Steps(env)
+			if !reflect.DeepEqual(ws, vs) {
+				return false
+			}
+			if len(ws) == 0 {
+				break
+			}
+			s := ws[rng.Intn(len(ws))]
+			if _, err := w.Apply(s); err != nil {
+				return false
+			}
+			if _, err := v.Apply(s); err != nil {
+				return false
+			}
+			if v.Now()-w.Now() != int64(shift) {
+				return false // the shift itself is preserved, never encoded
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(20140817))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The transition-label lifecycle hooks: "work" arms the guard timer,
+// "rest" cancels it, and an expired guard discard-fires (TransIdx = -1)
+// without re-arming.
+func TestTimerLifecycleHooks(t *testing.T) {
+	w := timedWorld(t)
+	names := func() []string {
+		var out []string
+		for _, a := range w.ArmedTimers() {
+			out = append(out, a.Proc+"/"+a.Name)
+		}
+		return out
+	}
+	if got := names(); !reflect.DeepEqual(got, []string{"A/TA", "B/TB"}) {
+		t.Fatalf("initial armed = %v", got)
+	}
+
+	applyEnv := func(kind types.MsgKind) {
+		t.Helper()
+		steps := w.StepsEnvAppend(nil, []EnvEvent{{Proc: "A", Msg: types.Message{Kind: kind}}})
+		if len(steps) != 1 {
+			t.Fatalf("env %s: steps = %v", kind, steps)
+		}
+		if _, err := w.Apply(steps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	applyEnv(types.MsgUserDataOn) // "work" arms TG
+	if got := names(); !reflect.DeepEqual(got, []string{"A/TA", "A/TG", "B/TB"}) {
+		t.Fatalf("after work: armed = %v", got)
+	}
+	tg := w.ArmedTimers()[1]
+	if tg.Lo-w.Now() != 2 || tg.Hi-w.Now() != 6 {
+		t.Fatalf("TG window = [%d, %d] at now %d", tg.Lo, tg.Hi, w.Now())
+	}
+	applyEnv(types.MsgUserDataOff) // "rest" cancels TG
+	if got := names(); !reflect.DeepEqual(got, []string{"A/TA", "B/TB"}) {
+		t.Fatalf("after rest: armed = %v", got)
+	}
+
+	// Re-arm TG and let it discard-fire: A has no MsgLinkFailure
+	// transition, so the expiry consumes the timer with no machine step
+	// and no re-arm (TG is not periodic).
+	applyEnv(types.MsgUserDataOn)
+	var fire *Step
+	for _, s := range w.StepsTimerAppend(nil) {
+		if s.Msg.From == "TG" {
+			s := s
+			fire = &s
+		}
+	}
+	if fire == nil || fire.TransIdx != -1 {
+		t.Fatalf("no discard-fire offered for TG: %v", fire)
+	}
+	stateBefore := w.Proc("A").M.State()
+	if _, err := w.Apply(*fire); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); !reflect.DeepEqual(got, []string{"A/TA", "B/TB"}) {
+		t.Fatalf("after TG discard-fire: armed = %v", got)
+	}
+	if w.Proc("A").M.State() != stateBefore {
+		t.Fatal("discard-fire stepped the machine")
+	}
+	if w.Now() < 2 {
+		t.Fatalf("discard-fire did not advance the clock into TG's window: now = %d", w.Now())
+	}
+
+	// A periodic timer re-arms itself with a fresh window on firing.
+	for _, s := range w.StepsTimerAppend(nil) {
+		if s.Msg.From == "TB" {
+			if _, err := w.Apply(s); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	armed := w.ArmedTimers()
+	if len(armed) != 2 || armed[1].Name != "TB" || armed[1].Lo != w.Now()+1 || armed[1].Hi != w.Now()+4 {
+		t.Fatalf("TB not re-armed fresh: %v at now %d", armed, w.Now())
+	}
+}
+
+// The expiry admissibility rule: a timer may fire only if its earliest
+// expiry does not overtake another armed timer's latest expiry.
+func TestTimerAdmissibility(t *testing.T) {
+	w, err := New(Config{Procs: []ProcConfig{{Name: "A", Spec: tickerSpec("")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tearly must fire before Tlate can: Tlate.Lo (10) > Tearly.Hi (3).
+	err = w.EnableTiming([]TimerDef{
+		{Name: "Tearly", Proc: "A", Msg: types.Message{Kind: types.MsgPeriodicTimer}, Lo: 1, Hi: 3, ArmOnStart: true},
+		{Name: "Tlate", Proc: "A", Msg: types.Message{Kind: types.MsgPeriodicTimer}, Lo: 10, Hi: 20, ArmOnStart: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := w.StepsTimerAppend(nil)
+	if len(steps) != 1 || steps[0].Msg.From != "Tearly" {
+		t.Fatalf("steps = %v, want only Tearly admissible", steps)
+	}
+	if _, err := w.Apply(steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	// With Tearly consumed, Tlate is the only armed timer and fires.
+	steps = w.StepsTimerAppend(nil)
+	if len(steps) != 1 || steps[0].Msg.From != "Tlate" {
+		t.Fatalf("steps after Tearly = %v, want Tlate", steps)
+	}
+}
+
+// ScaleTimerBounds is copy-on-write: a clone sharing the config keeps
+// the original windows, the scaled world rescales its armed instance
+// from the arming instant.
+func TestScaleTimerBounds(t *testing.T) {
+	w := timedWorld(t)
+	v := w.Clone()
+	if !w.ScaleTimerBounds("A", "TA", 50, 200) {
+		t.Fatal("scale reported no-op")
+	}
+	if w.ScaleTimerBounds("A", "nope", 50, 200) {
+		t.Fatal("scaling an unknown timer reported success")
+	}
+	wa, va := w.ArmedTimers()[0], v.ArmedTimers()[0]
+	if wa.Lo != 1 || wa.Hi != 10 { // [3, 5] scaled by 50%/200% from arm=0
+		t.Fatalf("scaled TA window = [%d, %d], want [1, 10]", wa.Lo, wa.Hi)
+	}
+	if va.Lo != 3 || va.Hi != 5 {
+		t.Fatalf("clone's TA window changed: [%d, %d]", va.Lo, va.Hi)
+	}
+}

@@ -20,6 +20,11 @@ type Undo struct {
 	queues   [][]types.Message
 	glay     *glayout
 	gvals    []int32
+	// now/timers snapshot the virtual clock and armed-timer set. The
+	// timing config pointer is not saved: steps never replace it (only
+	// ScaleTimerBounds does, outside the search).
+	now    int64
+	timers []armedTimer
 }
 
 // Save records the world's complete logical state into u.
@@ -40,6 +45,8 @@ func (w *World) Save(u *Undo) {
 	}
 	u.glay = w.glay
 	u.gvals = append(u.gvals[:0], w.gvals...)
+	u.now = w.now
+	u.timers = append(u.timers[:0], w.timers...)
 }
 
 // Restore rewinds the world to a Save point. The snapshot remains
@@ -53,6 +60,8 @@ func (w *World) Restore(u *Undo) {
 	}
 	w.glay = u.glay
 	w.gvals = append(w.gvals[:0], u.gvals...)
+	w.now = u.now
+	w.timers = append(w.timers[:0], u.timers...)
 }
 
 // ApplyUndo is Apply preceded by Save: it executes the step in place

@@ -71,6 +71,35 @@ func TestSimPastSchedulingClamped(t *testing.T) {
 	}
 }
 
+// Cancelling a timer removes its event from the scheduler outright: it
+// holds no queue slot, never runs, and Cancel/Pending report the
+// lifecycle exactly once each way.
+func TestSimTimerCancel(t *testing.T) {
+	s := NewSim(1)
+	var fired []string
+	a := s.AfterTimer(10*time.Millisecond, func() { fired = append(fired, "a") })
+	b := s.AfterTimer(20*time.Millisecond, func() { fired = append(fired, "b") })
+	if s.Pending() != 2 || !a.Pending() || !b.Pending() {
+		t.Fatalf("pending = %d (a=%v b=%v), want 2 armed timers", s.Pending(), a.Pending(), b.Pending())
+	}
+	if !a.Cancel() {
+		t.Fatal("first Cancel reported false")
+	}
+	if a.Cancel() {
+		t.Fatal("second Cancel reported true")
+	}
+	if s.Pending() != 1 || a.Pending() {
+		t.Fatalf("after cancel: pending = %d, a.Pending = %v", s.Pending(), a.Pending())
+	}
+	s.Run()
+	if len(fired) != 1 || fired[0] != "b" {
+		t.Fatalf("fired = %v, want only b", fired)
+	}
+	if b.Pending() || b.Cancel() {
+		t.Fatal("a fired timer is still pending/cancellable")
+	}
+}
+
 func TestDistributions(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	if d := (Fixed{D: time.Second}).Sample(rng); d != time.Second {

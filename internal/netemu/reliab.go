@@ -1,6 +1,7 @@
 package netemu
 
 import (
+	"sort"
 	"time"
 
 	"cnetverifier/internal/names"
@@ -58,6 +59,11 @@ type transfer struct {
 	attempts int // retransmissions so far
 	rto      time.Duration
 	acked    bool
+	// timer is the armed RTO for the current attempt, cancelled eagerly
+	// on ack so no stale expiry event lingers in the scheduler;
+	// deadline is its absolute expiry instant (for ArmedTimers).
+	timer    *Timer
+	deadline time.Duration
 }
 
 // reliabService is the per-world retransmission state. It is driven
@@ -175,19 +181,29 @@ func (r *reliabService) sendAck(t *transfer) {
 	w.Sim.After(reverse.delay(w.Sim), func() { r.ack(t) })
 }
 
-// ack cancels the pending retransmission for the frame.
+// ack cancels the pending retransmission for the frame — eagerly: the
+// armed RTO event is removed from the scheduler, not left to fire as a
+// stale no-op that would advance the clock and hold a queue slot until
+// its deadline. The acked flag stays as the dedup guard for duplicate
+// acks of retransmitted copies.
 func (r *reliabService) ack(t *transfer) {
 	if t.acked {
 		return
 	}
 	t.acked = true
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
 	delete(r.inflight, t.seq)
 	r.w.Stats.Acks++
 }
 
-// arm schedules the RTO for the transfer's current attempt.
+// arm schedules the RTO for the transfer's current attempt and records
+// the handle so an ack can cancel it.
 func (r *reliabService) arm(t *transfer) {
-	r.w.Sim.After(t.rto, func() { r.expire(t) })
+	t.deadline = r.w.Sim.Now() + t.rto
+	t.timer = r.w.Sim.AfterTimer(t.rto, func() { r.expire(t) })
 }
 
 // expire fires when the RTO elapses without an ack: retransmit with
@@ -198,6 +214,7 @@ func (r *reliabService) expire(t *transfer) {
 	if t.acked {
 		return
 	}
+	t.timer = nil // this attempt's timer just fired
 	w.Stats.Expiries++
 	mod := t.src.m.Spec().Name
 	w.Collector.Addf(w.Sim.Now(), trace.TypeExpiry, t.msg.System, mod,
@@ -236,4 +253,32 @@ func (w *World) InFlight() int {
 		return 0
 	}
 	return len(w.reliab.inflight)
+}
+
+// ArmedTimer describes one live retransmission timer of the reliable
+// layer: which frame it guards, when it will fire, and which attempt it
+// belongs to.
+type ArmedTimer struct {
+	Seq      uint32
+	Kind     types.MsgKind
+	Deadline time.Duration
+	Attempt  int
+}
+
+// ArmedTimers returns the live RTO timers in Seq order — the
+// model-visible view of the reliable layer's timing state. An acked
+// transfer's timer is cancelled eagerly, so it disappears from this
+// list (and from Sim.Pending) the instant the ack lands.
+func (w *World) ArmedTimers() []ArmedTimer {
+	if w.reliab == nil {
+		return nil
+	}
+	out := make([]ArmedTimer, 0, len(w.reliab.inflight))
+	for _, t := range w.reliab.inflight {
+		if t.timer.Pending() {
+			out = append(out, ArmedTimer{Seq: t.seq, Kind: t.msg.Kind, Deadline: t.deadline, Attempt: t.attempts + 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }

@@ -160,6 +160,45 @@ func TestReliabilityAckDedup(t *testing.T) {
 	}
 }
 
+// Regression: an ack used to only set t.acked and let the armed RTO
+// event fire later as a stale no-op, so every acknowledged frame held a
+// scheduler slot (and kept the clock advancing) until its full timeout
+// elapsed. The ack must cancel the timer eagerly: the instant it lands,
+// the event queue and the armed-timer list are empty.
+func TestReliabilityAckCancelsTimerEagerly(t *testing.T) {
+	w := attachWorld(1, ReliabilityConfig{})
+	// A frame the MME's spec discards: it is received and acked but
+	// triggers no response cascade, so the only scheduled events are
+	// the transfer's own delivery, ack, and RTO.
+	w.reliab.send(w.procs[names.UEEMM], names.MMEEMM, types.Message{Kind: types.MsgPeriodicTimer})
+	if got := w.Sim.Pending(); got != 2 {
+		t.Fatalf("pending = %d after send, want delivery + armed RTO", got)
+	}
+	armed := w.ArmedTimers()
+	if len(armed) != 1 {
+		t.Fatalf("armed timers = %v, want one", armed)
+	}
+	if at := armed[0]; at.Kind != types.MsgPeriodicTimer || at.Attempt != 1 || at.Deadline != w.reliab.cfg.RTO {
+		t.Fatalf("armed timer = %+v", at)
+	}
+
+	// Run to just before the RTO deadline: delivery and ack have landed
+	// (link latencies are far below the RTO), the expiry has not.
+	w.RunUntil(w.reliab.cfg.RTO - time.Millisecond)
+	if w.Stats.Acks != 1 {
+		t.Fatalf("acks = %d, want 1", w.Stats.Acks)
+	}
+	if got := w.Sim.Pending(); got != 0 {
+		t.Fatalf("pending = %d after ack, want 0 (stale RTO event left in the scheduler)", got)
+	}
+	if armed := w.ArmedTimers(); len(armed) != 0 {
+		t.Fatalf("armed timers = %v after ack, want none", armed)
+	}
+	if w.InFlight() != 0 || w.Stats.Expiries != 0 {
+		t.Fatalf("in-flight = %d, expiries = %d after ack", w.InFlight(), w.Stats.Expiries)
+	}
+}
+
 // Identical seeds produce byte-identical traces — the determinism the
 // sweep engine's cross-worker contract rests on.
 func TestReliabilityDeterministicTrace(t *testing.T) {

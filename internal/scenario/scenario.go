@@ -51,6 +51,12 @@ type Space struct {
 	OperatorActions bool
 	// WiFiOffload offers the §5.1.3 WiFi-induced deactivation quirk.
 	WiFiOffload bool
+	// Timing offers the periodic protocol-timer expiries (TAU/RAU/LU).
+	// As plain env events they model a timer firing at an arbitrary
+	// instant; core.WithTiming converts them into virtual-time timers
+	// with [earliest, latest] windows so the checker explores only the
+	// admissible expiry-vs-delivery orderings.
+	Timing bool
 }
 
 // FullSpace enables every scenario family.
@@ -63,6 +69,7 @@ func FullSpace() Space {
 		PDPDeactivations: true,
 		OperatorActions:  true,
 		WiFiOffload:      true,
+		Timing:           true,
 	}
 }
 
@@ -87,6 +94,7 @@ func Families() []Family {
 		{"pdp-deactivations", Space{PDPDeactivations: true}},
 		{"operator-actions", Space{OperatorActions: true}},
 		{"wifi-offload", Space{WiFiOffload: true}},
+		{"timing", Space{Timing: true}},
 	}
 }
 
@@ -139,9 +147,6 @@ func (s Space) Events(w *model.World) []Event {
 			ev(names.UEMM, types.MsgUserMove, true, "move-cs"),
 			ev(names.UEGMM, types.MsgUserMove, true, "move-ps"),
 			ev(names.UEEMM, types.MsgUserMove, true, "move-4g"),
-			ev(names.UEEMM, types.MsgPeriodicTimer, true, "periodic-4g"),
-			ev(names.UEMM, types.MsgPeriodicTimer, true, "periodic-cs"),
-			ev(names.UEGMM, types.MsgPeriodicTimer, true, "periodic-ps"),
 			ev(names.UEGMM, types.MsgInterSystemSwitchCommand, true, "switch-4g-to-3g"),
 			ev(names.UEEMM, types.MsgInterSystemCellReselect, true, "reselect-to-4g"),
 			ev(names.UERRC3G, types.MsgInterSystemCellReselect, true, "rrc-reselect"),
@@ -170,6 +175,13 @@ func (s Space) Events(w *model.World) []Event {
 	}
 	if s.WiFiOffload {
 		out = append(out, ev(names.UESM, types.MsgWiFiAvailable, true, "wifi-offload"))
+	}
+	if s.Timing {
+		out = append(out,
+			ev(names.UEEMM, types.MsgPeriodicTimer, true, "periodic-4g"),
+			ev(names.UEMM, types.MsgPeriodicTimer, true, "periodic-cs"),
+			ev(names.UEGMM, types.MsgPeriodicTimer, true, "periodic-ps"),
+		)
 	}
 	return out
 }
@@ -236,7 +248,7 @@ func Coverage(space Space, w *model.World, steps []model.Step) map[string]int {
 	}
 	out := make(map[string]int)
 	for _, st := range steps {
-		if st.Kind != model.StepEnv {
+		if st.Kind != model.StepEnv && st.Kind != model.StepTimer {
 			continue
 		}
 		key := st.Proc + "\x00" + st.Msg.Kind.String() + "\x00" + st.Msg.Cause.String()
